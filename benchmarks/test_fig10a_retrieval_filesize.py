@@ -1,0 +1,61 @@
+"""Experiment E1 — Figure 10(a): retrieval time vs file size, single user.
+
+The paper reads whole files of 2–10 MB from each of the five systems
+with one user and reports the access time.  Expected shape: the three
+steganographic systems are indistinguishable from each other (their
+blocks are scattered the same way) and pay random I/O for every block;
+CleanDisk is far cheaper thanks to contiguous allocation, with FragDisk
+in between; all grow linearly with file size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import MIB, PAPER_SYSTEMS, SweepResult, assert_monotone_increasing, run_once, save_result
+from repro.sim.builders import build_system
+from repro.workloads.filegen import FileSpec
+from repro.workloads.retrieval import measure_file_read
+
+FILE_SIZES_MIB = [2, 4, 6, 8, 10]
+VOLUME_MIB = 96
+
+
+def run_experiment() -> SweepResult:
+    sweep = SweepResult(
+        name="Figure 10(a): data retrieval time vs file size (single user)",
+        x_label="file size (MB)",
+        y_label="access time (simulated ms)",
+        x_values=list(FILE_SIZES_MIB),
+    )
+    specs = [FileSpec(f"/bench/file{size}", size * MIB) for size in FILE_SIZES_MIB]
+    for label in PAPER_SYSTEMS:
+        system = build_system(label, volume_mib=VOLUME_MIB, file_specs=specs, seed=101)
+        for size in FILE_SIZES_MIB:
+            elapsed = measure_file_read(system.adapter, system.handle(f"/bench/file{size}"))
+            sweep.add_point(label, elapsed)
+    return sweep
+
+
+@pytest.mark.benchmark(group="fig10a")
+def test_fig10a_retrieval_vs_file_size(benchmark):
+    sweep = run_once(benchmark, run_experiment)
+    save_result("fig10a_retrieval_filesize", sweep.render())
+
+    # Access time grows with file size for every system.
+    for label in PAPER_SYSTEMS:
+        assert_monotone_increasing(sweep.series_for(label))
+
+    # The three steganographic systems behave alike (within 10%).
+    for size_index in range(len(FILE_SIZES_MIB)):
+        steg = [sweep.series_for(label)[size_index] for label in ("StegHide", "StegHide*", "StegFS")]
+        assert max(steg) <= min(steg) * 1.10
+
+    # CleanDisk wins by a large factor in the single-user setting, and
+    # FragDisk sits between CleanDisk and the steganographic systems.
+    for size_index in range(len(FILE_SIZES_MIB)):
+        clean = sweep.series_for("CleanDisk")[size_index]
+        frag = sweep.series_for("FragDisk")[size_index]
+        steg = sweep.series_for("StegFS")[size_index]
+        assert clean < frag < steg
+        assert steg > 5 * clean

@@ -1,0 +1,77 @@
+"""Experiment E2 — Figure 10(b): retrieval time vs number of concurrent users.
+
+Each of 1–32 users reads his own file; the disk serves them round-robin.
+Expected shape: every system degrades roughly linearly with the user
+count, and the advantage CleanDisk/FragDisk enjoy from sequential I/O
+shrinks as concurrency rises because the interleaved streams turn their
+accesses into random I/O ("when the number of users increases to 16
+onward ... the access times of the five systems become very close").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import MIB, PAPER_SYSTEMS, SweepResult, assert_monotone_increasing, run_once, save_result
+from repro.sim.builders import build_system
+from repro.sim.engine import ClientJob, RoundRobinSimulator
+from repro.workloads.filegen import FileSpec
+from repro.workloads.retrieval import file_read_job
+
+CONCURRENCY_LEVELS = [1, 2, 4, 8, 16, 32]
+FILE_SIZE_MIB = 1
+VOLUME_MIB = 96
+
+
+def run_experiment() -> SweepResult:
+    sweep = SweepResult(
+        name="Figure 10(b): data retrieval time vs concurrency",
+        x_label="concurrent users",
+        y_label="mean access time (simulated ms)",
+        x_values=list(CONCURRENCY_LEVELS),
+    )
+    max_users = max(CONCURRENCY_LEVELS)
+    specs = [FileSpec(f"/bench/user{i}", FILE_SIZE_MIB * MIB) for i in range(max_users)]
+    for label in PAPER_SYSTEMS:
+        # One build per system; each concurrency level re-reads the files of
+        # the first `users` clients (reads leave the volume unchanged).
+        system = build_system(label, volume_mib=VOLUME_MIB, file_specs=specs, seed=202)
+        for users in CONCURRENCY_LEVELS:
+            system.storage.reset_counters()
+            jobs = [
+                ClientJob(
+                    f"user{i}",
+                    file_read_job(system.adapter, system.handle(f"/bench/user{i}"), f"user{i}"),
+                )
+                for i in range(users)
+            ]
+            result = RoundRobinSimulator(system.storage).run(jobs)
+            sweep.add_point(label, result.mean_elapsed_ms)
+    return sweep
+
+
+@pytest.mark.benchmark(group="fig10b")
+def test_fig10b_retrieval_vs_concurrency(benchmark):
+    sweep = run_once(benchmark, run_experiment)
+    save_result("fig10b_retrieval_concurrency", sweep.render())
+
+    # Everyone slows down as concurrency grows.
+    for label in PAPER_SYSTEMS:
+        assert_monotone_increasing(sweep.series_for(label))
+
+    # At a single user CleanDisk is far ahead of the steganographic systems ...
+    single_ratio = sweep.series_for("StegFS")[0] / sweep.series_for("CleanDisk")[0]
+    assert single_ratio > 5
+
+    # ... but from 16 users onward the five systems converge (within ~2x).
+    high_index = CONCURRENCY_LEVELS.index(16)
+    for index in range(high_index, len(CONCURRENCY_LEVELS)):
+        values = [sweep.series_for(label)[index] for label in PAPER_SYSTEMS]
+        assert max(values) <= 2.0 * min(values)
+
+    # And the CleanDisk advantage shrinks monotonically in between.
+    ratios = [
+        sweep.series_for("StegFS")[i] / sweep.series_for("CleanDisk")[i]
+        for i in range(len(CONCURRENCY_LEVELS))
+    ]
+    assert ratios[-1] < ratios[0] / 3

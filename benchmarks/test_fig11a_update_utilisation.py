@@ -1,0 +1,76 @@
+"""Experiment E3 — Figure 11(a): update time vs space utilisation.
+
+One randomly selected data block of a file is updated while the volume's
+space utilisation is swept from 10% to 50%.  Expected shape: the update
+cost of StegHide and StegHide* grows with utilisation following the
+E = N/D model (more occupied blocks mean more Figure-6 iterations),
+while StegFS, FragDisk and CleanDisk are flat, and at 50% utilisation
+the StegHide systems cost no more than about twice the baselines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import KIB, PAPER_SYSTEMS, SweepResult, assert_monotone_increasing, run_once, save_result
+from repro.crypto.prng import Sha256Prng
+from repro.sim.builders import build_system
+from repro.workloads.filegen import FileSpec
+from repro.workloads.update import measure_block_update, random_update_requests
+
+UTILISATIONS = [0.1, 0.2, 0.3, 0.4, 0.5]
+VOLUME_MIB = 16
+FILE_SIZE = 512 * KIB
+UPDATES_PER_POINT = 30
+
+
+def run_experiment() -> SweepResult:
+    sweep = SweepResult(
+        name="Figure 11(a): update time vs space utilisation",
+        x_label="space utilisation",
+        y_label="access time per update (simulated ms)",
+        x_values=list(UTILISATIONS),
+    )
+    prng = Sha256Prng("fig11a")
+    specs = [FileSpec("/bench/target", FILE_SIZE)]
+    for label in PAPER_SYSTEMS:
+        for utilisation in UTILISATIONS:
+            system = build_system(
+                label,
+                volume_mib=VOLUME_MIB,
+                file_specs=specs,
+                target_utilisation=utilisation,
+                seed=303,
+            )
+            handle = system.handle("/bench/target")
+            starts = random_update_requests(handle, UPDATES_PER_POINT, prng.spawn(f"{label}-{utilisation}"))
+            total = 0.0
+            for request_index, start in enumerate(starts):
+                total += measure_block_update(system.adapter, handle, start, seed=request_index)
+            sweep.add_point(label, total / UPDATES_PER_POINT)
+    return sweep
+
+
+@pytest.mark.benchmark(group="fig11a")
+def test_fig11a_update_vs_utilisation(benchmark):
+    sweep = run_once(benchmark, run_experiment)
+    save_result("fig11a_update_utilisation", sweep.render())
+
+    # StegHide and StegHide* grow with utilisation.
+    for label in ("StegHide", "StegHide*"):
+        series = sweep.series_for(label)
+        assert_monotone_increasing(series, tolerance=0.15)
+        assert series[-1] > series[0] * 1.2
+
+    # The baselines stay essentially flat.
+    for label in ("StegFS", "FragDisk", "CleanDisk"):
+        series = sweep.series_for(label)
+        assert max(series) <= min(series) * 1.3
+
+    # At every utilisation the hiding systems cost more than plain StegFS,
+    # but at 50% utilisation the expected factor stays modest (paper: E <= 2,
+    # i.e. roughly 2x the conventional 2-I/O update; allow simulation noise).
+    for index in range(len(UTILISATIONS)):
+        assert sweep.series_for("StegHide*")[index] >= sweep.series_for("StegFS")[index]
+    final_ratio = sweep.series_for("StegHide*")[-1] / sweep.series_for("StegFS")[-1]
+    assert 1.5 < final_ratio < 5.0

@@ -1,0 +1,75 @@
+"""Experiment E4 — Figure 11(b): update time vs number of consecutive blocks.
+
+With utilisation fixed at 25%, runs of 1–5 consecutive blocks are
+updated.  Expected shape: the three steganographic systems grow linearly
+with the update range (every block is a random I/O), while FragDisk and
+CleanDisk barely grow because the extra blocks are sequential.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import KIB, PAPER_SYSTEMS, SweepResult, assert_monotone_increasing, run_once, save_result
+from repro.crypto.prng import Sha256Prng
+from repro.sim.builders import build_system
+from repro.workloads.filegen import FileSpec
+from repro.workloads.update import measure_range_update, random_update_requests
+
+UPDATE_RANGES = [1, 2, 3, 4, 5]
+UTILISATION = 0.25
+VOLUME_MIB = 16
+FILE_SIZE = 512 * KIB
+UPDATES_PER_POINT = 20
+
+
+def run_experiment() -> SweepResult:
+    sweep = SweepResult(
+        name="Figure 11(b): update time vs update range (25% utilisation)",
+        x_label="consecutive blocks updated",
+        y_label="access time per update (simulated ms)",
+        x_values=list(UPDATE_RANGES),
+    )
+    prng = Sha256Prng("fig11b")
+    specs = [FileSpec("/bench/target", FILE_SIZE)]
+    for label in PAPER_SYSTEMS:
+        system = build_system(
+            label,
+            volume_mib=VOLUME_MIB,
+            file_specs=specs,
+            target_utilisation=UTILISATION,
+            seed=404,
+        )
+        handle = system.handle("/bench/target")
+        for update_range in UPDATE_RANGES:
+            starts = random_update_requests(
+                handle, UPDATES_PER_POINT, prng.spawn(f"{label}-{update_range}"), update_range
+            )
+            total = 0.0
+            for request_index, start in enumerate(starts):
+                total += measure_range_update(
+                    system.adapter, handle, start, update_range, seed=request_index
+                )
+            sweep.add_point(label, total / UPDATES_PER_POINT)
+    return sweep
+
+
+@pytest.mark.benchmark(group="fig11b")
+def test_fig11b_update_vs_range(benchmark):
+    sweep = run_once(benchmark, run_experiment)
+    save_result("fig11b_update_range", sweep.render())
+
+    # The steganographic systems grow roughly linearly with the range.
+    for label in ("StegHide", "StegHide*", "StegFS"):
+        series = sweep.series_for(label)
+        assert_monotone_increasing(series, tolerance=0.15)
+        assert series[-1] > 3.5 * series[0]
+
+    # CleanDisk barely grows: the extra blocks are sequential.
+    clean = sweep.series_for("CleanDisk")
+    assert clean[-1] < 2.0 * clean[0]
+
+    # At the 5-block range the steganographic systems are clearly slower
+    # than the conventional ones.
+    assert sweep.series_for("StegFS")[-1] > 2.0 * sweep.series_for("CleanDisk")[-1]
+    assert sweep.series_for("StegHide*")[-1] > 2.0 * sweep.series_for("FragDisk")[-1]

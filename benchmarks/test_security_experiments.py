@@ -1,0 +1,247 @@
+"""Experiments E9–E11 — security and analytic-model validation.
+
+These experiments back the paper's two analytic claims rather than a
+numbered figure:
+
+* E9 (Section 4.1.4, Figure 2): an update-analysis attacker who diffs
+  snapshots detects hidden activity on a conventional file system but
+  not on StegHide, where real updates are relocated uniformly and mixed
+  with dummy updates.
+* E10 (Definition 1, Section 5): a traffic-analysis attacker cannot
+  separate real reads from dummy reads on the oblivious storage, while
+  repeated plain StegFS reads are trivially recognisable.
+* E11 (Section 4.1.5): the measured number of Figure-6 iterations
+  matches the E = N/D model across space utilisations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import KIB, SeriesTable, run_once, save_result
+from repro.analysis.models import expected_iterations
+from repro.attacks.observer import SnapshotObserver, TraceObserver
+from repro.attacks.traffic_analysis import TrafficAnalysisAttacker
+from repro.attacks.update_analysis import UpdateAnalysisAttacker
+from repro.core.nonvolatile import NonVolatileAgent
+from repro.core.oblivious.reader import ObliviousReader
+from repro.core.oblivious.store import ObliviousStore, ObliviousStoreConfig
+from repro.crypto.keys import FileAccessKey
+from repro.crypto.prng import Sha256Prng
+from repro.sim.builders import build_system
+from repro.stegfs.filesystem import StegFsVolume
+from repro.storage.device import RawDevice, split_volume
+from repro.storage.disk import RawStorage, StorageGeometry
+from repro.storage.latency import ZeroLatencyModel
+from repro.storage.trace import IoTrace
+from repro.workloads.filegen import FileSpec, generate_content
+from repro.workloads.tableupdate import SalaryTable, TableUpdateWorkload
+
+
+def _make_volume(num_blocks: int, seed: str):
+    storage = RawStorage(
+        StorageGeometry(block_size=4096, num_blocks=num_blocks), latency=ZeroLatencyModel()
+    )
+    storage.fill_random(seed=hash(seed) % (2**31))
+    prng = Sha256Prng(seed)
+    volume = StegFsVolume(RawDevice(storage), prng.spawn("volume"))
+    return storage, volume, prng
+
+
+# -- E9: update analysis -----------------------------------------------------------------
+
+
+def run_update_analysis_experiment() -> SeriesTable:
+    table = SeriesTable(
+        name="E9: update-analysis attacker verdicts (snapshot diffing)",
+        columns=["system", "repeated change fraction", "uniformity p-value", "detected"],
+    )
+    intervals = 8
+    updates_per_interval = 3
+
+    # Conventional system: CleanDisk holding the salary table.
+    clean = build_system(
+        "CleanDisk",
+        volume_mib=8,
+        file_specs=[FileSpec("/seed", 4 * KIB)],
+        seed=606,
+        latency=ZeroLatencyModel(),
+    )
+    workload = TableUpdateWorkload(
+        clean.adapter, SalaryTable.generate(500, Sha256Prng("e9-table"))
+    )
+    observer = SnapshotObserver(clean.storage)
+    observer.observe()
+    prng = Sha256Prng("e9-clean")
+    for _ in range(intervals):
+        workload.run_random_updates(updates_per_interval, prng)
+        observer.observe()
+    attacker = UpdateAnalysisAttacker(num_blocks=clean.storage.geometry.num_blocks)
+    verdict_clean = attacker.analyse(observer.changed_blocks_per_interval())
+    table.add_row(
+        "CleanDisk",
+        round(verdict_clean.repeated_change_fraction, 3),
+        f"{verdict_clean.uniformity_p_value:.2e}",
+        verdict_clean.suspects_hidden_activity,
+    )
+
+    # StegHide*: same logical workload through the Figure-6 update path plus dummies.
+    storage, volume, prng = _make_volume(2048, "e9-steghide")
+    agent = NonVolatileAgent(volume, prng.spawn("agent"))
+    fak = FileAccessKey.generate(prng.spawn("fak"))
+    salary = SalaryTable.generate(500, prng.spawn("table"))
+    handle = agent.create_file(fak, "/db/sal_table", salary.serialise())
+    observer = SnapshotObserver(storage)
+    observer.observe()
+    workload_prng = prng.spawn("updates")
+    for _ in range(intervals):
+        for _ in range(updates_per_interval):
+            name, _ = salary.rows[workload_prng.randrange(len(salary.rows))]
+            salary.set_salary(name, 30_000 + workload_prng.randrange(200_000))
+            serialised = salary.serialise()
+            offset = salary.row_offset(name)
+            for logical in range(offset // volume.data_field_bytes,
+                                 (offset + 63) // volume.data_field_bytes + 1):
+                start = logical * volume.data_field_bytes
+                agent.update_block(handle, logical,
+                                   serialised[start : start + volume.data_field_bytes])
+        agent.idle(6)
+        observer.observe()
+    attacker = UpdateAnalysisAttacker(num_blocks=storage.geometry.num_blocks)
+    verdict_steg = attacker.analyse(observer.changed_blocks_per_interval())
+    table.add_row(
+        "StegHide*",
+        round(verdict_steg.repeated_change_fraction, 3),
+        f"{verdict_steg.uniformity_p_value:.2e}",
+        verdict_steg.suspects_hidden_activity,
+    )
+    return table
+
+
+@pytest.mark.benchmark(group="security")
+def test_e9_update_analysis_attacker(benchmark):
+    table = run_once(benchmark, run_update_analysis_experiment)
+    save_result("e9_security_update_analysis", table.render())
+    detected = dict(zip(table.column("system"), table.column("detected")))
+    assert detected["CleanDisk"] is True
+    assert detected["StegHide*"] is False
+
+
+# -- E10: traffic analysis -----------------------------------------------------------------
+
+
+def run_traffic_analysis_experiment() -> SeriesTable:
+    table = SeriesTable(
+        name="E10: traffic-analysis attacker verdicts (request trace)",
+        columns=["system", "sequential fraction", "advantage vs dummy", "detected"],
+    )
+    # Plain StegFS: repeated reads of one hidden file, no hiding.
+    storage, volume, prng = _make_volume(2048, "e10-plain")
+    fak = FileAccessKey.generate(prng.spawn("fak"))
+    handle = volume.create_file(fak, "/f", generate_content(volume.data_field_bytes * 64, 1))
+    observer = TraceObserver(storage)
+    observer.start()
+    for _ in range(5):
+        volume.read_file(handle)
+    attacker = TrafficAnalysisAttacker(num_blocks=storage.geometry.num_blocks)
+    verdict_plain = attacker.analyse(observer.capture())
+    table.add_row(
+        "StegFS reads",
+        round(verdict_plain.sequential_run_fraction, 3),
+        round(verdict_plain.advantage_vs_reference, 3),
+        verdict_plain.suspects_hidden_activity,
+    )
+
+    # Oblivious storage: the same repeated reads served through the hierarchy,
+    # compared against the attacker's model of pure dummy traffic.
+    storage, _, prng = _make_volume(4096, "e10-oblivious")
+    steg_part, obli_part = split_volume(storage, 2048)
+    volume = StegFsVolume(steg_part, prng.spawn("volume"))
+    fak = FileAccessKey.generate(prng.spawn("fak"))
+    handle = volume.create_file(fak, "/f", generate_content(volume.data_field_bytes * 48, 2))
+    store = ObliviousStore(
+        obli_part,
+        ObliviousStoreConfig(buffer_blocks=8, last_level_blocks=256),
+        prng.spawn("store"),
+    )
+    reader = ObliviousReader(volume, store, prng.spawn("reader"))
+    reader.read_file(handle)  # warm the cache
+    observer = TraceObserver(storage)
+    observer.start()
+    for _ in range(3):
+        reader.read_file(handle)
+    observed = observer.capture()
+    observer.start()
+    for _ in range(3 * handle.num_blocks):
+        reader.dummy_oblivious_read()
+    reference = observer.capture()
+
+    def probes(trace):
+        return IoTrace([e for e in trace.reads() if not e.stream.endswith("-sort")])
+
+    attacker = TrafficAnalysisAttacker(num_blocks=storage.geometry.num_blocks)
+    verdict_oblivious = attacker.analyse(probes(observed), probes(reference))
+    table.add_row(
+        "Oblivious store reads",
+        round(verdict_oblivious.sequential_run_fraction, 3),
+        round(verdict_oblivious.advantage_vs_reference, 3),
+        bool(verdict_oblivious.advantage_vs_reference > attacker.advantage_threshold
+             or verdict_oblivious.sequential_run_fraction > attacker.sequential_threshold),
+    )
+    return table
+
+
+@pytest.mark.benchmark(group="security")
+def test_e10_traffic_analysis_attacker(benchmark):
+    table = run_once(benchmark, run_traffic_analysis_experiment)
+    save_result("e10_security_traffic_analysis", table.render())
+    detected = dict(zip(table.column("system"), table.column("detected")))
+    assert detected["StegFS reads"] is True
+    assert detected["Oblivious store reads"] is False
+
+
+# -- E11: E = N/D model validation ------------------------------------------------------------
+
+
+def run_overhead_model_experiment() -> SeriesTable:
+    table = SeriesTable(
+        name="E11: measured Figure-6 iterations vs the E = N/D model",
+        columns=["utilisation", "model E", "measured mean iterations"],
+    )
+    updates = 150
+    for utilisation in (0.1, 0.25, 0.5, 0.7):
+        storage, volume, prng = _make_volume(2048, f"e11-{utilisation}")
+        agent = NonVolatileAgent(volume, prng.spawn("agent"))
+        fak = FileAccessKey.generate(prng.spawn("fak"))
+        handle = agent.create_file(
+            fak, "/target", generate_content(volume.data_field_bytes * 16, 3)
+        )
+        filler_blocks = int(utilisation * volume.num_blocks) - volume.allocator.used_blocks
+        if filler_blocks > 0:
+            filler_fak = FileAccessKey.generate(prng.spawn("filler"))
+            agent.create_file(
+                fak=filler_fak,
+                path="/filler",
+                content=generate_content(volume.data_field_bytes * filler_blocks, 4),
+            )
+        workload_prng = prng.spawn("updates")
+        total_iterations = 0
+        for update_index in range(updates):
+            logical = workload_prng.randrange(handle.num_blocks)
+            result = agent.update_block(handle, logical, b"payload %d" % update_index)
+            total_iterations += result.iterations
+        measured = total_iterations / updates
+        model = expected_iterations(volume.utilisation)
+        table.add_row(round(volume.utilisation, 3), round(model, 2), round(measured, 2))
+    return table
+
+
+@pytest.mark.benchmark(group="security")
+def test_e11_overhead_model_validation(benchmark):
+    table = run_once(benchmark, run_overhead_model_experiment)
+    save_result("e11_overhead_model_validation", table.render())
+    for model, measured in zip(table.column("model E"), table.column("measured mean iterations")):
+        assert measured == pytest.approx(model, rel=0.35)
+    # The measured iteration count grows with utilisation.
+    measured_series = table.column("measured mean iterations")
+    assert measured_series[-1] > measured_series[0]

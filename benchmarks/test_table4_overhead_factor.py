@@ -1,0 +1,84 @@
+"""Experiment E6 — Table 4: oblivious storage height and overhead factor vs buffer size.
+
+The paper's Table 4 (1 GB last level, 4 KB blocks):
+
+    buffer size   8M   16M   32M   64M   128M
+    height         7     6     5     4      3
+    overhead      70    60    50    40     30
+
+This benchmark evaluates the analytic cost model at exactly the paper's
+parameters and reproduces the table verbatim, then cross-checks the
+height against a constructed (scaled) hierarchy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import MIB, SeriesTable, run_once, save_result
+from repro.core.oblivious.cost import ObliviousCostModel
+from repro.core.oblivious.store import ObliviousStore, ObliviousStoreConfig
+from repro.crypto.prng import Sha256Prng
+from repro.storage.device import Partition
+from repro.storage.disk import RawStorage, StorageGeometry
+from repro.storage.latency import ZeroLatencyModel
+
+BUFFER_SIZES_MIB = [8, 16, 32, 64, 128]
+LAST_LEVEL_BYTES = 1024 * MIB
+BLOCK_SIZE = 4096
+PAPER_HEIGHTS = {8: 7, 16: 6, 32: 5, 64: 4, 128: 3}
+PAPER_OVERHEADS = {8: 70, 16: 60, 32: 50, 64: 40, 128: 30}
+
+
+def run_experiment() -> SeriesTable:
+    table = SeriesTable(
+        name="Table 4: oblivious storage overhead factor vs buffer size",
+        columns=["buffer size (MB)", "height", "overhead factor", "paper height", "paper overhead"],
+    )
+    last_level_blocks = LAST_LEVEL_BYTES // BLOCK_SIZE
+    for buffer_mib in BUFFER_SIZES_MIB:
+        buffer_blocks = (buffer_mib * MIB) // BLOCK_SIZE
+        model = ObliviousCostModel(last_level_blocks=last_level_blocks, buffer_blocks=buffer_blocks)
+        table.add_row(
+            buffer_mib,
+            model.height,
+            round(model.total),
+            PAPER_HEIGHTS[buffer_mib],
+            PAPER_OVERHEADS[buffer_mib],
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_overhead_factor(benchmark):
+    table = run_once(benchmark, run_experiment)
+    save_result("table4_overhead_factor", table.render())
+
+    assert table.column("height") == table.column("paper height")
+    assert table.column("overhead factor") == table.column("paper overhead")
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_heights_match_constructed_hierarchy(benchmark):
+    """A scaled store (same N/B ratios) builds exactly the predicted number of levels."""
+
+    def construct_heights() -> list[int]:
+        heights = []
+        for buffer_mib in BUFFER_SIZES_MIB:
+            ratio = (1024 * MIB) // (buffer_mib * MIB)
+            buffer_blocks = 8
+            last_level_blocks = buffer_blocks * ratio
+            total_slots = 2 * last_level_blocks
+            storage = RawStorage(
+                StorageGeometry(block_size=512, num_blocks=total_slots), latency=ZeroLatencyModel()
+            )
+            store = ObliviousStore(
+                Partition(storage, 0, total_slots),
+                ObliviousStoreConfig(buffer_blocks=buffer_blocks, last_level_blocks=last_level_blocks),
+                Sha256Prng(f"t4-{buffer_mib}"),
+            )
+            heights.append(store.height)
+        return heights
+
+    heights = run_once(benchmark, construct_heights)
+    assert heights == [PAPER_HEIGHTS[m] for m in BUFFER_SIZES_MIB]

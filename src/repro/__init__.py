@@ -1,0 +1,133 @@
+"""repro: a reproduction of "Hiding Data Accesses in Steganographic File System".
+
+Zhou, Pang and Tan (ICDE 2004) extend a steganographic file system with
+two mechanisms that hide *data accesses*: an update-hiding agent that
+relocates blocks and mixes in dummy updates (defeating snapshot/update
+analysis), and a hierarchical oblivious storage that hides read traffic
+(defeating traffic analysis).  This package implements both mechanisms,
+the StegFS substrate they build on, the baselines and attackers of the
+paper's evaluation, and the workloads and benchmarks that regenerate the
+paper's tables and figures on a simulated block device.
+
+Quickstart
+----------
+>>> from repro import build_steghide_system
+>>> system = build_steghide_system(volume_mib=16, seed=7)
+>>> fak = system.new_fak()
+>>> handle = system.agent.create_file(fak, "/secret/report.txt", b"top secret")
+>>> system.agent.read_file(handle)
+b'top secret'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.agent import StegAgent, UpdateResult
+from repro.core.nonvolatile import NonVolatileAgent
+from repro.core.oblivious import (
+    ObliviousCostModel,
+    ObliviousReader,
+    ObliviousStore,
+    ObliviousStoreConfig,
+    oblivious_height,
+    overhead_factor,
+)
+from repro.core.volatile import VolatileAgent
+from repro.crypto import AES, CbcCipher, FastFieldCipher, FileAccessKey, KeyRing, Sha256Prng
+from repro.stegfs import StegFsVolume, VolumeConfig, create_dummy_file
+from repro.storage import (
+    DiskLatencyModel,
+    IoTrace,
+    Partition,
+    RawDevice,
+    RawStorage,
+    StorageGeometry,
+    ZeroLatencyModel,
+    diff_snapshots,
+    take_snapshot,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "StegAgent",
+    "UpdateResult",
+    "NonVolatileAgent",
+    "VolatileAgent",
+    "ObliviousStore",
+    "ObliviousStoreConfig",
+    "ObliviousReader",
+    "ObliviousCostModel",
+    "oblivious_height",
+    "overhead_factor",
+    "AES",
+    "CbcCipher",
+    "FastFieldCipher",
+    "FileAccessKey",
+    "KeyRing",
+    "Sha256Prng",
+    "StegFsVolume",
+    "VolumeConfig",
+    "create_dummy_file",
+    "RawStorage",
+    "RawDevice",
+    "Partition",
+    "StorageGeometry",
+    "DiskLatencyModel",
+    "ZeroLatencyModel",
+    "IoTrace",
+    "take_snapshot",
+    "diff_snapshots",
+    "SteghideSystem",
+    "build_steghide_system",
+    "build_nonvolatile_system",
+]
+
+
+@dataclass
+class SteghideSystem:
+    """A ready-to-use bundle of storage, volume and agent.
+
+    Produced by :func:`build_steghide_system` /
+    :func:`build_nonvolatile_system`; convenient for examples and quick
+    experiments that do not need to wire the pieces manually.
+    """
+
+    storage: RawStorage
+    volume: StegFsVolume
+    agent: StegAgent
+    prng: Sha256Prng
+
+    def new_fak(self, is_dummy: bool = False) -> FileAccessKey:
+        """Generate a fresh file access key from the system PRNG."""
+        return FileAccessKey.generate(self.prng.spawn(f"fak-{id(self)}-{self.prng.random()}"), is_dummy)
+
+
+def _build_storage(volume_mib: int, seed: int, block_size: int) -> RawStorage:
+    geometry = StorageGeometry.from_capacity(volume_mib * 1024 * 1024, block_size)
+    storage = RawStorage(geometry)
+    storage.fill_random(seed)
+    return storage
+
+
+def build_steghide_system(
+    volume_mib: int = 64, seed: int = 0, block_size: int = 4096
+) -> SteghideSystem:
+    """Build a volatile-agent (Construction 2, "StegHide") system."""
+    prng = Sha256Prng(seed)
+    storage = _build_storage(volume_mib, seed, block_size)
+    volume = StegFsVolume(RawDevice(storage), prng.spawn("volume"))
+    agent = VolatileAgent(volume, prng.spawn("agent"))
+    return SteghideSystem(storage=storage, volume=volume, agent=agent, prng=prng)
+
+
+def build_nonvolatile_system(
+    volume_mib: int = 64, seed: int = 0, block_size: int = 4096
+) -> SteghideSystem:
+    """Build a non-volatile-agent (Construction 1, "StegHide*") system."""
+    prng = Sha256Prng(seed)
+    storage = _build_storage(volume_mib, seed, block_size)
+    volume = StegFsVolume(RawDevice(storage), prng.spawn("volume"))
+    agent = NonVolatileAgent(volume, prng.spawn("agent"))
+    return SteghideSystem(storage=storage, volume=volume, agent=agent, prng=prng)

@@ -1,0 +1,25 @@
+"""Analysis helpers: analytic models, result series and table formatting.
+
+The benchmark harness produces the same rows and series the paper
+reports; this subpackage holds the shared pieces — the paper's analytic
+cost models (Sections 4.1.5 and 5.2), containers for swept results, and
+plain-text table/series rendering.
+"""
+
+from repro.analysis.models import (
+    expected_iterations,
+    expected_update_overhead,
+    update_overhead_curve,
+)
+from repro.analysis.series import SweepResult, SeriesTable
+from repro.analysis.tables import format_table, format_markdown_table
+
+__all__ = [
+    "expected_update_overhead",
+    "expected_iterations",
+    "update_overhead_curve",
+    "SweepResult",
+    "SeriesTable",
+    "format_table",
+    "format_markdown_table",
+]

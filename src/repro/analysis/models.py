@@ -1,0 +1,51 @@
+"""Analytic models stated in the paper.
+
+Section 4.1.5 derives the expected I/O overhead of the Figure-6 update
+algorithm: with ``N`` blocks of which ``D`` are dummies, the number of
+selection iterations is geometric with success probability ``p = D/N``,
+so the expected number of iterations — and hence the expected overhead
+over a conventional 2-I/O update — is ``E = N / D``.
+
+These helpers exist so the experiments can print model-vs-measured
+comparisons (benchmark E11) and so users of the library can size their
+volumes: keeping utilisation below 50% bounds the expected overhead at 2.
+"""
+
+from __future__ import annotations
+
+
+def expected_update_overhead(total_blocks: int, dummy_blocks: int) -> float:
+    """The paper's E = N / D expected update overhead."""
+    if total_blocks <= 0:
+        raise ValueError("total_blocks must be positive")
+    if dummy_blocks < 0 or dummy_blocks > total_blocks:
+        raise ValueError("dummy_blocks must be in [0, total_blocks]")
+    if dummy_blocks == 0:
+        return float("inf")
+    return total_blocks / dummy_blocks
+
+
+def expected_iterations(utilisation: float) -> float:
+    """Expected Figure-6 iterations at a given space utilisation.
+
+    Utilisation ``u`` means a fraction ``1 - u`` of blocks are dummies,
+    so the expectation is ``1 / (1 - u)``.
+    """
+    if not 0.0 <= utilisation < 1.0:
+        raise ValueError("utilisation must be in [0, 1)")
+    return 1.0 / (1.0 - utilisation)
+
+
+def update_overhead_curve(utilisations: list[float]) -> list[float]:
+    """Expected overhead at each utilisation value (the Figure 11(a) model curve)."""
+    return [expected_iterations(u) for u in utilisations]
+
+
+def conventional_update_ios() -> int:
+    """I/O operations of an update in a conventional file system (read + write)."""
+    return 2
+
+
+def steghide_expected_update_ios(utilisation: float) -> float:
+    """Expected device operations of one Figure-6 update at a given utilisation."""
+    return conventional_update_ios() * expected_iterations(utilisation)

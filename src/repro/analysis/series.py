@@ -1,0 +1,80 @@
+"""Containers for swept benchmark results.
+
+Every figure in the paper is a set of series over a swept parameter
+(file size, concurrency, utilisation, buffer size).  ``SweepResult``
+holds one such sweep — the x values plus one y-series per system — and
+renders itself in the same row/series layout the paper's figures use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import format_table
+
+
+@dataclass
+class SweepResult:
+    """One swept experiment: x values and one series of y values per system."""
+
+    name: str
+    x_label: str
+    y_label: str
+    x_values: list = field(default_factory=list)
+    series: dict[str, list[float]] = field(default_factory=dict)
+
+    def add_point(self, system: str, y_value: float) -> None:
+        """Append one measurement to a system's series."""
+        self.series.setdefault(system, []).append(y_value)
+
+    def series_for(self, system: str) -> list[float]:
+        """The full series of one system."""
+        return self.series[system]
+
+    def as_rows(self) -> list[list[str]]:
+        """Rows of the result table: one row per x value."""
+        rows = []
+        for index, x in enumerate(self.x_values):
+            row = [str(x)]
+            for system in self.series:
+                values = self.series[system]
+                row.append(f"{values[index]:.2f}" if index < len(values) else "-")
+            rows.append(row)
+        return rows
+
+    def render(self) -> str:
+        """Plain-text rendering in the paper's rows/series layout."""
+        header = [self.x_label] + list(self.series)
+        body = format_table(header, self.as_rows())
+        return f"{self.name}  (y = {self.y_label})\n{body}"
+
+    def ratio(self, system_a: str, system_b: str) -> list[float]:
+        """Point-wise ratio of two series (who wins, by what factor)."""
+        a = self.series[system_a]
+        b = self.series[system_b]
+        return [x / y if y else float("inf") for x, y in zip(a, b)]
+
+
+@dataclass
+class SeriesTable:
+    """A small named table (e.g. Table 4) with fixed columns."""
+
+    name: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(f"expected {len(self.columns)} values, got {len(values)}")
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list:
+        """All values of one column."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        """Plain-text rendering."""
+        rows = [[str(v) for v in row] for row in self.rows]
+        return f"{self.name}\n{format_table(self.columns, rows)}"

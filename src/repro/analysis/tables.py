@@ -1,0 +1,34 @@
+"""Plain-text and markdown table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+
+def _column_widths(header: list[str], rows: list[list[str]]) -> list[int]:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+    return widths
+
+
+def format_table(header: list[str], rows: list[list[str]]) -> str:
+    """Render an aligned plain-text table."""
+    widths = _column_widths(header, rows)
+    lines = []
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(header: list[str], rows: list[list[str]]) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    lines = ["| " + " | ".join(header) + " |"]
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Attacker models from Section 3.2.2.
+
+Two attacker classes are implemented, each restricted to the observables
+the paper grants them:
+
+* :class:`~repro.attacks.update_analysis.UpdateAnalysisAttacker` — can
+  repeatedly snapshot the raw storage and diff consecutive snapshots.
+* :class:`~repro.attacks.traffic_analysis.TrafficAnalysisAttacker` — can
+  observe the I/O requests between the agent and the storage.
+
+Both know the scheme completely but hold no keys, and both output a
+*verdict* (does hidden data activity exist?) together with the evidence
+that produced it, so the security experiments can score their success
+rate against ground truth.
+"""
+
+from repro.attacks.observer import SnapshotObserver, TraceObserver
+from repro.attacks.traffic_analysis import TrafficAnalysisAttacker, TrafficVerdict
+from repro.attacks.update_analysis import UpdateAnalysisAttacker, UpdateVerdict
+
+__all__ = [
+    "SnapshotObserver",
+    "TraceObserver",
+    "UpdateAnalysisAttacker",
+    "UpdateVerdict",
+    "TrafficAnalysisAttacker",
+    "TrafficVerdict",
+]

@@ -1,0 +1,56 @@
+"""Passive observers feeding the attackers.
+
+The observers collect exactly what the paper's attacker classes are
+allowed to see — snapshots of the raw bytes and the request trace —
+and nothing else (no keys, no agent state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.disk import RawStorage
+from repro.storage.snapshot import Snapshot, SnapshotDiff, diff_snapshots, take_snapshot
+from repro.storage.trace import IoEvent, IoTrace
+
+
+@dataclass
+class SnapshotObserver:
+    """Takes and stores periodic snapshots of the raw storage."""
+
+    storage: RawStorage
+    snapshots: list[Snapshot] = field(default_factory=list)
+
+    def observe(self, label: str = "") -> Snapshot:
+        """Take one snapshot now."""
+        snapshot = take_snapshot(self.storage, label)
+        self.snapshots.append(snapshot)
+        return snapshot
+
+    def diffs(self) -> list[SnapshotDiff]:
+        """Diffs between each pair of consecutive snapshots."""
+        return [
+            diff_snapshots(before, after)
+            for before, after in zip(self.snapshots, self.snapshots[1:])
+        ]
+
+    def changed_blocks_per_interval(self) -> list[set[int]]:
+        """The changed-block sets of each consecutive interval."""
+        return [set(diff.changed_blocks) for diff in self.diffs()]
+
+
+@dataclass
+class TraceObserver:
+    """Captures the I/O trace between two points in time."""
+
+    storage: RawStorage
+    _mark: int = 0
+
+    def start(self) -> None:
+        """Begin a capture window at the current end of the trace."""
+        self._mark = len(self.storage.trace)
+
+    def capture(self) -> IoTrace:
+        """Events recorded since :meth:`start`."""
+        events: list[IoEvent] = self.storage.trace.events[self._mark :]
+        return IoTrace(list(events))

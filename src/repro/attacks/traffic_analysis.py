@@ -1,0 +1,130 @@
+"""The traffic-analysis attacker (Section 3.1, second attack).
+
+The attacker sees the sequence of I/O requests between the agent and
+the raw storage (from the activity log or by trapping requests) and
+tries to decide whether the trace contains real data accesses hidden
+among the dummies.
+
+Signatures exploited against unprotected systems:
+
+* **sequential runs** — applications read files sequentially; a
+  conventional file system turns that into long runs of consecutive
+  block addresses, which never arise from uniform dummy traffic;
+* **repeated addresses** — hot blocks are read or written repeatedly at
+  the same physical address;
+* **distributional skew** — the accessed addresses cluster on the
+  blocks of the active files instead of covering the volume uniformly.
+
+Against the Figure-6 update path and the oblivious store, all three
+statistics collapse to their dummy-traffic baselines, which is exactly
+what the security benchmarks verify.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.security import distinguishing_advantage, uniformity_chi_square
+from repro.storage.trace import IoTrace
+
+
+@dataclass(frozen=True)
+class TrafficVerdict:
+    """What the traffic-analysis attacker concludes from one trace."""
+
+    sequential_run_fraction: float
+    max_repeat_count: int
+    uniformity_p_value: float
+    advantage_vs_reference: float
+    suspects_hidden_activity: bool
+
+
+class TrafficAnalysisAttacker:
+    """Decides, from the I/O request trace alone, whether real accesses are present."""
+
+    def __init__(
+        self,
+        num_blocks: int,
+        sequential_threshold: float = 0.2,
+        repeat_threshold: int = 4,
+        uniformity_alpha: float = 0.01,
+        advantage_threshold: float = 0.25,
+    ):
+        self.num_blocks = num_blocks
+        self.sequential_threshold = sequential_threshold
+        self.repeat_threshold = repeat_threshold
+        self.uniformity_alpha = uniformity_alpha
+        self.advantage_threshold = advantage_threshold
+
+    # -- statistics -----------------------------------------------------------------
+
+    @staticmethod
+    def sequential_run_fraction(indices: Sequence[int]) -> float:
+        """Fraction of consecutive request pairs that touch adjacent blocks."""
+        if len(indices) < 2:
+            return 0.0
+        sequential_pairs = sum(
+            1 for a, b in zip(indices, indices[1:]) if 0 <= b - a <= 1
+        )
+        return sequential_pairs / (len(indices) - 1)
+
+    @staticmethod
+    def max_repeat_count(indices: Sequence[int]) -> int:
+        """How often the most frequently accessed block was touched."""
+        if not indices:
+            return 0
+        return max(Counter(indices).values())
+
+    def positional_uniformity(self, indices: Sequence[int]) -> float:
+        """p-value of the accessed positions against uniformity."""
+        if not indices:
+            return 1.0
+        _, p_value = uniformity_chi_square(indices, self.num_blocks)
+        return p_value
+
+    def repeat_cutoff(self, trace_length: int) -> float:
+        """Repeat count above which a block counts as suspiciously hot.
+
+        Uniform traffic also produces repeats (birthday effect), so the
+        cutoff is the configured minimum plus a Poisson-tail allowance
+        for the observed trace length.
+        """
+        mean = trace_length / self.num_blocks if self.num_blocks else 0.0
+        return max(self.repeat_threshold, mean + 6.0 * (mean**0.5) + 3.0)
+
+    # -- verdicts ---------------------------------------------------------------------
+
+    def analyse(
+        self, trace: IoTrace, reference_dummy_trace: IoTrace | None = None
+    ) -> TrafficVerdict:
+        """Analyse one observed trace, optionally against a dummy-only reference.
+
+        The reference trace models the attacker's knowledge of what pure
+        dummy traffic looks like (they understand the scheme fully); the
+        advantage statistic measures how far the observed trace deviates
+        from it.
+        """
+        indices = trace.indices()
+        sequential = self.sequential_run_fraction(indices)
+        repeats = self.max_repeat_count(indices)
+        p_value = self.positional_uniformity(indices)
+        advantage = 0.0
+        if reference_dummy_trace is not None and len(reference_dummy_trace) > 0 and indices:
+            advantage = distinguishing_advantage(
+                indices, reference_dummy_trace.indices(), self.num_blocks
+            )
+        suspects = (
+            sequential > self.sequential_threshold
+            or repeats > self.repeat_cutoff(len(indices))
+            or p_value < self.uniformity_alpha
+            or advantage > self.advantage_threshold
+        )
+        return TrafficVerdict(
+            sequential_run_fraction=sequential,
+            max_repeat_count=repeats,
+            uniformity_p_value=p_value,
+            advantage_vs_reference=advantage,
+            suspects_hidden_activity=suspects,
+        )

@@ -1,0 +1,31 @@
+"""Baseline file systems used in the paper's evaluation (Table 3).
+
+* ``CleanDisk`` — a fresh conventional file system whose files occupy
+  contiguous blocks, so single-stream reads and range updates enjoy
+  sequential I/O.
+* ``FragDisk`` — a well-used conventional file system whose files are
+  fragmented; the paper simulates it "by breaking each file into
+  fragments of 8 blocks".
+* ``StegFS`` — the authors' earlier steganographic file system (ref
+  [12]), i.e. :class:`repro.stegfs.StegFsVolume` driven without the
+  update-hiding agent: blocks are scattered randomly but updates happen
+  in place.
+
+All three implement the same :class:`FileSystemInterface` as the
+StegHide agents, so the benchmark harness can sweep over them uniformly.
+"""
+
+from repro.baselines.interface import BaselineFile, FileSystemAdapter
+from repro.baselines.cleandisk import CleanDiskFileSystem
+from repro.baselines.fragdisk import FragDiskFileSystem
+from repro.baselines.plainstegfs import PlainStegFsAdapter
+from repro.baselines.steghide import StegHideAdapter
+
+__all__ = [
+    "BaselineFile",
+    "FileSystemAdapter",
+    "CleanDiskFileSystem",
+    "FragDiskFileSystem",
+    "PlainStegFsAdapter",
+    "StegHideAdapter",
+]

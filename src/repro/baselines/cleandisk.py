@@ -1,0 +1,74 @@
+"""CleanDisk: a fresh conventional file system with contiguous allocation.
+
+Table 3: "CleanDisk — a fresh Linux file system", "whose files reside on
+contiguous data blocks."  Files are laid out in a single extent, so a
+single-stream read or a multi-block update proceeds sequentially and the
+latency model charges (almost) only transfer time.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.interface import BaselineFile, FileSystemAdapter
+from repro.errors import VolumeFullError
+from repro.storage.disk import RawStorage
+
+
+class CleanDiskFileSystem(FileSystemAdapter):
+    """Conventional file system with contiguous (extent) allocation."""
+
+    label = "CleanDisk"
+
+    def __init__(self, storage: RawStorage):
+        super().__init__(storage)
+        self._next_free = 0
+        self._files: dict[str, list[int]] = {}
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.storage.geometry.block_size
+
+    @property
+    def utilisation(self) -> float:
+        return self._next_free / self.storage.geometry.num_blocks
+
+    def _allocate_extent(self, num_blocks: int) -> list[int]:
+        if self._next_free + num_blocks > self.storage.geometry.num_blocks:
+            raise VolumeFullError(
+                f"extent of {num_blocks} blocks does not fit "
+                f"(next free {self._next_free} of {self.storage.geometry.num_blocks})"
+            )
+        extent = list(range(self._next_free, self._next_free + num_blocks))
+        self._next_free += num_blocks
+        return extent
+
+    def create_file(self, name: str, content: bytes, stream: str = "default") -> BaselineFile:
+        payloads = self.split_payloads(content)
+        blocks = self._allocate_extent(len(payloads))
+        for index, payload in zip(blocks, payloads):
+            padded = payload + b"\x00" * (self.payload_bytes - len(payload))
+            self.storage.write_block(index, padded, stream)
+        self._files[name] = blocks
+        return BaselineFile(
+            name=name, size_bytes=len(content), num_blocks=len(blocks), native_handle=blocks
+        )
+
+    def read_file(self, handle: BaselineFile, stream: str = "default") -> bytes:
+        pieces = [self.storage.read_block(index, stream) for index in handle.native_handle]
+        return b"".join(pieces)[: handle.size_bytes]
+
+    def read_block(self, handle: BaselineFile, logical_index: int, stream: str = "default") -> bytes:
+        return self.storage.read_block(handle.native_handle[logical_index], stream)
+
+    def update_blocks(
+        self,
+        handle: BaselineFile,
+        start_logical: int,
+        payloads: list[bytes],
+        stream: str = "default",
+    ) -> None:
+        blocks: list[int] = handle.native_handle
+        for offset, payload in enumerate(payloads):
+            index = blocks[start_logical + offset]
+            self.storage.read_block(index, stream)
+            padded = payload + b"\x00" * (self.payload_bytes - len(payload))
+            self.storage.write_block(index, padded, stream)

@@ -1,0 +1,98 @@
+"""FragDisk: a well-used, fragmented conventional file system.
+
+Section 6.2: "FragDisk is a well used file system whose storage are
+fragmented, and we simulate it by breaking each file into fragments of
+8 blocks."  Within a fragment the blocks are contiguous; successive
+fragments land at scattered positions, so a full-file read alternates
+short sequential bursts with seeks.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.interface import BaselineFile, FileSystemAdapter
+from repro.crypto.prng import Sha256Prng
+from repro.errors import VolumeFullError
+from repro.storage.bitmap import Bitmap
+from repro.storage.disk import RawStorage
+
+FRAGMENT_BLOCKS = 8
+
+
+class FragDiskFileSystem(FileSystemAdapter):
+    """Conventional file system fragmented into 8-block extents."""
+
+    label = "FragDisk"
+
+    def __init__(self, storage: RawStorage, prng: Sha256Prng, fragment_blocks: int = FRAGMENT_BLOCKS):
+        super().__init__(storage)
+        if fragment_blocks <= 0:
+            raise ValueError("fragment_blocks must be positive")
+        self._prng = prng
+        self._fragment_blocks = fragment_blocks
+        self._bitmap = Bitmap(storage.geometry.num_blocks)
+        self._files: dict[str, list[int]] = {}
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.storage.geometry.block_size
+
+    @property
+    def utilisation(self) -> float:
+        return self._bitmap.set_count / self.storage.geometry.num_blocks
+
+    def _allocate_fragment(self, length: int) -> list[int]:
+        """Allocate ``length`` contiguous blocks at a pseudo-random position."""
+        num_blocks = self.storage.geometry.num_blocks
+        aligned_slots = num_blocks // self._fragment_blocks
+        for _ in range(4096):
+            start = self._prng.randrange(aligned_slots) * self._fragment_blocks
+            candidate = list(range(start, start + length))
+            if all(not self._bitmap.get(i) for i in candidate):
+                for i in candidate:
+                    self._bitmap.set(i)
+                return candidate
+        # Fall back to a linear scan of fragment-aligned starts.
+        for start in range(0, num_blocks - length + 1, self._fragment_blocks):
+            candidate = list(range(start, start + length))
+            if all(not self._bitmap.get(i) for i in candidate):
+                for i in candidate:
+                    self._bitmap.set(i)
+                return candidate
+        raise VolumeFullError("no free fragment large enough")
+
+    def create_file(self, name: str, content: bytes, stream: str = "default") -> BaselineFile:
+        payloads = self.split_payloads(content)
+        blocks: list[int] = []
+        remaining = len(payloads)
+        while remaining > 0:
+            length = min(self._fragment_blocks, remaining)
+            blocks.extend(self._allocate_fragment(length))
+            remaining -= length
+        for index, payload in zip(blocks, payloads):
+            padded = payload + b"\x00" * (self.payload_bytes - len(payload))
+            self.storage.write_block(index, padded, stream)
+        self._files[name] = blocks
+        return BaselineFile(
+            name=name, size_bytes=len(content), num_blocks=len(blocks), native_handle=blocks
+        )
+
+    def read_file(self, handle: BaselineFile, stream: str = "default") -> bytes:
+        pieces = [self.storage.read_block(index, stream) for index in handle.native_handle]
+        return b"".join(pieces)[: handle.size_bytes]
+
+    def read_block(self, handle: BaselineFile, logical_index: int, stream: str = "default") -> bytes:
+        return self.storage.read_block(handle.native_handle[logical_index], stream)
+
+    def update_blocks(
+        self,
+        handle: BaselineFile,
+        start_logical: int,
+        payloads: list[bytes],
+        stream: str = "default",
+    ) -> None:
+        blocks: list[int] = handle.native_handle
+        for offset, payload in enumerate(payloads):
+            index = blocks[start_logical + offset]
+            self.storage.read_block(index, stream)
+            padded = payload + b"\x00" * (self.payload_bytes - len(payload))
+            self.storage.write_block(index, padded, stream)

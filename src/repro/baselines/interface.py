@@ -1,0 +1,79 @@
+"""Common interface the benchmark harness drives all file systems through.
+
+The paper's evaluation compares five systems (Table 3): StegHide,
+StegHide*, StegFS, FragDisk and CleanDisk.  Each is wrapped in a
+:class:`FileSystemAdapter` exposing the three operations the workloads
+need — create a file, read a file, update a run of blocks — so that the
+same experiment code can sweep over all of them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+from repro.storage.disk import RawStorage
+
+
+@dataclass
+class BaselineFile:
+    """A generic handle on a stored file, opaque to the harness."""
+
+    name: str
+    size_bytes: int
+    num_blocks: int
+    native_handle: Any
+
+
+class FileSystemAdapter(ABC):
+    """Uniform facade over one of the five evaluated file systems."""
+
+    #: Human-readable name matching the paper's Table 3 labels.
+    label: str = "abstract"
+
+    def __init__(self, storage: RawStorage):
+        self.storage = storage
+
+    @property
+    @abstractmethod
+    def payload_bytes(self) -> int:
+        """Usable bytes per block for file content."""
+
+    @abstractmethod
+    def create_file(self, name: str, content: bytes, stream: str = "default") -> BaselineFile:
+        """Store ``content`` as a new file."""
+
+    @abstractmethod
+    def read_file(self, handle: BaselineFile, stream: str = "default") -> bytes:
+        """Read a whole file back."""
+
+    @abstractmethod
+    def read_block(self, handle: BaselineFile, logical_index: int, stream: str = "default") -> bytes:
+        """Read one logical block of a file (the unit the simulator interleaves at)."""
+
+    @abstractmethod
+    def update_blocks(
+        self,
+        handle: BaselineFile,
+        start_logical: int,
+        payloads: list[bytes],
+        stream: str = "default",
+    ) -> None:
+        """Update ``len(payloads)`` consecutive logical blocks starting at ``start_logical``."""
+
+    # -- shared helpers -------------------------------------------------------------
+
+    def blocks_for(self, size_bytes: int) -> int:
+        """Number of blocks a file of ``size_bytes`` occupies."""
+        return -(-size_bytes // self.payload_bytes)
+
+    def split_payloads(self, content: bytes) -> list[bytes]:
+        """Split content into per-block payloads."""
+        step = self.payload_bytes
+        return [content[i : i + step] for i in range(0, len(content), step)]
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of the volume in use (adapters override when meaningful)."""
+        return 0.0

@@ -1,0 +1,64 @@
+"""StegFS baseline: the authors' earlier steganographic file system (ref [12]).
+
+Blocks of hidden files are scattered uniformly across the volume — so
+retrieval behaves exactly like the StegHide systems — but updates are
+performed *in place*, which is precisely the behaviour the paper's
+update-analysis attacker exploits.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.interface import BaselineFile, FileSystemAdapter
+from repro.crypto.keys import FileAccessKey
+from repro.crypto.prng import Sha256Prng
+from repro.stegfs.filesystem import StegFsVolume
+from repro.storage.disk import RawStorage
+
+
+class PlainStegFsAdapter(FileSystemAdapter):
+    """The former StegFS of [12], without update or traffic hiding."""
+
+    label = "StegFS"
+
+    def __init__(self, storage: RawStorage, volume: StegFsVolume, prng: Sha256Prng):
+        super().__init__(storage)
+        self.volume = volume
+        self._prng = prng
+        self._handles: dict[str, object] = {}
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.volume.data_field_bytes
+
+    @property
+    def utilisation(self) -> float:
+        return self.volume.utilisation
+
+    def create_file(self, name: str, content: bytes, stream: str = "default") -> BaselineFile:
+        fak = FileAccessKey.generate(self._prng.spawn(f"fak:{name}"))
+        handle = self.volume.create_file(fak, name, content, stream=stream)
+        self._handles[name] = handle
+        return BaselineFile(
+            name=name,
+            size_bytes=len(content),
+            num_blocks=handle.num_blocks,
+            native_handle=handle,
+        )
+
+    def read_file(self, handle: BaselineFile, stream: str = "default") -> bytes:
+        return self.volume.read_file(handle.native_handle, stream)
+
+    def read_block(self, handle: BaselineFile, logical_index: int, stream: str = "default") -> bytes:
+        return self.volume.read_block(handle.native_handle, logical_index, stream)
+
+    def update_blocks(
+        self,
+        handle: BaselineFile,
+        start_logical: int,
+        payloads: list[bytes],
+        stream: str = "default",
+    ) -> None:
+        for offset, payload in enumerate(payloads):
+            self.volume.write_block_in_place(
+                handle.native_handle, start_logical + offset, payload, stream
+            )

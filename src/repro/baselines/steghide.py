@@ -1,0 +1,65 @@
+"""Adapters presenting the StegHide agents through the baseline interface.
+
+``StegHideAdapter`` wraps either construction so the benchmark harness
+can sweep StegHide (volatile agent) and StegHide* (non-volatile agent)
+alongside the baselines.  The adapter routes updates through the
+Figure-6 algorithm and reads through the plain StegFS retrieval path,
+matching what the paper measures in Figures 10 and 11.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.interface import BaselineFile, FileSystemAdapter
+from repro.core.agent import StegAgent
+from repro.crypto.keys import FileAccessKey
+from repro.crypto.prng import Sha256Prng
+from repro.storage.disk import RawStorage
+
+
+class StegHideAdapter(FileSystemAdapter):
+    """StegHide / StegHide* seen through the uniform benchmark interface."""
+
+    def __init__(self, storage: RawStorage, agent: StegAgent, prng: Sha256Prng, label: str):
+        super().__init__(storage)
+        self.agent = agent
+        self._prng = prng
+        self.label = label
+        self._faks: dict[str, FileAccessKey] = {}
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.agent.volume.data_field_bytes
+
+    @property
+    def utilisation(self) -> float:
+        return self.agent.volume.utilisation
+
+    def create_file(self, name: str, content: bytes, stream: str = "default") -> BaselineFile:
+        fak = FileAccessKey.generate(self._prng.spawn(f"fak:{name}"))
+        self._faks[name] = fak
+        handle = self.agent.create_file(fak, name, content, stream)
+        return BaselineFile(
+            name=name,
+            size_bytes=len(content),
+            num_blocks=handle.num_blocks,
+            native_handle=handle,
+        )
+
+    def read_file(self, handle: BaselineFile, stream: str = "default") -> bytes:
+        return self.agent.read_file(handle.native_handle, stream)
+
+    def read_block(self, handle: BaselineFile, logical_index: int, stream: str = "default") -> bytes:
+        return self.agent.read_block(handle.native_handle, logical_index, stream)
+
+    def update_blocks(
+        self,
+        handle: BaselineFile,
+        start_logical: int,
+        payloads: list[bytes],
+        stream: str = "default",
+    ) -> None:
+        self.agent.update_range(handle.native_handle, start_logical, payloads, stream)
+
+    def fak_of(self, name: str) -> FileAccessKey:
+        """The FAK generated for a file created through this adapter."""
+        return self._faks[name]

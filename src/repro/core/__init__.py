@@ -1,0 +1,41 @@
+"""The paper's primary contribution: access-hiding agents and oblivious storage.
+
+* :mod:`repro.core.agent` — the shared agent machinery, including the
+  Figure-6 update algorithm that relocates a data block on every update
+  and the dummy-update primitive.
+* :mod:`repro.core.nonvolatile` — Construction 1 ("StegHide*"): the
+  agent keeps a master encryption key and the dummy file's FAK in
+  non-volatile memory.
+* :mod:`repro.core.volatile` — Construction 2 ("StegHide"): no secrets
+  persist in the agent; users disclose FAKs at login.
+* :mod:`repro.core.oblivious` — the hierarchical oblivious storage that
+  hides read traffic (Section 5).
+* :mod:`repro.core.security` — the Definition-1 security notion and the
+  distribution-similarity measures used to test it.
+"""
+
+from repro.core.agent import StegAgent, UpdateResult
+from repro.core.nonvolatile import NonVolatileAgent
+from repro.core.volatile import VolatileAgent
+from repro.core.security import (
+    access_distribution,
+    kl_divergence,
+    total_variation_distance,
+    uniformity_chi_square,
+)
+from repro.core.oblivious import ObliviousStore, ObliviousStoreConfig, oblivious_height, overhead_factor
+
+__all__ = [
+    "StegAgent",
+    "UpdateResult",
+    "NonVolatileAgent",
+    "VolatileAgent",
+    "ObliviousStore",
+    "ObliviousStoreConfig",
+    "oblivious_height",
+    "overhead_factor",
+    "access_distribution",
+    "total_variation_distance",
+    "kl_divergence",
+    "uniformity_chi_square",
+]

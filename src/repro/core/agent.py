@@ -1,0 +1,260 @@
+"""Shared agent machinery for the two update-hiding constructions.
+
+The agent sits between the users and the raw storage (Figure 3).  Both
+constructions hide data updates the same way (Section 4.1.3–4.1.4):
+
+* **Dummy updates** — when idle, the agent picks a uniformly random
+  block, decrypts it, assigns a fresh IV, re-encrypts and writes it
+  back.  Content is unchanged; every ciphertext byte changes.
+* **Data updates (Figure 6)** — to update block ``B1`` the agent keeps
+  drawing uniformly random blocks ``B2``:
+
+  - if ``B2 == B1`` the update happens in place;
+  - if ``B2`` is a dummy block, the new data is written at ``B2`` and
+    ``B1`` becomes a dummy block (the file header is re-pointed);
+  - otherwise ``B2`` gets a dummy update and the draw repeats.
+
+  Every draw costs one read and one write, so the expected I/O overhead
+  over a conventional update is ``E = N / D`` (Section 4.1.5).
+
+The two constructions differ only in key custody and in which blocks the
+agent may touch; those policy decisions are the abstract methods here.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.crypto.keys import FileAccessKey
+from repro.crypto.prng import Sha256Prng
+from repro.errors import UnknownFileError
+from repro.stegfs.file import HiddenFile
+from repro.stegfs.filesystem import StegFsVolume
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """Outcome of one Figure-6 data update."""
+
+    iterations: int
+    reads: int
+    writes: int
+    moved_from: int
+    moved_to: int
+
+    @property
+    def relocated(self) -> bool:
+        """Whether the block ended up at a new physical location."""
+        return self.moved_from != self.moved_to
+
+    @property
+    def io_operations(self) -> int:
+        """Total device operations the update needed."""
+        return self.reads + self.writes
+
+
+class StegAgent(ABC):
+    """Base class for the update-hiding agents (Constructions 1 and 2)."""
+
+    def __init__(self, volume: StegFsVolume, prng: Sha256Prng):
+        self.volume = volume
+        self._prng = prng.spawn("agent")
+        # physical block index -> (owning handle, role) for every block the
+        # agent currently knows about; role is "data" or "header".
+        self._block_owner: dict[int, tuple[HiddenFile, str]] = {}
+
+    # -- policy hooks implemented by the constructions -------------------------
+
+    @abstractmethod
+    def header_key_for(self, fak: FileAccessKey) -> bytes:
+        """Key used to encrypt header blocks of a file opened with ``fak``."""
+
+    @abstractmethod
+    def content_key_for(self, fak: FileAccessKey) -> bytes:
+        """Key used to encrypt data blocks of a file opened with ``fak``."""
+
+    @abstractmethod
+    def select_random_block(self) -> int:
+        """Draw a uniformly random block from the agent's selection space.
+
+        Construction 1 draws over the whole volume; Construction 2 draws
+        over the blocks of the files disclosed to it.
+        """
+
+    @abstractmethod
+    def is_dummy_block(self, index: int) -> bool:
+        """Whether ``index`` currently holds no useful data."""
+
+    @abstractmethod
+    def key_for_block(self, index: int) -> bytes:
+        """Key under which block ``index`` is encrypted (for dummy updates)."""
+
+    @abstractmethod
+    def claim_dummy_block(self, new_data_block: int, released_block: int) -> None:
+        """Account for a Figure-6 swap.
+
+        ``new_data_block`` stops being a dummy block (it now holds the
+        updated data); ``released_block`` becomes a dummy block.
+        """
+
+    # -- block ownership bookkeeping ----------------------------------------------
+
+    def _track_block(self, index: int, handle: HiddenFile, role: str) -> None:
+        """Record that ``index`` belongs to ``handle`` (subclasses may extend)."""
+        self._block_owner[index] = (handle, role)
+
+    def _untrack_block(self, index: int) -> None:
+        """Forget the ownership of ``index`` (subclasses may extend)."""
+        self._block_owner.pop(index, None)
+
+    def _register_handle(self, handle: HiddenFile) -> None:
+        for index in handle.header.block_pointers:
+            self._track_block(index, handle, "data")
+        for index in handle.header.header_blocks:
+            self._track_block(index, handle, "header")
+
+    def _unregister_handle(self, handle: HiddenFile) -> None:
+        for index in list(self._block_owner):
+            owner, _ = self._block_owner[index]
+            if owner is handle:
+                self._untrack_block(index)
+
+    def owner_of(self, index: int) -> tuple[HiddenFile, str] | None:
+        """The handle owning a block the agent knows about, if any."""
+        return self._block_owner.get(index)
+
+    @property
+    def known_blocks(self) -> set[int]:
+        """All physical blocks of files the agent currently has open."""
+        return set(self._block_owner)
+
+    # -- file lifecycle -------------------------------------------------------------
+
+    def create_file(
+        self, fak: FileAccessKey, path: str, content: bytes, stream: str = "default"
+    ) -> HiddenFile:
+        """Create a hidden file under this construction's key policy."""
+        handle = self.volume.create_file(
+            fak,
+            path,
+            content,
+            header_key=self.header_key_for(fak),
+            content_key=self.content_key_for(fak),
+            is_dummy=fak.is_dummy,
+            stream=stream,
+        )
+        self._register_handle(handle)
+        return handle
+
+    def open_file(self, fak: FileAccessKey, path: str, stream: str = "default") -> HiddenFile:
+        """Open an existing hidden file under this construction's key policy."""
+        handle = self.volume.open_file(
+            fak,
+            path,
+            header_key=self.header_key_for(fak),
+            content_key=self.content_key_for(fak),
+            stream=stream,
+        )
+        self._register_handle(handle)
+        return handle
+
+    def read_file(self, handle: HiddenFile, stream: str = "default") -> bytes:
+        """Read a whole hidden file."""
+        return self.volume.read_file(handle, stream)
+
+    def read_block(self, handle: HiddenFile, logical_index: int, stream: str = "default") -> bytes:
+        """Read one logical block of a hidden file."""
+        return self.volume.read_block(handle, logical_index, stream)
+
+    def save_file(self, handle: HiddenFile, stream: str = "default") -> None:
+        """Flush the cached header chain of an open file to the device."""
+        self.volume.save_header(handle, stream)
+        self._register_handle(handle)
+
+    def close_file(self, handle: HiddenFile, stream: str = "default") -> None:
+        """Save (if dirty) and forget an open file."""
+        if handle.dirty:
+            self.save_file(handle, stream)
+        self._unregister_handle(handle)
+
+    # -- the hiding primitives --------------------------------------------------------
+
+    def dummy_update(self, stream: str = "dummy") -> int:
+        """Perform one dummy update on a uniformly random block.
+
+        Returns the index of the block touched.  Cost: one read and one
+        write, exactly like each iteration of a real update.
+        """
+        index = self.select_random_block()
+        self.volume.rewrite_with_new_iv(index, self.key_for_block(index), stream)
+        return index
+
+    def update_block(
+        self,
+        handle: HiddenFile,
+        logical_index: int,
+        payload: bytes,
+        stream: str = "default",
+    ) -> UpdateResult:
+        """Update one logical block of a file using the Figure-6 algorithm."""
+        if self.owner_of(handle.header.physical_block(logical_index)) is None:
+            raise UnknownFileError(
+                "the agent does not hold keys for the file being updated"
+            )
+        b1 = handle.header.physical_block(logical_index)
+        content_key = handle.content_key
+        iterations = 0
+        reads = 0
+        writes = 0
+
+        while True:
+            iterations += 1
+            b2 = self.select_random_block()
+
+            if b2 == b1:
+                # Update in place: read-modify-write at the same location.
+                self.volume.device.read_block(b1, stream)
+                reads += 1
+                self.volume.write_payload(b1, content_key, payload, stream)
+                writes += 1
+                return UpdateResult(iterations, reads, writes, moved_from=b1, moved_to=b1)
+
+            if self.is_dummy_block(b2):
+                # Swap: the data moves to B2, B1 becomes a dummy block.
+                self.volume.device.read_block(b1, stream)
+                reads += 1
+                self.volume.write_payload(b2, content_key, payload, stream)
+                writes += 1
+                handle.header.relocate(logical_index, b2)
+                handle.mark_dirty()
+                self.volume.allocator.transfer(b1, b2)
+                # Ownership hand-over: B1 leaves the data file, the dummy pool
+                # absorbs it (claim_dummy_block sees B2 still owned by its
+                # dummy file at this point), then B2 joins the data file.
+                self._untrack_block(b1)
+                self.claim_dummy_block(new_data_block=b2, released_block=b1)
+                self._track_block(b2, handle, "data")
+                return UpdateResult(iterations, reads, writes, moved_from=b1, moved_to=b2)
+
+            # B2 is another data block: give it a dummy update and try again.
+            self.volume.rewrite_with_new_iv(b2, self.key_for_block(b2), stream)
+            reads += 1
+            writes += 1
+
+    def update_range(
+        self,
+        handle: HiddenFile,
+        start_logical: int,
+        payloads: list[bytes],
+        stream: str = "default",
+    ) -> list[UpdateResult]:
+        """Update a run of consecutive logical blocks (the Figure 11(b) workload)."""
+        results = []
+        for offset, payload in enumerate(payloads):
+            results.append(self.update_block(handle, start_logical + offset, payload, stream))
+        return results
+
+    def idle(self, num_dummy_updates: int, stream: str = "dummy") -> list[int]:
+        """Run a burst of dummy updates, as the agent does when no requests arrive."""
+        return [self.dummy_update(stream) for _ in range(num_dummy_updates)]

@@ -1,0 +1,82 @@
+"""Construction 1: the non-volatile agent ("StegHide*", Section 4.1).
+
+The agent runs in a safe environment and keeps two secrets in
+non-volatile memory: the FAK of the single dummy file that owns every
+dummy block, and the master key under which *all* storage blocks are
+encrypted.  Because the agent holds the master key it can decrypt and
+re-encrypt any block in the volume, so its random-selection space for
+dummy updates and for the Figure-6 algorithm is the entire volume.
+
+The cost of this convenience is the paper's stated drawback: the system
+administrator could be coerced into disclosing the hidden data, which is
+what Construction 2 removes.
+"""
+
+from __future__ import annotations
+
+from repro.core.agent import StegAgent
+from repro.crypto.keys import KEY_SIZE, FileAccessKey
+from repro.crypto.prng import Sha256Prng
+from repro.stegfs.filesystem import StegFsVolume
+
+
+class NonVolatileAgent(StegAgent):
+    """The non-volatile agent of Construction 1.
+
+    Parameters
+    ----------
+    volume:
+        The StegFS volume the agent manages.
+    prng:
+        Source of randomness for block selection and IVs.
+    master_key:
+        The agent's persistent encryption key; generated when omitted.
+    """
+
+    def __init__(
+        self,
+        volume: StegFsVolume,
+        prng: Sha256Prng,
+        master_key: bytes | None = None,
+    ):
+        super().__init__(volume, prng)
+        key_prng = prng.spawn("nonvolatile-keys")
+        self.master_key = master_key if master_key is not None else key_prng.random_bytes(KEY_SIZE)
+        # The single dummy file covering every dummy block.  Its FAK is a
+        # persistent secret of the agent; the dummy blocks themselves are
+        # simply every block the allocation table marks as free, so the
+        # dummy file's pointer list is implicit rather than materialised.
+        self.dummy_file_fak = FileAccessKey.generate(key_prng.spawn("dummy-fak"), is_dummy=True)
+
+    # -- key policy: one master key for everything -----------------------------------
+
+    def header_key_for(self, fak: FileAccessKey) -> bytes:
+        return self.master_key
+
+    def content_key_for(self, fak: FileAccessKey) -> bytes:
+        return self.master_key
+
+    def key_for_block(self, index: int) -> bytes:
+        return self.master_key
+
+    # -- selection space: the whole volume ----------------------------------------------
+
+    def select_random_block(self) -> int:
+        return self._prng.randrange(self.volume.num_blocks)
+
+    def is_dummy_block(self, index: int) -> bool:
+        return not self.volume.allocator.is_allocated(index)
+
+    def claim_dummy_block(self, new_data_block: int, released_block: int) -> None:
+        # Dummy membership is implicit in the allocation table, which the
+        # shared update path has already adjusted; nothing else to track.
+        return None
+
+    # -- analytic overhead ---------------------------------------------------------------
+
+    def expected_update_overhead(self) -> float:
+        """The paper's E = N / D expected I/O overhead at current utilisation."""
+        free = self.volume.allocator.free_blocks
+        if free == 0:
+            return float("inf")
+        return self.volume.num_blocks / free

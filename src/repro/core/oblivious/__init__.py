@@ -1,0 +1,39 @@
+"""Oblivious storage: the traffic-analysis countermeasure (Section 5).
+
+The oblivious storage is a hierarchy of levels carved out of the raw
+storage (Figure 7).  Level 1 is twice the agent's buffer; every level
+doubles until the last level can hold all cacheable blocks.  A read
+touches one block in *every* level (the real one where it is found,
+random ones elsewhere), and full levels are periodically dumped into the
+next level and re-shuffled with an external merge sort, so no slot is
+read twice between shuffles and the observable access pattern is
+independent of the requests (Figure 8).
+"""
+
+from repro.core.oblivious.cost import (
+    ObliviousCostModel,
+    oblivious_height,
+    overhead_factor,
+    retrieval_overhead,
+    sorting_overhead,
+)
+from repro.core.oblivious.hashindex import LevelHashIndex
+from repro.core.oblivious.level import Level
+from repro.core.oblivious.mergesort import external_merge_sort_passes
+from repro.core.oblivious.reader import ObliviousReader
+from repro.core.oblivious.store import ObliviousStore, ObliviousStoreConfig, ObliviousStoreStats
+
+__all__ = [
+    "ObliviousCostModel",
+    "oblivious_height",
+    "overhead_factor",
+    "retrieval_overhead",
+    "sorting_overhead",
+    "LevelHashIndex",
+    "Level",
+    "external_merge_sort_passes",
+    "ObliviousReader",
+    "ObliviousStore",
+    "ObliviousStoreConfig",
+    "ObliviousStoreStats",
+]

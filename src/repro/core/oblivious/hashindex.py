@@ -1,0 +1,69 @@
+"""Per-level salted hash index.
+
+Section 5.1.2: "A secondary hash index is built for each level for
+locating its data blocks. ... Each hash index has to be rebuilt whenever
+the corresponding level is re-ordered.  The key for the hash index is
+composed of the block's logical address and a random number generated
+when the hash index is rebuilt.  Therefore, attackers could not detect
+anything from the accesses to the indices."
+
+The index maps a *salted digest* of the logical block address to the
+slot holding the block, so even an observer who saw the index contents
+could not map entries back to logical addresses without the salt.  The
+agent keeps the index in memory (the paper allows this when it fits).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.crypto.prng import Sha256Prng
+
+
+class LevelHashIndex:
+    """Salted logical-address → slot index for one level of the oblivious store."""
+
+    def __init__(self, prng: Sha256Prng):
+        self._prng = prng
+        self._salt = prng.random_bytes(16)
+        self._entries: dict[bytes, int] = {}
+        self._logical_ids: set[int] = set()
+
+    def _digest(self, logical_id: int) -> bytes:
+        return hashlib.sha256(self._salt + logical_id.to_bytes(8, "big")).digest()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, logical_id: int) -> bool:
+        return logical_id in self._logical_ids
+
+    def lookup(self, logical_id: int) -> int | None:
+        """Slot of ``logical_id`` in this level, or None."""
+        return self._entries.get(self._digest(logical_id))
+
+    def insert(self, logical_id: int, slot: int) -> None:
+        """Record that ``logical_id`` lives at ``slot``."""
+        self._entries[self._digest(logical_id)] = slot
+        self._logical_ids.add(logical_id)
+
+    def remove(self, logical_id: int) -> None:
+        """Forget ``logical_id`` (used when a stale copy is superseded)."""
+        self._entries.pop(self._digest(logical_id), None)
+        self._logical_ids.discard(logical_id)
+
+    def logical_ids(self) -> set[int]:
+        """All logical ids currently indexed."""
+        return set(self._logical_ids)
+
+    def rebuild(self, placements: dict[int, int]) -> None:
+        """Rebuild the index with a fresh salt after the level is re-ordered."""
+        self._salt = self._prng.random_bytes(16)
+        self._entries = {}
+        self._logical_ids = set()
+        for logical_id, slot in placements.items():
+            self.insert(logical_id, slot)
+
+    def clear(self) -> None:
+        """Empty the index (the level was dumped into the next one)."""
+        self.rebuild({})

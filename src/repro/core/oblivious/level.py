@@ -1,0 +1,99 @@
+"""One level of the oblivious-storage hierarchy.
+
+A level owns a contiguous range of slots on the oblivious partition,
+its own encryption key (re-drawn at every shuffle), and a salted hash
+index locating the blocks it currently holds.  Level 1 is twice the
+agent's buffer; each subsequent level doubles (Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.oblivious.hashindex import LevelHashIndex
+from repro.crypto.prng import Sha256Prng
+from repro.errors import LevelFullError
+
+
+@dataclass
+class Level:
+    """Bookkeeping for one level (the block bytes live on the device)."""
+
+    number: int
+    capacity: int
+    first_slot: int
+    index: LevelHashIndex
+    key: bytes
+    shuffles: int = 0
+    _placements: dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def create(
+        cls, number: int, capacity: int, first_slot: int, prng: Sha256Prng
+    ) -> "Level":
+        """Build an empty level with a fresh key and index."""
+        return cls(
+            number=number,
+            capacity=capacity,
+            first_slot=first_slot,
+            index=LevelHashIndex(prng.spawn(f"index-{number}")),
+            key=prng.spawn(f"key-{number}").random_bytes(32),
+        )
+
+    @property
+    def occupied(self) -> int:
+        """How many distinct blocks the level currently holds."""
+        return len(self._placements)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.occupied == 0
+
+    def has_room_for(self, incoming: int) -> bool:
+        """Whether ``incoming`` more blocks fit without exceeding the capacity."""
+        return self.occupied + incoming <= self.capacity
+
+    def contains(self, logical_id: int) -> bool:
+        """Whether the level holds (a copy of) ``logical_id``."""
+        return logical_id in self._placements
+
+    def slot_of(self, logical_id: int) -> int | None:
+        """Device slot (relative to the partition) of ``logical_id``."""
+        local = self._placements.get(logical_id)
+        if local is None:
+            return None
+        return self.first_slot + local
+
+    def logical_ids(self) -> set[int]:
+        """Logical ids of all blocks in the level."""
+        return set(self._placements)
+
+    def slot_range(self) -> range:
+        """Device slots (relative to the partition) spanned by this level."""
+        return range(self.first_slot, self.first_slot + self.capacity)
+
+    def install(self, placements: dict[int, int], new_key: bytes) -> None:
+        """Replace the level contents after a shuffle.
+
+        ``placements`` maps logical id → local slot (0-based within the
+        level).  The hash index is rebuilt with a fresh salt and the
+        level key is replaced, as the paper requires after a re-order.
+        """
+        if len(placements) > self.capacity:
+            raise LevelFullError(
+                f"level {self.number} holds {self.capacity} blocks, got {len(placements)}"
+            )
+        for slot in placements.values():
+            if not 0 <= slot < self.capacity:
+                raise LevelFullError(
+                    f"slot {slot} outside level {self.number} of capacity {self.capacity}"
+                )
+        self._placements = dict(placements)
+        self.key = new_key
+        self.index.rebuild(placements)
+        self.shuffles += 1
+
+    def clear(self) -> None:
+        """Empty the level after it has been dumped into the next one."""
+        self._placements = {}
+        self.index.clear()

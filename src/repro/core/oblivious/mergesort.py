@@ -1,0 +1,42 @@
+"""External merge sort cost model for level re-ordering.
+
+Section 5.1.2: "For re-ordering a particular level, we should be able to
+re-order it to a random permutation in a concealed way. ... Here, we
+apply the external merge sort algorithm."  Section 6.3 notes that the
+sorting I/Os are mostly *sequential*, which is why sorting is the larger
+share of I/O operations but the smaller share of time in Figure 12(b).
+
+The shuffle itself is performed in memory by the store (the permutation
+is what matters functionally); this module computes how many sequential
+passes an external merge sort would need so the store can charge the
+corresponding device I/O.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def external_merge_sort_passes(num_blocks: int, buffer_blocks: int) -> int:
+    """Number of read+write passes an external merge sort needs.
+
+    One pass forms sorted runs of ``buffer_blocks`` blocks; each
+    subsequent pass merges up to ``buffer_blocks - 1`` runs.  A dataset
+    that already fits in the buffer still needs one pass (read it in,
+    permute, write it out).
+    """
+    if num_blocks <= 0:
+        return 0
+    if buffer_blocks <= 1:
+        raise ValueError("merge sort needs a buffer of at least 2 blocks")
+    if num_blocks <= buffer_blocks:
+        return 1
+    runs = math.ceil(num_blocks / buffer_blocks)
+    fan_in = max(2, buffer_blocks - 1)
+    merge_passes = math.ceil(math.log(runs, fan_in))
+    return 1 + merge_passes
+
+
+def merge_sort_io_count(num_blocks: int, buffer_blocks: int) -> int:
+    """Total device operations (reads + writes) of the external merge sort."""
+    return 2 * num_blocks * external_merge_sort_passes(num_blocks, buffer_blocks)

@@ -1,0 +1,103 @@
+"""The read path combining the StegFS partition and the oblivious store.
+
+Figure 8(a): a block that is not yet cached is fetched from the StegFS
+partition through a randomised procedure whose observable distribution
+matches that of dummy reads; once copied into the oblivious store, all
+further reads of the block go through the oblivious hierarchy, where
+data reads and dummy reads are indistinguishable by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.oblivious.store import ObliviousStore
+from repro.crypto.prng import Sha256Prng
+from repro.stegfs.file import HiddenFile
+from repro.stegfs.filesystem import StegFsVolume
+
+
+@dataclass
+class ReaderStats:
+    """Accounting of the Figure 8(a) StegFS-partition read procedure."""
+
+    stegfs_reads: int = 0
+    stegfs_decoy_reads: int = 0
+    copies_in: int = 0
+    dummy_reads: int = 0
+    oblivious_reads: int = 0
+
+
+class ObliviousReader:
+    """Serves block reads through the oblivious storage (Section 5.1)."""
+
+    def __init__(self, volume: StegFsVolume, store: ObliviousStore, prng: Sha256Prng):
+        self.volume = volume
+        self.store = store
+        self._prng = prng.spawn("oblivious-reader")
+        self.stats = ReaderStats()
+
+    # -- the Figure 8(a) procedure -------------------------------------------------
+
+    def _fetch_from_stegfs(self, handle: HiddenFile, physical: int, stream: str) -> bytes:
+        """Copy one block from the StegFS partition into the oblivious store.
+
+        Before the real read, the procedure may issue re-reads of already
+        cached blocks so that, seen from the StegFS partition, the choice
+        of block looks like an independent uniform draw.
+        """
+        partition_blocks = self.volume.num_blocks
+        while True:
+            x = self._prng.randrange(partition_blocks)
+            cached = self.store.cached_ids()
+            if x < len(cached):
+                decoy = sorted(cached)[self._prng.randrange(len(cached))]
+                self.volume.device.read_block(decoy, stream)
+                self.stats.stegfs_decoy_reads += 1
+                continue
+            payload = self.volume.read_payload(physical, handle.content_key, stream)
+            self.stats.stegfs_reads += 1
+            self.store.insert(physical, payload, stream)
+            self.stats.copies_in += 1
+            return payload
+
+    # -- public read path --------------------------------------------------------------
+
+    def read_block(self, handle: HiddenFile, logical_index: int, stream: str = "default") -> bytes:
+        """Read one logical block of a hidden file through the oblivious path."""
+        physical = handle.header.physical_block(logical_index)
+        if self.store.contains(physical):
+            self.stats.oblivious_reads += 1
+            return self.store.read(physical, stream)[: self.volume.data_field_bytes]
+        return self._fetch_from_stegfs(handle, physical, stream)
+
+    def read_file(self, handle: HiddenFile, stream: str = "default") -> bytes:
+        """Read a whole hidden file through the oblivious path."""
+        pieces = [self.read_block(handle, i, stream) for i in range(handle.num_blocks)]
+        return b"".join(pieces)[: handle.size_bytes]
+
+    def write_block(
+        self, handle: HiddenFile, logical_index: int, payload: bytes, stream: str = "default"
+    ) -> None:
+        """Update a block in the cache and mirror the write to the StegFS partition.
+
+        Section 5.1.2: "The writes would also need to be repeated on the
+        StegFS partition to ensure consistency."
+        """
+        physical = handle.header.physical_block(logical_index)
+        if self.store.contains(physical):
+            self.store.write(physical, payload, stream)
+        else:
+            self.store.insert(physical, payload, stream)
+        self.volume.write_payload(physical, handle.content_key, payload, stream)
+
+    def dummy_read(self, stream: str = "dummy") -> None:
+        """Issue one dummy read (Figure 8(a) else-branch): a random StegFS block."""
+        index = self._prng.randrange(self.volume.num_blocks)
+        self.volume.device.read_block(index, stream)
+        self.stats.dummy_reads += 1
+
+    def dummy_oblivious_read(self, stream: str = "dummy") -> None:
+        """Issue one dummy read against the oblivious hierarchy."""
+        self.store.dummy_read(stream)
+        self.stats.dummy_reads += 1

@@ -1,0 +1,206 @@
+"""Construction 2: the volatile agent ("StegHide", Section 4.2).
+
+The agent persists no secrets.  Every hidden file is encrypted under
+keys carried in its owner's FAK, dummy blocks are organised into
+per-user dummy files of roughly data-file size, and the keys are
+disclosed to the agent only while the user is logged in.
+
+Consequences implemented here:
+
+* the agent's random-selection space for dummy updates and for the
+  Figure-6 algorithm is the set of blocks of *disclosed* files
+  ("As more users log in, the agent would discover more hidden files
+  and dummy blocks to carry out dummy updates on");
+* when a Figure-6 swap claims a block from a user's dummy file, the
+  block vacated by the data takes its place in that dummy file, so
+  dummy files keep their size;
+* logging a user out drops their keys and shrinks the selection space;
+* a user under coercion can produce a deniable key ring
+  (:meth:`repro.crypto.keys.KeyRing.deniable_view`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.agent import StegAgent
+from repro.crypto.keys import FileAccessKey, KeyRing
+from repro.crypto.prng import Sha256Prng
+from repro.errors import NotLoggedInError, UnknownFileError
+from repro.stegfs.file import HiddenFile
+from repro.stegfs.filesystem import StegFsVolume
+
+
+class _IndexedSet:
+    """A set of ints supporting O(1) add/remove and O(1) uniform sampling."""
+
+    def __init__(self) -> None:
+        self._items: list[int] = []
+        self._positions: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, value: int) -> bool:
+        return value in self._positions
+
+    def add(self, value: int) -> None:
+        if value in self._positions:
+            return
+        self._positions[value] = len(self._items)
+        self._items.append(value)
+
+    def discard(self, value: int) -> None:
+        position = self._positions.pop(value, None)
+        if position is None:
+            return
+        last = self._items.pop()
+        if position < len(self._items):
+            self._items[position] = last
+            self._positions[last] = position
+
+    def sample(self, prng: Sha256Prng) -> int:
+        if not self._items:
+            raise IndexError("cannot sample from an empty set")
+        return self._items[prng.randrange(len(self._items))]
+
+    def as_set(self) -> set[int]:
+        return set(self._items)
+
+
+@dataclass
+class _Session:
+    """State the agent keeps for one logged-in user."""
+
+    user: str
+    keyring: KeyRing
+    handles: dict[str, HiddenFile] = field(default_factory=dict)
+
+
+class VolatileAgent(StegAgent):
+    """The volatile agent of Construction 2."""
+
+    def __init__(self, volume: StegFsVolume, prng: Sha256Prng):
+        super().__init__(volume, prng)
+        self._sessions: dict[str, _Session] = {}
+        self._selection = _IndexedSet()
+        self._dummy_data_blocks = _IndexedSet()
+
+    # -- key policy: keys come from the FAK -----------------------------------------
+
+    def header_key_for(self, fak: FileAccessKey) -> bytes:
+        return fak.header_key
+
+    def content_key_for(self, fak: FileAccessKey) -> bytes:
+        # Dummy files have no content key; their blocks are kept under the
+        # header key, which is all that is needed for dummy updates.
+        return fak.content_key if fak.content_key is not None else fak.header_key
+
+    def key_for_block(self, index: int) -> bytes:
+        owner = self.owner_of(index)
+        if owner is None:
+            raise UnknownFileError(f"the agent holds no key for block {index}")
+        handle, role = owner
+        return handle.header_key if role == "header" else handle.content_key
+
+    # -- selection space: blocks of disclosed files --------------------------------------
+
+    def _track_block(self, index: int, handle: HiddenFile, role: str) -> None:
+        super()._track_block(index, handle, role)
+        self._selection.add(index)
+        if handle.is_dummy and role == "data":
+            self._dummy_data_blocks.add(index)
+        else:
+            self._dummy_data_blocks.discard(index)
+
+    def _untrack_block(self, index: int) -> None:
+        super()._untrack_block(index)
+        self._selection.discard(index)
+        self._dummy_data_blocks.discard(index)
+
+    def select_random_block(self) -> int:
+        if len(self._selection) == 0:
+            raise NotLoggedInError("no files have been disclosed to the agent")
+        return self._selection.sample(self._prng)
+
+    def is_dummy_block(self, index: int) -> bool:
+        return index in self._dummy_data_blocks
+
+    def claim_dummy_block(self, new_data_block: int, released_block: int) -> None:
+        """Keep the owning dummy file whole after a Figure-6 swap.
+
+        ``new_data_block`` used to belong to some disclosed dummy file;
+        the vacated ``released_block`` takes its place in that file so
+        the dummy file keeps its size and remains openable later.
+        """
+        owner = self.owner_of(new_data_block)
+        if owner is None or not owner[0].is_dummy:
+            # No disclosed dummy file owned the block (e.g. tests exercising
+            # the raw mechanism); the released block simply leaves the
+            # selection space.
+            return None
+        dummy_handle = owner[0]
+        logical = dummy_handle.header.logical_of_physical(new_data_block)
+        if logical is None:
+            return None
+        dummy_handle.header.relocate(logical, released_block)
+        dummy_handle.mark_dirty()
+        self._track_block(released_block, dummy_handle, "data")
+        # The released block now belongs to the dummy file, so it must stay
+        # reserved in the volume's allocation table (the shared update path
+        # freed it when it stopped holding real data).
+        self.volume.allocator.allocate_specific(released_block)
+        return None
+
+    # -- user sessions -----------------------------------------------------------------------
+
+    @property
+    def logged_in_users(self) -> list[str]:
+        """Names of the users currently logged in."""
+        return sorted(self._sessions)
+
+    def login(self, keyring: KeyRing, stream: str = "default") -> dict[str, HiddenFile]:
+        """Log a user in: disclose their FAKs and open all their files.
+
+        Opening the files is what teaches the agent which physical blocks
+        it may touch; the returned mapping is path -> handle.
+        """
+        session = _Session(user=keyring.owner, keyring=keyring)
+        self._sessions[keyring.owner] = session
+        for path, fak in keyring.all_keys().items():
+            handle = self.open_file(fak, path, stream)
+            handle.owner = keyring.owner
+            session.handles[path] = handle
+        return dict(session.handles)
+
+    def logout(self, user: str, stream: str = "default") -> None:
+        """Log a user out: save dirty headers and forget their keys and blocks."""
+        session = self._sessions.pop(user, None)
+        if session is None:
+            raise NotLoggedInError(f"user {user!r} is not logged in")
+        for handle in session.handles.values():
+            self.close_file(handle, stream)
+
+    def handle_for(self, user: str, path: str) -> HiddenFile:
+        """The open handle of a logged-in user's file."""
+        session = self._sessions.get(user)
+        if session is None:
+            raise NotLoggedInError(f"user {user!r} is not logged in")
+        handle = session.handles.get(path)
+        if handle is None:
+            raise UnknownFileError(f"user {user!r} disclosed no file at {path!r}")
+        return handle
+
+    def disclosed_block_count(self) -> int:
+        """Number of blocks currently in the agent's selection space."""
+        return len(self._selection)
+
+    def disclosed_dummy_block_count(self) -> int:
+        """Number of disclosed dummy data blocks (swap targets)."""
+        return len(self._dummy_data_blocks)
+
+    def expected_update_overhead(self) -> float:
+        """E = (disclosed blocks) / (disclosed dummy blocks), the Construction-2 analogue of N/D."""
+        if len(self._dummy_data_blocks) == 0:
+            return float("inf")
+        return len(self._selection) / len(self._dummy_data_blocks)

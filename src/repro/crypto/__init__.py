@@ -1,0 +1,32 @@
+"""Cryptographic substrate for the steganographic file system.
+
+The paper (Section 6.1) uses AES as the block cipher and a SHA-256 based
+pseudo-random number generator.  This subpackage provides both, plus the
+CBC mode used for block encryption (Section 4.1.1), a fast SHA-256
+stream cipher used by the large-scale benchmarks, and the file access
+key (FAK) structures of Section 4.2.1.
+"""
+
+from repro.crypto.aes import AES
+from repro.crypto.cbc import CbcCipher
+from repro.crypto.cipher import FastFieldCipher, FieldCipher
+from repro.crypto.keys import (
+    FileAccessKey,
+    KeyRing,
+    derive_header_location,
+    probe_sequence,
+)
+from repro.crypto.prng import Sha256Prng, fresh_iv
+
+__all__ = [
+    "AES",
+    "CbcCipher",
+    "FieldCipher",
+    "FastFieldCipher",
+    "Sha256Prng",
+    "fresh_iv",
+    "FileAccessKey",
+    "KeyRing",
+    "derive_header_location",
+    "probe_sequence",
+]

@@ -1,0 +1,242 @@
+"""Pure-Python AES block cipher (FIPS 197).
+
+The paper encrypts every storage block with AES (Section 6.1, ref [3]).
+This module implements AES-128/192/256 from scratch so the library has
+no dependency on an external crypto package.  The implementation is a
+straightforward table-driven one: the S-boxes and the GF(2^8)
+multiplication tables used by MixColumns are precomputed at import time.
+
+Only the raw block transform is exposed here; chaining modes live in
+:mod:`repro.crypto.cbc`.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.util import AES_BLOCK_SIZE
+from repro.errors import InvalidBlockSizeError, InvalidKeyError
+
+
+def _build_sbox() -> tuple[list[int], list[int]]:
+    """Construct the AES S-box and its inverse from the field definition."""
+    # Multiplicative inverses in GF(2^8) with the AES modulus x^8+x^4+x^3+x+1.
+    def gf_mul(a: int, b: int) -> int:
+        result = 0
+        for _ in range(8):
+            if b & 1:
+                result ^= a
+            high = a & 0x80
+            a = (a << 1) & 0xFF
+            if high:
+                a ^= 0x1B
+            b >>= 1
+        return result
+
+    inverse = [0] * 256
+    for x in range(1, 256):
+        for y in range(1, 256):
+            if gf_mul(x, y) == 1:
+                inverse[x] = y
+                break
+
+    sbox = [0] * 256
+    for x in range(256):
+        b = inverse[x]
+        value = 0
+        for i in range(8):
+            bit = (
+                (b >> i)
+                ^ (b >> ((i + 4) % 8))
+                ^ (b >> ((i + 5) % 8))
+                ^ (b >> ((i + 6) % 8))
+                ^ (b >> ((i + 7) % 8))
+                ^ (0x63 >> i)
+            ) & 1
+            value |= bit << i
+        sbox[x] = value
+
+    inv_sbox = [0] * 256
+    for x, v in enumerate(sbox):
+        inv_sbox[v] = x
+    return sbox, inv_sbox
+
+
+def _gf_multiply(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) under the AES modulus."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        high = a & 0x80
+        a = (a << 1) & 0xFF
+        if high:
+            a ^= 0x1B
+        b >>= 1
+    return result
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+_MUL2 = [_gf_multiply(x, 2) for x in range(256)]
+_MUL3 = [_gf_multiply(x, 3) for x in range(256)]
+_MUL9 = [_gf_multiply(x, 9) for x in range(256)]
+_MUL11 = [_gf_multiply(x, 11) for x in range(256)]
+_MUL13 = [_gf_multiply(x, 13) for x in range(256)]
+_MUL14 = [_gf_multiply(x, 14) for x in range(256)]
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8, 0xAB, 0x4D]
+
+_ROUNDS_BY_KEY_LEN = {16: 10, 24: 12, 32: 14}
+
+
+class AES:
+    """AES block cipher over 16-byte blocks.
+
+    Parameters
+    ----------
+    key:
+        16, 24 or 32 bytes selecting AES-128, AES-192 or AES-256.
+    """
+
+    def __init__(self, key: bytes):
+        if not isinstance(key, (bytes, bytearray)):
+            raise InvalidKeyError("AES key must be bytes")
+        key = bytes(key)
+        if len(key) not in _ROUNDS_BY_KEY_LEN:
+            raise InvalidKeyError(
+                f"AES key must be 16, 24 or 32 bytes, got {len(key)}"
+            )
+        self._key = key
+        self._rounds = _ROUNDS_BY_KEY_LEN[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    @property
+    def key_size(self) -> int:
+        """Key length in bytes (16, 24 or 32)."""
+        return len(self._key)
+
+    @property
+    def rounds(self) -> int:
+        """Number of AES rounds for this key size."""
+        return self._rounds
+
+    # -- key schedule -----------------------------------------------------
+
+    def _expand_key(self, key: bytes) -> list[list[int]]:
+        """Expand the cipher key into (rounds + 1) round keys of 16 bytes."""
+        key_words = [list(key[i : i + 4]) for i in range(0, len(key), 4)]
+        nk = len(key_words)
+        total_words = 4 * (self._rounds + 1)
+
+        words = list(key_words)
+        for i in range(nk, total_words):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [_SBOX[b] for b in temp]
+            words.append([a ^ b for a, b in zip(words[i - nk], temp)])
+
+        round_keys = []
+        for r in range(self._rounds + 1):
+            flat: list[int] = []
+            for w in words[4 * r : 4 * r + 4]:
+                flat.extend(w)
+            round_keys.append(flat)
+        return round_keys
+
+    # -- round primitives --------------------------------------------------
+    #
+    # The state is kept as a flat 16-element list in column-major order,
+    # matching the byte order of the input block, so AddRoundKey is a plain
+    # element-wise XOR with the flat round key.
+
+    @staticmethod
+    def _add_round_key(state: list[int], round_key: list[int]) -> list[int]:
+        return [s ^ k for s, k in zip(state, round_key)]
+
+    @staticmethod
+    def _sub_bytes(state: list[int]) -> list[int]:
+        return [_SBOX[b] for b in state]
+
+    @staticmethod
+    def _inv_sub_bytes(state: list[int]) -> list[int]:
+        return [_INV_SBOX[b] for b in state]
+
+    @staticmethod
+    def _shift_rows(state: list[int]) -> list[int]:
+        # state[c*4 + r] is the byte in row r, column c.
+        s = state
+        return [
+            s[0], s[5], s[10], s[15],
+            s[4], s[9], s[14], s[3],
+            s[8], s[13], s[2], s[7],
+            s[12], s[1], s[6], s[11],
+        ]
+
+    @staticmethod
+    def _inv_shift_rows(state: list[int]) -> list[int]:
+        s = state
+        return [
+            s[0], s[13], s[10], s[7],
+            s[4], s[1], s[14], s[11],
+            s[8], s[5], s[2], s[15],
+            s[12], s[9], s[6], s[3],
+        ]
+
+    @staticmethod
+    def _mix_columns(state: list[int]) -> list[int]:
+        out = [0] * 16
+        for c in range(4):
+            a0, a1, a2, a3 = state[4 * c : 4 * c + 4]
+            out[4 * c + 0] = _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3
+            out[4 * c + 1] = a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3
+            out[4 * c + 2] = a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3]
+            out[4 * c + 3] = _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3]
+        return out
+
+    @staticmethod
+    def _inv_mix_columns(state: list[int]) -> list[int]:
+        out = [0] * 16
+        for c in range(4):
+            a0, a1, a2, a3 = state[4 * c : 4 * c + 4]
+            out[4 * c + 0] = _MUL14[a0] ^ _MUL11[a1] ^ _MUL13[a2] ^ _MUL9[a3]
+            out[4 * c + 1] = _MUL9[a0] ^ _MUL14[a1] ^ _MUL11[a2] ^ _MUL13[a3]
+            out[4 * c + 2] = _MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3]
+            out[4 * c + 3] = _MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3]
+        return out
+
+    # -- block transforms ---------------------------------------------------
+
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        """Encrypt a single 16-byte block."""
+        if len(plaintext) != AES_BLOCK_SIZE:
+            raise InvalidBlockSizeError(
+                f"AES block must be {AES_BLOCK_SIZE} bytes, got {len(plaintext)}"
+            )
+        state = self._add_round_key(list(plaintext), self._round_keys[0])
+        for r in range(1, self._rounds):
+            state = self._sub_bytes(state)
+            state = self._shift_rows(state)
+            state = self._mix_columns(state)
+            state = self._add_round_key(state, self._round_keys[r])
+        state = self._sub_bytes(state)
+        state = self._shift_rows(state)
+        state = self._add_round_key(state, self._round_keys[self._rounds])
+        return bytes(state)
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        """Decrypt a single 16-byte block."""
+        if len(ciphertext) != AES_BLOCK_SIZE:
+            raise InvalidBlockSizeError(
+                f"AES block must be {AES_BLOCK_SIZE} bytes, got {len(ciphertext)}"
+            )
+        state = self._add_round_key(list(ciphertext), self._round_keys[self._rounds])
+        for r in range(self._rounds - 1, 0, -1):
+            state = self._inv_shift_rows(state)
+            state = self._inv_sub_bytes(state)
+            state = self._add_round_key(state, self._round_keys[r])
+            state = self._inv_mix_columns(state)
+        state = self._inv_shift_rows(state)
+        state = self._inv_sub_bytes(state)
+        state = self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

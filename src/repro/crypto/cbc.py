@@ -1,0 +1,74 @@
+"""AES-CBC encryption of block data fields.
+
+Section 4.1.1 of the paper: "its data field is encrypted by the agent
+using a CBC (Cipher Block Chaining) block cipher with the IV as seed.
+Whenever the agent re-encrypts a block, it resets the IV so that the
+content of the whole encrypted block changes."
+
+``CbcCipher`` implements exactly that behaviour on top of the
+pure-Python :class:`repro.crypto.aes.AES` transform.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES
+from repro.crypto.cipher import FieldCipher
+from repro.crypto.util import (
+    AES_BLOCK_SIZE,
+    pkcs7_pad,
+    pkcs7_unpad,
+    split_blocks,
+    xor_bytes,
+)
+from repro.errors import InvalidKeyError
+
+
+class CbcCipher(FieldCipher):
+    """AES in CBC mode with an externally supplied IV.
+
+    Parameters
+    ----------
+    key:
+        AES key (16, 24 or 32 bytes).
+    pad:
+        When True (default) plaintexts of arbitrary length are accepted
+        and PKCS#7-padded; when False, plaintext length must already be
+        a multiple of 16 and the ciphertext has the same length.
+    """
+
+    def __init__(self, key: bytes, pad: bool = True):
+        self._aes = AES(key)
+        self._pad = pad
+
+    @staticmethod
+    def _normalise_iv(iv: bytes) -> bytes:
+        """Stretch or truncate the IV to the AES block size deterministically."""
+        if not isinstance(iv, (bytes, bytearray)) or len(iv) == 0:
+            raise InvalidKeyError("IV must be non-empty bytes")
+        iv = bytes(iv)
+        if len(iv) == AES_BLOCK_SIZE:
+            return iv
+        if len(iv) > AES_BLOCK_SIZE:
+            return iv[:AES_BLOCK_SIZE]
+        repeats = (AES_BLOCK_SIZE + len(iv) - 1) // len(iv)
+        return (iv * repeats)[:AES_BLOCK_SIZE]
+
+    def encrypt(self, iv: bytes, plaintext: bytes) -> bytes:
+        """CBC-encrypt ``plaintext`` seeded by ``iv``."""
+        chain = self._normalise_iv(iv)
+        data = pkcs7_pad(plaintext) if self._pad else plaintext
+        out = []
+        for block in split_blocks(data):
+            chain = self._aes.encrypt_block(xor_bytes(block, chain))
+            out.append(chain)
+        return b"".join(out)
+
+    def decrypt(self, iv: bytes, ciphertext: bytes) -> bytes:
+        """Invert :meth:`encrypt` for the same IV."""
+        chain = self._normalise_iv(iv)
+        out = []
+        for block in split_blocks(ciphertext):
+            out.append(xor_bytes(self._aes.decrypt_block(block), chain))
+            chain = block
+        plain = b"".join(out)
+        return pkcs7_unpad(plain) if self._pad else plain

@@ -1,0 +1,182 @@
+"""File access keys (FAKs) and per-user key rings.
+
+Section 4.2.1 of the paper: "the FAK of each hidden file comprises 3
+components – the location of the file header, a header key for
+encrypting the header information, and a content key for encrypting the
+file content."  Dummy files use only the header location and header key;
+their content key is irrelevant because they hold random bytes.
+
+The header location is *derivable* from the access key and the path name
+(Section 4.1.2), which is what lets the agent find a file given only its
+FAK and lets the owner of the volume deny that any further files exist.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidKeyError
+
+KEY_SIZE = 32
+
+
+def derive_header_location(secret: bytes, path: str, volume_blocks: int) -> int:
+    """Derive the header block index for a file from its secret and path.
+
+    The derivation is ``SHA256(secret || path) mod volume_blocks``; the
+    same (secret, path, volume size) always maps to the same block, so a
+    user who re-supplies his FAK and path can re-locate the header
+    without any on-disk directory.  Collisions are handled by the
+    filesystem layer via linear probing with the same hash chain.
+    """
+    if volume_blocks <= 0:
+        raise ValueError("volume_blocks must be positive")
+    digest = hashlib.sha256(secret + b"|" + path.encode("utf-8")).digest()
+    return int.from_bytes(digest, "big") % volume_blocks
+
+
+def probe_sequence(secret: bytes, path: str, volume_blocks: int, limit: int) -> list[int]:
+    """Deterministic probe sequence used when the derived header slot is taken.
+
+    Produces ``limit`` distinct candidate block indices, starting with the
+    primary location from :func:`derive_header_location`.
+    """
+    if limit <= 0:
+        return []
+    primary = derive_header_location(secret, path, volume_blocks)
+    seen: set[int] = {primary}
+    sequence: list[int] = [primary]
+    counter = 0
+    base = secret + b"|" + path.encode("utf-8")
+    while len(sequence) < min(limit, volume_blocks):
+        digest = hashlib.sha256(base + b"|" + counter.to_bytes(4, "big")).digest()
+        candidate = int.from_bytes(digest, "big") % volume_blocks
+        if candidate not in seen:
+            seen.add(candidate)
+            sequence.append(candidate)
+        counter += 1
+        if counter > 64 * limit:
+            # Degenerate tiny volumes: fall back to scanning every index.
+            for idx in range(volume_blocks):
+                if idx not in seen:
+                    seen.add(idx)
+                    sequence.append(idx)
+                    if len(sequence) >= min(limit, volume_blocks):
+                        break
+            break
+    return sequence
+
+
+@dataclass(frozen=True)
+class FileAccessKey:
+    """Access key for one hidden (or dummy) file.
+
+    Attributes
+    ----------
+    secret:
+        The user-held secret from which the header location is derived.
+    header_key:
+        Key encrypting the file header block.
+    content_key:
+        Key encrypting the file's data blocks.  ``None`` for dummy files
+        (the paper: "the content key is not utilized because the file
+        contains only random bytes").
+    is_dummy:
+        Marks FAKs handed out for dummy files.
+    """
+
+    secret: bytes
+    header_key: bytes
+    content_key: bytes | None = None
+    is_dummy: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.secret, bytes) or not self.secret:
+            raise InvalidKeyError("FAK secret must be non-empty bytes")
+        if not isinstance(self.header_key, bytes) or len(self.header_key) != KEY_SIZE:
+            raise InvalidKeyError(f"header_key must be {KEY_SIZE} bytes")
+        if self.content_key is not None and (
+            not isinstance(self.content_key, bytes) or len(self.content_key) != KEY_SIZE
+        ):
+            raise InvalidKeyError(f"content_key must be {KEY_SIZE} bytes or None")
+
+    @classmethod
+    def generate(cls, prng, is_dummy: bool = False) -> "FileAccessKey":
+        """Generate a fresh FAK from the supplied PRNG."""
+        return cls(
+            secret=prng.random_bytes(KEY_SIZE),
+            header_key=prng.random_bytes(KEY_SIZE),
+            content_key=None if is_dummy else prng.random_bytes(KEY_SIZE),
+            is_dummy=is_dummy,
+        )
+
+    def header_location(self, path: str, volume_blocks: int) -> int:
+        """Primary header block index for this key and path."""
+        return derive_header_location(self.secret, path, volume_blocks)
+
+    def header_probe_sequence(self, path: str, volume_blocks: int, limit: int) -> list[int]:
+        """Full probe sequence for header placement/lookup."""
+        return probe_sequence(self.secret, path, volume_blocks, limit)
+
+    def as_disclosed_dummy(self) -> "FileAccessKey":
+        """Return the plausible-deniability view of this FAK.
+
+        The paper (Section 4.2.1): the owner "can even reveal the header
+        key for a hidden file but give a wrong content key, and claim
+        that the file is a dummy."  This helper models that disclosure:
+        the secret and header key are genuine, the content key is absent
+        and the file is labelled a dummy.
+        """
+        return FileAccessKey(
+            secret=self.secret,
+            header_key=self.header_key,
+            content_key=None,
+            is_dummy=True,
+        )
+
+    def fingerprint(self) -> str:
+        """Short stable identifier safe to log (does not reveal the keys)."""
+        digest = hashlib.sha256(self.secret + self.header_key).hexdigest()
+        return digest[:12]
+
+
+@dataclass
+class KeyRing:
+    """A user's collection of FAKs, keyed by file path.
+
+    The volatile-agent construction (Section 4.2) relies on each user
+    holding the FAKs of both his hidden files and his dummy files, and
+    disclosing them to the agent only at login.
+    """
+
+    owner: str
+    hidden: dict[str, FileAccessKey] = field(default_factory=dict)
+    dummy: dict[str, FileAccessKey] = field(default_factory=dict)
+
+    def add_hidden(self, path: str, fak: FileAccessKey) -> None:
+        """Register the FAK of a hidden file."""
+        if fak.is_dummy:
+            raise InvalidKeyError("hidden file FAK must not be marked as dummy")
+        self.hidden[path] = fak
+
+    def add_dummy(self, path: str, fak: FileAccessKey) -> None:
+        """Register the FAK of a dummy file."""
+        self.dummy[path] = fak
+
+    def all_keys(self) -> dict[str, FileAccessKey]:
+        """All FAKs (hidden and dummy) keyed by path."""
+        merged = dict(self.dummy)
+        merged.update(self.hidden)
+        return merged
+
+    def deniable_view(self) -> dict[str, FileAccessKey]:
+        """What the user could plausibly disclose under coercion.
+
+        Dummy FAKs are revealed as-is; hidden FAKs are shown in their
+        "claimed dummy" form with the content key withheld.
+        """
+        view = dict(self.dummy)
+        for path, fak in self.hidden.items():
+            view[path] = fak.as_disclosed_dummy()
+        return view

@@ -1,0 +1,168 @@
+"""SHA-256 based pseudo-random number generator.
+
+Section 6.1 of the paper: "the pseudo-random number generator is
+constructed from SHA256".  ``Sha256Prng`` is a deterministic counter-mode
+generator seeded explicitly, so that every stochastic decision in the
+library (dummy-block selection, block relocation, shuffling, workload
+generation) is reproducible.
+
+The interface intentionally mirrors the small subset of
+:class:`random.Random` the library needs: ``random_bytes``, ``randint``,
+``randrange``, ``choice``, ``shuffle``, ``sample`` and ``random``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, MutableSequence, Sequence, TypeVar
+
+T = TypeVar("T")
+
+_DIGEST_SIZE = 32
+
+
+class Sha256Prng:
+    """Deterministic pseudo-random generator built from SHA-256 in counter mode.
+
+    Parameters
+    ----------
+    seed:
+        Bytes, str or int.  Two generators built from equal seeds produce
+        identical streams.
+    """
+
+    def __init__(self, seed: bytes | str | int = 0):
+        self._seed = self._normalise_seed(seed)
+        self._counter = 0
+        self._buffer = bytearray()
+
+    @staticmethod
+    def _normalise_seed(seed: bytes | str | int) -> bytes:
+        if isinstance(seed, bytes):
+            return seed
+        if isinstance(seed, bytearray):
+            return bytes(seed)
+        if isinstance(seed, str):
+            return seed.encode("utf-8")
+        if isinstance(seed, int):
+            length = max(1, (seed.bit_length() + 7) // 8)
+            return seed.to_bytes(length, "big", signed=False)
+        raise TypeError(f"unsupported seed type: {type(seed).__name__}")
+
+    def spawn(self, label: str | int) -> "Sha256Prng":
+        """Derive an independent child generator identified by ``label``.
+
+        Children with distinct labels produce independent streams; the
+        same (seed, label) always yields the same child.  This is how the
+        library gives each subsystem (allocator, agent, workload, ...) its
+        own reproducible randomness.
+        """
+        label_bytes = self._normalise_seed(label if isinstance(label, int) else str(label))
+        return Sha256Prng(hashlib.sha256(self._seed + b"/spawn/" + label_bytes).digest())
+
+    # -- raw stream ---------------------------------------------------------
+
+    def random_bytes(self, n: int) -> bytes:
+        """Return ``n`` pseudo-random bytes."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        while len(self._buffer) < n:
+            block = hashlib.sha256(
+                self._seed + b"/ctr/" + self._counter.to_bytes(8, "big")
+            ).digest()
+            self._buffer.extend(block)
+            self._counter += 1
+        out = bytes(self._buffer[:n])
+        del self._buffer[:n]
+        return out
+
+    def _random_below(self, upper: int) -> int:
+        """Uniform integer in [0, upper) via rejection sampling."""
+        if upper <= 0:
+            raise ValueError("upper must be positive")
+        nbytes = max(1, (upper.bit_length() + 7) // 8)
+        limit = (1 << (8 * nbytes)) - ((1 << (8 * nbytes)) % upper)
+        while True:
+            candidate = int.from_bytes(self.random_bytes(nbytes), "big")
+            if candidate < limit:
+                return candidate % upper
+
+    # -- random.Random-like helpers ------------------------------------------
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return int.from_bytes(self.random_bytes(7), "big") / (1 << 56)
+
+    def randint(self, a: int, b: int) -> int:
+        """Uniform integer in the closed interval [a, b]."""
+        if b < a:
+            raise ValueError("empty range for randint")
+        return a + self._random_below(b - a + 1)
+
+    def randrange(self, start: int, stop: int | None = None) -> int:
+        """Uniform integer in [start, stop) (or [0, start) with one argument)."""
+        if stop is None:
+            start, stop = 0, start
+        if stop <= start:
+            raise ValueError("empty range for randrange")
+        return start + self._random_below(stop - start)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        """Uniformly choose one element of a non-empty sequence."""
+        if not seq:
+            raise IndexError("cannot choose from an empty sequence")
+        return seq[self._random_below(len(seq))]
+
+    def shuffle(self, seq: MutableSequence[T]) -> None:
+        """In-place Fisher-Yates shuffle."""
+        for i in range(len(seq) - 1, 0, -1):
+            j = self._random_below(i + 1)
+            seq[i], seq[j] = seq[j], seq[i]
+
+    def sample(self, population: Sequence[T], k: int) -> list[T]:
+        """Return ``k`` distinct elements chosen without replacement."""
+        n = len(population)
+        if not 0 <= k <= n:
+            raise ValueError("sample size out of range")
+        # Partial Fisher-Yates over a copy of the indices.
+        indices = list(range(n))
+        for i in range(k):
+            j = i + self._random_below(n - i)
+            indices[i], indices[j] = indices[j], indices[i]
+        return [population[indices[i]] for i in range(k)]
+
+    def permutation(self, n: int) -> list[int]:
+        """Return a uniformly random permutation of range(n)."""
+        perm = list(range(n))
+        self.shuffle(perm)
+        return perm
+
+    def expovariate(self, rate: float) -> float:
+        """Exponential variate with the given rate (mean 1/rate)."""
+        import math
+
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        u = self.random()
+        # Guard against log(0).
+        return -math.log(1.0 - u if u < 1.0 else 0.5) / rate
+
+    def gauss(self, mu: float = 0.0, sigma: float = 1.0) -> float:
+        """Normal variate via the Box-Muller transform."""
+        import math
+
+        u1 = max(self.random(), 1e-12)
+        u2 = self.random()
+        z = math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+        return mu + sigma * z
+
+
+def fresh_iv(prng: Sha256Prng, size: int = 16) -> bytes:
+    """Convenience helper: draw a fresh random IV of ``size`` bytes."""
+    return prng.random_bytes(size)
+
+
+def iter_random_indices(prng: Sha256Prng, upper: int) -> Iterable[int]:
+    """Infinite stream of uniform indices in [0, upper)."""
+    while True:
+        yield prng.randrange(upper)

@@ -1,0 +1,55 @@
+"""Small helpers shared across the crypto substrate."""
+
+from __future__ import annotations
+
+from repro.errors import InvalidBlockSizeError, PaddingError
+
+AES_BLOCK_SIZE = 16
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """Return the byte-wise XOR of two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"xor_bytes operands differ in length: {len(a)} vs {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def pkcs7_pad(data: bytes, block_size: int = AES_BLOCK_SIZE) -> bytes:
+    """Pad ``data`` to a multiple of ``block_size`` using PKCS#7."""
+    if not 1 <= block_size <= 255:
+        raise ValueError("block_size must be in [1, 255]")
+    pad_len = block_size - (len(data) % block_size)
+    return data + bytes([pad_len]) * pad_len
+
+
+def pkcs7_unpad(data: bytes, block_size: int = AES_BLOCK_SIZE) -> bytes:
+    """Remove PKCS#7 padding, validating it."""
+    if not data or len(data) % block_size != 0:
+        raise InvalidBlockSizeError(
+            f"padded data length {len(data)} is not a positive multiple of {block_size}"
+        )
+    pad_len = data[-1]
+    if pad_len < 1 or pad_len > block_size:
+        raise PaddingError(f"invalid padding length byte {pad_len}")
+    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise PaddingError("padding bytes are inconsistent")
+    return data[:-pad_len]
+
+
+def split_blocks(data: bytes, block_size: int = AES_BLOCK_SIZE) -> list[bytes]:
+    """Split ``data`` into consecutive ``block_size`` chunks."""
+    if len(data) % block_size != 0:
+        raise InvalidBlockSizeError(
+            f"data length {len(data)} is not a multiple of {block_size}"
+        )
+    return [data[i : i + block_size] for i in range(0, len(data), block_size)]
+
+
+def constant_time_equals(a: bytes, b: bytes) -> bool:
+    """Compare two byte strings without short-circuiting on the first mismatch."""
+    if len(a) != len(b):
+        return False
+    result = 0
+    for x, y in zip(a, b):
+        result |= x ^ y
+    return result == 0

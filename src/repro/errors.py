@@ -1,0 +1,100 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class CryptoError(ReproError):
+    """Base class for errors in the crypto substrate."""
+
+
+class InvalidKeyError(CryptoError):
+    """A key has the wrong length or structure."""
+
+
+class InvalidBlockSizeError(CryptoError):
+    """Plaintext or ciphertext is not a multiple of the cipher block size."""
+
+
+class PaddingError(CryptoError):
+    """PKCS#7 padding is malformed on decryption."""
+
+
+class StorageError(ReproError):
+    """Base class for errors in the storage substrate."""
+
+
+class BlockOutOfRangeError(StorageError):
+    """A block index falls outside the storage volume."""
+
+
+class BlockSizeMismatchError(StorageError):
+    """A buffer written to the disk does not match the block size."""
+
+
+class SnapshotMismatchError(StorageError):
+    """Two snapshots being compared come from different volumes."""
+
+
+class FileSystemError(ReproError):
+    """Base class for errors in the file-system layers."""
+
+
+class VolumeFullError(FileSystemError):
+    """No free block could be allocated."""
+
+
+class FileNotFoundError_(FileSystemError):
+    """A hidden file could not be located from the supplied FAK/path."""
+
+
+class FileExistsError_(FileSystemError):
+    """A hidden file already exists at the target path."""
+
+
+class AccessDeniedError(FileSystemError):
+    """The supplied access key does not open the target file."""
+
+
+class IntegrityError(FileSystemError):
+    """Decrypted content failed an integrity check (wrong key or corruption)."""
+
+
+class AgentError(ReproError):
+    """Base class for errors in the agent layer."""
+
+
+class NotLoggedInError(AgentError):
+    """A volatile-agent operation referenced a user who is not logged in."""
+
+
+class UnknownFileError(AgentError):
+    """The agent was asked to operate on a file it has no key for."""
+
+
+class ObliviousStorageError(ReproError):
+    """Base class for errors in the oblivious storage."""
+
+
+class LevelFullError(ObliviousStorageError):
+    """A level overflowed without being dumped (internal invariant violation)."""
+
+
+class BlockNotCachedError(ObliviousStorageError):
+    """A block requested from the oblivious store is not present in any level."""
+
+
+class WorkloadError(ReproError):
+    """Base class for errors in workload generation."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors in the simulation engine."""

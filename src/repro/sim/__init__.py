@@ -1,0 +1,22 @@
+"""Multi-user simulation and scenario builders.
+
+* :mod:`repro.sim.engine` — a round-robin scheduler that interleaves
+  several clients' block operations on the shared disk, which is what
+  turns the baselines' sequential I/O into random I/O as concurrency
+  grows (Figures 10(b) and 11(c)).
+* :mod:`repro.sim.builders` — constructs each of the five evaluated
+  systems (Table 3) at a given volume size and space utilisation, with
+  files pre-created, ready for the benchmarks and examples to drive.
+"""
+
+from repro.sim.builders import SystemUnderTest, build_system, SYSTEM_LABELS
+from repro.sim.engine import ClientJob, RoundRobinSimulator, SimulationResult
+
+__all__ = [
+    "SystemUnderTest",
+    "build_system",
+    "SYSTEM_LABELS",
+    "ClientJob",
+    "RoundRobinSimulator",
+    "SimulationResult",
+]

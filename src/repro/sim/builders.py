@@ -1,0 +1,210 @@
+"""Scenario builders: construct each evaluated system ready for a workload.
+
+``build_system`` produces a :class:`SystemUnderTest` for any of the five
+Table-3 labels at a chosen volume size, space utilisation and file
+population, so the benchmarks and the examples share one construction
+path.
+
+Notes on the two StegHide variants:
+
+* **StegHide\\*** (non-volatile agent) — space utilisation is raised to
+  the target by creating filler *hidden* files through the agent; the
+  dummy pool is every remaining block, exactly as in Section 4.1.
+* **StegHide** (volatile agent) — a single benchmark user owns all the
+  workload and filler files plus dummy files covering the remaining
+  space, and is logged in, so the agent's disclosed universe spans the
+  volume.  This mirrors the paper's measurement setting, where the
+  implemented prototype is exercised by logged-in users and the
+  utilisation knob has the same meaning for both constructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.cleandisk import CleanDiskFileSystem
+from repro.baselines.fragdisk import FragDiskFileSystem
+from repro.baselines.interface import BaselineFile, FileSystemAdapter
+from repro.baselines.plainstegfs import PlainStegFsAdapter
+from repro.baselines.steghide import StegHideAdapter
+from repro.core.agent import StegAgent
+from repro.core.nonvolatile import NonVolatileAgent
+from repro.core.volatile import VolatileAgent
+from repro.crypto.keys import FileAccessKey, KeyRing
+from repro.crypto.prng import Sha256Prng
+from repro.stegfs.filesystem import StegFsVolume
+from repro.storage.device import RawDevice
+from repro.storage.disk import MIB, RawStorage, StorageGeometry
+from repro.storage.latency import DiskLatencyModel
+from repro.workloads.filegen import FileSpec, generate_content
+
+SYSTEM_LABELS = ("StegHide", "StegHide*", "StegFS", "FragDisk", "CleanDisk")
+
+_STEGANOGRAPHIC = {"StegHide", "StegHide*", "StegFS"}
+
+
+@dataclass
+class SystemUnderTest:
+    """One fully constructed system plus the files created in it."""
+
+    label: str
+    storage: RawStorage
+    adapter: FileSystemAdapter
+    handles: dict[str, BaselineFile] = field(default_factory=dict)
+    agent: StegAgent | None = None
+    volume: StegFsVolume | None = None
+    prng: Sha256Prng | None = None
+    keyring: KeyRing | None = None
+
+    def handle(self, name: str) -> BaselineFile:
+        """The handle of a file created at build time."""
+        return self.handles[name]
+
+    def first_handle(self) -> BaselineFile:
+        """Any one created file (convenient for single-file experiments)."""
+        return next(iter(self.handles.values()))
+
+
+def _make_storage(volume_mib: int, block_size: int, seed: int, latency: DiskLatencyModel | None) -> RawStorage:
+    geometry = StorageGeometry.from_capacity(volume_mib * MIB, block_size)
+    storage = RawStorage(geometry, latency=latency)
+    storage.fill_random(seed)
+    return storage
+
+
+def _create_files(
+    adapter: FileSystemAdapter, specs: list[FileSpec], seed: int
+) -> dict[str, BaselineFile]:
+    handles = {}
+    for index, spec in enumerate(specs):
+        content = generate_content(spec.size_bytes, seed + index)
+        handles[spec.name] = adapter.create_file(spec.name, content, stream="setup")
+    return handles
+
+
+def _fill_to_utilisation(
+    adapter: FileSystemAdapter,
+    volume: StegFsVolume,
+    target_utilisation: float,
+    seed: int,
+    filler_blocks_per_file: int = 256,
+) -> None:
+    """Create filler hidden files until the volume reaches the target utilisation."""
+    index = 0
+    payload = volume.data_field_bytes
+    while volume.utilisation < target_utilisation:
+        remaining = int((target_utilisation - volume.utilisation) * volume.num_blocks)
+        blocks = max(1, min(filler_blocks_per_file, remaining))
+        content = generate_content(blocks * payload, seed + 90_000 + index)
+        adapter.create_file(f"/filler/file{index}", content, stream="setup")
+        index += 1
+
+
+def build_system(
+    label: str,
+    volume_mib: int = 32,
+    block_size: int = 4096,
+    file_specs: list[FileSpec] | None = None,
+    target_utilisation: float | None = None,
+    seed: int = 0,
+    latency: DiskLatencyModel | None = None,
+) -> SystemUnderTest:
+    """Construct one of the five evaluated systems with its files created.
+
+    Parameters
+    ----------
+    label:
+        One of ``SYSTEM_LABELS``.
+    volume_mib:
+        Raw volume size in MiB (the paper uses 1 GiB; benchmarks scale down).
+    file_specs:
+        Files to create; defaults to a single 4 MiB file.
+    target_utilisation:
+        For the steganographic systems, the fraction of the volume that
+        should hold useful data after filler files are added.  ``None``
+        leaves utilisation at whatever the file specs produce.
+    """
+    if label not in SYSTEM_LABELS:
+        raise ValueError(f"unknown system label {label!r}; expected one of {SYSTEM_LABELS}")
+    specs = file_specs if file_specs is not None else [FileSpec("/hidden/file0", 4 * MIB)]
+    prng = Sha256Prng(f"builder:{label}:{seed}")
+    storage = _make_storage(volume_mib, block_size, seed, latency)
+
+    agent: StegAgent | None = None
+    volume: StegFsVolume | None = None
+
+    if label == "CleanDisk":
+        adapter: FileSystemAdapter = CleanDiskFileSystem(storage)
+    elif label == "FragDisk":
+        adapter = FragDiskFileSystem(storage, prng.spawn("fragdisk"))
+    elif label == "StegFS":
+        volume = StegFsVolume(RawDevice(storage), prng.spawn("volume"))
+        adapter = PlainStegFsAdapter(storage, volume, prng.spawn("adapter"))
+    elif label == "StegHide*":
+        volume = StegFsVolume(RawDevice(storage), prng.spawn("volume"))
+        agent = NonVolatileAgent(volume, prng.spawn("agent"))
+        adapter = StegHideAdapter(storage, agent, prng.spawn("adapter"), label="StegHide*")
+    else:  # StegHide (volatile agent)
+        volume = StegFsVolume(RawDevice(storage), prng.spawn("volume"))
+        agent = VolatileAgent(volume, prng.spawn("agent"))
+        adapter = StegHideAdapter(storage, agent, prng.spawn("adapter"), label="StegHide")
+
+    handles = _create_files(adapter, specs, seed)
+
+    if target_utilisation is not None and label in _STEGANOGRAPHIC and volume is not None:
+        if volume.utilisation > target_utilisation + 0.02:
+            raise ValueError(
+                f"the requested files already use {volume.utilisation:.0%} of the volume, "
+                f"above the target utilisation of {target_utilisation:.0%}"
+            )
+        _fill_to_utilisation(adapter, volume, target_utilisation, seed)
+
+    keyring = None
+    if label == "StegHide" and isinstance(agent, VolatileAgent) and volume is not None:
+        keyring = _disclose_dummy_space(agent, volume, adapter, prng)
+
+    return SystemUnderTest(
+        label=label,
+        storage=storage,
+        adapter=adapter,
+        handles=handles,
+        agent=agent,
+        volume=volume,
+        prng=prng,
+        keyring=keyring,
+    )
+
+
+def _disclose_dummy_space(
+    agent: VolatileAgent,
+    volume: StegFsVolume,
+    adapter: FileSystemAdapter,
+    prng: Sha256Prng,
+    chunk_blocks: int = 1024,
+) -> KeyRing:
+    """Give the benchmark user dummy files covering the volume's free space.
+
+    The dummy files are created directly through the agent (their FAKs
+    are marked as dummies) and registered in a key ring, modelling a
+    logged-in user who has disclosed everything he owns.  Returns the
+    user's key ring.
+    """
+    keyring = KeyRing(owner="benchmark-user")
+    if isinstance(adapter, StegHideAdapter):
+        for name, fak in adapter._faks.items():
+            if not fak.is_dummy:
+                keyring.add_hidden(name, fak)
+    index = 0
+    # Leave a small reserve (about 4% of the volume) so header placement and
+    # chain growth always find room even on heavily filled volumes.
+    while volume.allocator.free_blocks > max(64, volume.num_blocks // 25):
+        blocks = min(chunk_blocks, volume.allocator.free_blocks - 32)
+        if blocks <= 0:
+            break
+        fak = FileAccessKey.generate(prng.spawn(f"dummy-fak-{index}"), is_dummy=True)
+        content = generate_content(blocks * volume.data_field_bytes, 700_000 + index)
+        handle = agent.create_file(fak, f"/dummy/space{index}", content, stream="setup")
+        handle.owner = keyring.owner
+        keyring.add_dummy(f"/dummy/space{index}", fak)
+        index += 1
+    return keyring

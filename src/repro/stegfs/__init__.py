@@ -1,0 +1,38 @@
+"""StegFS substrate: the steganographic file system of ref [12].
+
+The paper builds its two access-hiding mechanisms on top of the authors'
+earlier StegFS (ICDE 2003).  This subpackage implements that substrate:
+
+* every block of the volume is encrypted and initially filled with
+  random bytes, so data blocks, dummy blocks and abandoned blocks are
+  indistinguishable without a key;
+* a hidden file is a set of data blocks organised in a tree rooted at a
+  *file header* whose location is derivable from the file's access key
+  (FAK) and path name;
+* dummy files are hidden files whose blocks hold only random bytes.
+
+The update-hiding agents and the oblivious storage in :mod:`repro.core`
+drive this layer.
+"""
+
+from repro.stegfs.allocator import RandomAllocator
+from repro.stegfs.constants import HEADER_MAGIC, NO_BLOCK
+from repro.stegfs.directory import DirectoryEntry, HiddenDirectory
+from repro.stegfs.file import HiddenFile
+from repro.stegfs.header import FileHeader
+from repro.stegfs.filesystem import StegFsVolume, VolumeConfig
+from repro.stegfs.dummy import build_dummy_content, create_dummy_file
+
+__all__ = [
+    "RandomAllocator",
+    "HEADER_MAGIC",
+    "NO_BLOCK",
+    "DirectoryEntry",
+    "HiddenDirectory",
+    "HiddenFile",
+    "FileHeader",
+    "StegFsVolume",
+    "VolumeConfig",
+    "build_dummy_content",
+    "create_dummy_file",
+]

@@ -1,0 +1,105 @@
+"""Random block allocation for the StegFS volume.
+
+StegFS scatters the blocks of hidden files uniformly across the volume
+(Section 2.1), which is what makes data blocks indistinguishable from
+abandoned/dummy blocks and what makes every data access a random I/O.
+
+The allocator keeps the volume's allocation table — the equivalent of
+StegFS's encrypted block allocation bitmap — so that newly created files
+never overwrite blocks that belong to files whose keys the agent does
+not currently hold.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.prng import Sha256Prng
+from repro.errors import VolumeFullError
+from repro.storage.bitmap import Bitmap
+
+
+class RandomAllocator:
+    """Allocates uniformly random free blocks from a volume.
+
+    Parameters
+    ----------
+    num_blocks:
+        Size of the volume in blocks.
+    prng:
+        Source of randomness for block selection.
+    max_probes:
+        How many random probes to try before falling back to scanning
+        the bitmap (only relevant on nearly full volumes).
+    """
+
+    def __init__(self, num_blocks: int, prng: Sha256Prng, max_probes: int = 4096):
+        self.bitmap = Bitmap(num_blocks)
+        self._num_blocks = num_blocks
+        self._prng = prng
+        self._max_probes = max_probes
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of blocks managed."""
+        return self._num_blocks
+
+    @property
+    def used_blocks(self) -> int:
+        """Number of allocated (data) blocks."""
+        return self.bitmap.set_count
+
+    @property
+    def free_blocks(self) -> int:
+        """Number of unallocated (dummy/abandoned) blocks."""
+        return self.bitmap.clear_count
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of the volume holding useful data."""
+        return self.used_blocks / self._num_blocks
+
+    def is_allocated(self, index: int) -> bool:
+        """Whether block ``index`` currently holds useful data."""
+        return self.bitmap.get(index)
+
+    def allocate_random(self) -> int:
+        """Allocate one uniformly random free block."""
+        if self.free_blocks == 0:
+            raise VolumeFullError("no free blocks left in the volume")
+        for _ in range(self._max_probes):
+            candidate = self._prng.randrange(self._num_blocks)
+            if not self.bitmap.get(candidate):
+                self.bitmap.set(candidate)
+                return candidate
+        # Extremely full volume: pick uniformly among the remaining free blocks.
+        free = list(self.bitmap.iter_clear())
+        choice = self._prng.choice(free)
+        self.bitmap.set(choice)
+        return choice
+
+    def allocate_many(self, count: int) -> list[int]:
+        """Allocate ``count`` random free blocks."""
+        if count > self.free_blocks:
+            raise VolumeFullError(
+                f"requested {count} blocks but only {self.free_blocks} are free"
+            )
+        return [self.allocate_random() for _ in range(count)]
+
+    def allocate_specific(self, index: int) -> bool:
+        """Allocate a specific block; returns False if it was already taken."""
+        if self.bitmap.get(index):
+            return False
+        self.bitmap.set(index)
+        return True
+
+    def free(self, index: int) -> None:
+        """Return a block to the free pool (it becomes a dummy block)."""
+        self.bitmap.clear(index)
+
+    def transfer(self, old_index: int, new_index: int) -> None:
+        """Record a block relocation: ``old_index`` freed, ``new_index`` taken.
+
+        Used by the Figure-6 update algorithm when a data block swaps
+        places with a dummy block.
+        """
+        self.bitmap.clear(old_index)
+        self.bitmap.set(new_index)

@@ -1,0 +1,47 @@
+"""Layout constants shared by the StegFS on-disk structures."""
+
+from __future__ import annotations
+
+# Magic bytes identifying a correctly decrypted header block.  A wrong
+# header key yields pseudo-random plaintext, so the probability of the
+# magic matching by accident is 2^-32.
+HEADER_MAGIC = b"SGFS"
+
+# Sentinel block pointer meaning "no block".
+NO_BLOCK = (1 << 64) - 1
+
+# Header field sizes (bytes).
+MAGIC_SIZE = 4
+FLAGS_SIZE = 1
+RESERVED_SIZE = 3
+FILE_SIZE_FIELD = 8
+TOTAL_BLOCKS_FIELD = 4
+POINTER_COUNT_FIELD = 4
+NEXT_HEADER_FIELD = 8
+PATH_DIGEST_SIZE = 16
+POINTER_SIZE = 8
+
+HEADER_FIXED_SIZE = (
+    MAGIC_SIZE
+    + FLAGS_SIZE
+    + RESERVED_SIZE
+    + FILE_SIZE_FIELD
+    + TOTAL_BLOCKS_FIELD
+    + POINTER_COUNT_FIELD
+    + NEXT_HEADER_FIELD
+    + PATH_DIGEST_SIZE
+)
+
+# Header flag bits.
+FLAG_DUMMY = 0x01
+FLAG_HAS_NEXT = 0x02
+
+
+def pointers_per_header(data_field_bytes: int) -> int:
+    """How many block pointers fit in one header block of the given payload size."""
+    usable = data_field_bytes - HEADER_FIXED_SIZE
+    if usable < POINTER_SIZE:
+        raise ValueError(
+            f"data field of {data_field_bytes} bytes cannot hold a file header"
+        )
+    return usable // POINTER_SIZE

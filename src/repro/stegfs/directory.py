@@ -1,0 +1,217 @@
+"""Hidden directories: key-protected listings of child files.
+
+The original StegFS (ref [12]) lets an owner organise hidden files into
+directories that are themselves hidden: a directory is just a hidden
+file whose content maps child names to their access keys, so knowing a
+directory's FAK grants access to everything below it, while an attacker
+who lacks the key cannot even tell the directory exists.
+
+A directory entry stores the child's kind (file or directory), its path
+and the three FAK components, serialised into a compact fixed-format
+record.  Directories are read and written through the same agent/volume
+code paths as any other hidden file, so every property of the update-
+and traffic-hiding mechanisms applies to them unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import KEY_SIZE, FileAccessKey
+from repro.errors import FileNotFoundError_
+from repro.stegfs.file import HiddenFile
+from repro.stegfs.filesystem import StegFsVolume
+
+_MAGIC = b"SGDR"
+_KIND_FILE = 0
+_KIND_DIRECTORY = 1
+
+
+@dataclass(frozen=True)
+class DirectoryEntry:
+    """One child of a hidden directory."""
+
+    name: str
+    path: str
+    fak: FileAccessKey
+    is_directory: bool = False
+
+
+def _encode_key(key: bytes | None) -> bytes:
+    return key if key is not None else b"\x00" * KEY_SIZE
+
+
+def _serialise_entry(entry: DirectoryEntry) -> bytes:
+    name = entry.name.encode("utf-8")
+    path = entry.path.encode("utf-8")
+    record = bytearray()
+    record.append(_KIND_DIRECTORY if entry.is_directory else _KIND_FILE)
+    record.append(1 if entry.fak.is_dummy else 0)
+    record += len(name).to_bytes(2, "big") + name
+    record += len(path).to_bytes(2, "big") + path
+    secret = entry.fak.secret
+    record += len(secret).to_bytes(2, "big") + secret
+    record += _encode_key(entry.fak.header_key)
+    record.append(0 if entry.fak.content_key is None else 1)
+    record += _encode_key(entry.fak.content_key)
+    return bytes(record)
+
+
+def _parse_entry(data: bytes, offset: int) -> tuple[DirectoryEntry, int]:
+    kind = data[offset]
+    is_dummy = bool(data[offset + 1])
+    offset += 2
+    name_len = int.from_bytes(data[offset : offset + 2], "big")
+    offset += 2
+    name = data[offset : offset + name_len].decode("utf-8")
+    offset += name_len
+    path_len = int.from_bytes(data[offset : offset + 2], "big")
+    offset += 2
+    path = data[offset : offset + path_len].decode("utf-8")
+    offset += path_len
+    secret_len = int.from_bytes(data[offset : offset + 2], "big")
+    offset += 2
+    secret = data[offset : offset + secret_len]
+    offset += secret_len
+    header_key = data[offset : offset + KEY_SIZE]
+    offset += KEY_SIZE
+    has_content_key = bool(data[offset])
+    offset += 1
+    content_key = data[offset : offset + KEY_SIZE] if has_content_key else None
+    offset += KEY_SIZE
+    fak = FileAccessKey(
+        secret=secret, header_key=header_key, content_key=content_key, is_dummy=is_dummy
+    )
+    entry = DirectoryEntry(
+        name=name, path=path, fak=fak, is_directory=kind == _KIND_DIRECTORY
+    )
+    return entry, offset
+
+
+def serialise_directory(entries: list[DirectoryEntry]) -> bytes:
+    """Pack a directory's entries into its hidden-file content."""
+    body = bytearray(_MAGIC)
+    body += len(entries).to_bytes(4, "big")
+    for entry in entries:
+        body += _serialise_entry(entry)
+    return bytes(body)
+
+
+def deserialise_directory(content: bytes) -> list[DirectoryEntry]:
+    """Unpack a directory's hidden-file content."""
+    if content[:4] != _MAGIC:
+        raise FileNotFoundError_("content is not a hidden directory")
+    count = int.from_bytes(content[4:8], "big")
+    entries = []
+    offset = 8
+    for _ in range(count):
+        entry, offset = _parse_entry(content, offset)
+        entries.append(entry)
+    return entries
+
+
+class HiddenDirectory:
+    """A hidden directory opened through a StegFS volume.
+
+    The directory content lives in an ordinary hidden file; this wrapper
+    keeps the parsed entries in memory and rewrites the file when they
+    change (creating the new version through whatever agent or volume
+    write path the caller supplies keeps the hiding guarantees intact).
+    """
+
+    def __init__(self, volume: StegFsVolume, fak: FileAccessKey, path: str,
+                 handle: HiddenFile, entries: list[DirectoryEntry]):
+        self.volume = volume
+        self.fak = fak
+        self.path = path
+        self._handle = handle
+        self._entries = {entry.name: entry for entry in entries}
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, volume: StegFsVolume, fak: FileAccessKey, path: str) -> "HiddenDirectory":
+        """Create an empty hidden directory at ``path``."""
+        handle = volume.create_file(fak, path, serialise_directory([]))
+        return cls(volume, fak, path, handle, [])
+
+    @classmethod
+    def open(cls, volume: StegFsVolume, fak: FileAccessKey, path: str) -> "HiddenDirectory":
+        """Open an existing hidden directory from its FAK and path."""
+        handle = volume.open_file(fak, path)
+        entries = deserialise_directory(volume.read_file(handle))
+        return cls(volume, fak, path, handle, entries)
+
+    def _rewrite(self) -> None:
+        """Persist the current entry list (delete + recreate the backing file)."""
+        self.volume.delete_file(self._handle)
+        self._handle = self.volume.create_file(
+            self.fak, self.path, serialise_directory(list(self._entries.values()))
+        )
+
+    # -- queries --------------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Child names, sorted."""
+        return sorted(self._entries)
+
+    def entry(self, name: str) -> DirectoryEntry:
+        """The entry for ``name``."""
+        if name not in self._entries:
+            raise FileNotFoundError_(f"{name!r} is not in directory {self.path!r}")
+        return self._entries[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- mutation --------------------------------------------------------------------
+
+    def add_file(self, name: str, fak: FileAccessKey, path: str) -> DirectoryEntry:
+        """Record a child file's access key under ``name``."""
+        entry = DirectoryEntry(name=name, path=path, fak=fak, is_directory=False)
+        self._entries[name] = entry
+        self._rewrite()
+        return entry
+
+    def add_subdirectory(self, name: str, fak: FileAccessKey, path: str) -> DirectoryEntry:
+        """Record a child directory's access key under ``name``."""
+        entry = DirectoryEntry(name=name, path=path, fak=fak, is_directory=True)
+        self._entries[name] = entry
+        self._rewrite()
+        return entry
+
+    def remove(self, name: str) -> None:
+        """Forget a child (the child's own blocks are untouched)."""
+        if name not in self._entries:
+            raise FileNotFoundError_(f"{name!r} is not in directory {self.path!r}")
+        del self._entries[name]
+        self._rewrite()
+
+    # -- navigation -------------------------------------------------------------------
+
+    def open_subdirectory(self, name: str) -> "HiddenDirectory":
+        """Open a child directory recorded in this one."""
+        entry = self.entry(name)
+        if not entry.is_directory:
+            raise FileNotFoundError_(f"{name!r} is a file, not a directory")
+        return HiddenDirectory.open(self.volume, entry.fak, entry.path)
+
+    def open_file(self, name: str) -> HiddenFile:
+        """Open a child file recorded in this directory."""
+        entry = self.entry(name)
+        if entry.is_directory:
+            raise FileNotFoundError_(f"{name!r} is a directory, not a file")
+        return self.volume.open_file(entry.fak, entry.path)
+
+    def resolve(self, relative_path: str) -> DirectoryEntry:
+        """Resolve a multi-component path like ``"projects/2004/budget"``."""
+        parts = [part for part in relative_path.split("/") if part]
+        if not parts:
+            raise FileNotFoundError_("empty path")
+        current = self
+        for part in parts[:-1]:
+            current = current.open_subdirectory(part)
+        return current.entry(parts[-1])

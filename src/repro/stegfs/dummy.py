@@ -1,0 +1,59 @@
+"""Dummy files: hidden files whose blocks hold only random bytes.
+
+Section 4.1.2: "All the dummy blocks in the raw storage belong to a
+single dummy file, a hidden file whose FAK is held by the agent" (the
+non-volatile construction).  Section 4.2.1: for the volatile
+construction, "dummy blocks in the raw storage are organized into dummy
+files of approximately the size of data files, and distributed to the
+users."
+
+A dummy file is structurally identical to any other hidden file; only
+its content is meaningless, which is exactly why an observer cannot
+tell dummy traffic from real traffic.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keys import FileAccessKey
+from repro.crypto.prng import Sha256Prng
+from repro.stegfs.file import HiddenFile
+from repro.stegfs.filesystem import StegFsVolume
+
+
+def build_dummy_content(prng: Sha256Prng, num_blocks: int, data_field_bytes: int) -> bytes:
+    """Random content filling ``num_blocks`` whole data blocks."""
+    if num_blocks < 0:
+        raise ValueError("num_blocks must be non-negative")
+    return prng.random_bytes(num_blocks * data_field_bytes)
+
+
+def create_dummy_file(
+    volume: StegFsVolume,
+    path: str,
+    num_blocks: int,
+    prng: Sha256Prng,
+    fak: FileAccessKey | None = None,
+    header_key: bytes | None = None,
+    content_key: bytes | None = None,
+    stream: str = "default",
+) -> tuple[FileAccessKey, HiddenFile]:
+    """Create a dummy file of ``num_blocks`` blocks and return its FAK and handle.
+
+    The dummy file's content key is never needed to use the file (its
+    content is random), so the blocks are encrypted under the header key
+    unless an explicit ``content_key`` is supplied (the non-volatile
+    agent passes its master key).
+    """
+    if fak is None:
+        fak = FileAccessKey.generate(prng.spawn(f"dummy-fak:{path}"), is_dummy=True)
+    content = build_dummy_content(prng.spawn(f"dummy-content:{path}"), num_blocks, volume.data_field_bytes)
+    handle = volume.create_file(
+        fak,
+        path,
+        content,
+        header_key=header_key,
+        content_key=content_key,
+        is_dummy=True,
+        stream=stream,
+    )
+    return fak, handle

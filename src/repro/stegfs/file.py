@@ -1,0 +1,75 @@
+"""Open-file handles.
+
+A :class:`HiddenFile` is the agent's in-memory handle on one hidden (or
+dummy) file: the cached header plus the keys needed to read and update
+the file's blocks.  The handle never touches the device itself — all
+I/O goes through :class:`repro.stegfs.filesystem.StegFsVolume` so that
+every device access is accounted and observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.keys import FileAccessKey
+from repro.stegfs.header import FileHeader
+
+
+@dataclass
+class HiddenFile:
+    """An open hidden file: cached header plus the keys guarding its blocks.
+
+    Attributes
+    ----------
+    header:
+        The cached :class:`~repro.stegfs.header.FileHeader`.
+    fak:
+        The file access key that opened the file.
+    header_key / content_key:
+        The actual keys used to encrypt the header chain and the data
+        blocks.  For the non-volatile agent these are the agent's master
+        key; for the volatile agent they come from the FAK.
+    dirty:
+        Set when the cached header diverges from the on-disk copy
+        (e.g. after block relocations) and needs to be saved.
+    """
+
+    header: FileHeader
+    fak: FileAccessKey
+    header_key: bytes
+    content_key: bytes | None
+    dirty: bool = False
+    owner: str = ""
+    _open_streams: set[str] = field(default_factory=set)
+
+    @property
+    def path(self) -> str:
+        """Logical path of the file."""
+        return self.header.path
+
+    @property
+    def is_dummy(self) -> bool:
+        """Whether this is a dummy file (random content, no content key needed)."""
+        return self.header.is_dummy
+
+    @property
+    def size_bytes(self) -> int:
+        """Content length in bytes."""
+        return self.header.file_size
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of data blocks."""
+        return self.header.total_blocks
+
+    def physical_block(self, logical_index: int) -> int:
+        """Physical location of a logical block."""
+        return self.header.physical_block(logical_index)
+
+    def mark_dirty(self) -> None:
+        """Flag the cached header as needing a save."""
+        self.dirty = True
+
+    def blocks(self) -> list[int]:
+        """Physical locations of all data blocks, in logical order."""
+        return list(self.header.block_pointers)

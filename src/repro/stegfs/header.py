@@ -1,0 +1,200 @@
+"""In-memory file header and its on-disk serialisation.
+
+Section 4.1.2 of the paper: "A hidden file is a set of data blocks that
+are organized in a tree structure, with the file header as the root
+node. ... The location of the header of a hidden file is derivable from
+its access key FAK and path name."
+
+The header records the physical location of every data block of the
+file (necessary because the update-hiding agents relocate blocks on
+every update).  When the pointer list does not fit in one block, the
+header spills into a chain of continuation header blocks, each stored —
+like all other blocks — at a location indistinguishable from random.
+
+While a file is open the header lives in the agent's cache and is only
+written back when the file is saved (Section 4.1.5), so header
+maintenance does not add to the per-update I/O cost.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.errors import IntegrityError
+from repro.stegfs.constants import (
+    FLAG_DUMMY,
+    FLAG_HAS_NEXT,
+    HEADER_FIXED_SIZE,
+    HEADER_MAGIC,
+    NO_BLOCK,
+    POINTER_SIZE,
+    pointers_per_header,
+)
+
+
+def path_digest(path: str) -> bytes:
+    """16-byte digest of a path, stored in the header for validation."""
+    return hashlib.sha256(path.encode("utf-8")).digest()[:16]
+
+
+@dataclass
+class FileHeader:
+    """The in-memory (agent cache) view of a hidden file's metadata.
+
+    Attributes
+    ----------
+    path:
+        Logical path of the file (known only to the key holder).
+    file_size:
+        Length of the file content in bytes.
+    block_pointers:
+        Physical block index of each logical data block, in order.
+    header_blocks:
+        Physical locations of the header chain; the first entry is the
+        root header block derived from the FAK and path.
+    is_dummy:
+        True for dummy files (content is random bytes).
+    """
+
+    path: str
+    file_size: int = 0
+    block_pointers: list[int] = field(default_factory=list)
+    header_blocks: list[int] = field(default_factory=list)
+    is_dummy: bool = False
+
+    @property
+    def total_blocks(self) -> int:
+        """Number of data blocks in the file."""
+        return len(self.block_pointers)
+
+    def physical_block(self, logical_index: int) -> int:
+        """Physical location of logical block ``logical_index``."""
+        return self.block_pointers[logical_index]
+
+    def relocate(self, logical_index: int, new_physical: int) -> int:
+        """Point logical block ``logical_index`` at a new physical block.
+
+        Returns the previous physical location (which becomes a dummy
+        block after the move).
+        """
+        old = self.block_pointers[logical_index]
+        self.block_pointers[logical_index] = new_physical
+        return old
+
+    def logical_of_physical(self, physical: int) -> int | None:
+        """Logical index of a physical block, or None if not part of the file."""
+        try:
+            return self.block_pointers.index(physical)
+        except ValueError:
+            return None
+
+    def all_blocks(self) -> set[int]:
+        """Every physical block the file occupies (data + header chain)."""
+        return set(self.block_pointers) | set(self.header_blocks)
+
+    # -- serialisation --------------------------------------------------------
+
+    def headers_needed(self, data_field_bytes: int) -> int:
+        """How many header blocks are required to hold the pointer list."""
+        per_block = pointers_per_header(data_field_bytes)
+        return max(1, -(-len(self.block_pointers) // per_block))
+
+    def serialise(self, data_field_bytes: int) -> list[bytes]:
+        """Serialise the header into a chain of data-field payloads.
+
+        ``header_blocks`` must already contain one physical location per
+        chain element (see :meth:`headers_needed`); the serialised
+        payloads embed the *next* pointers from that list.
+        """
+        per_block = pointers_per_header(data_field_bytes)
+        needed = self.headers_needed(data_field_bytes)
+        if len(self.header_blocks) < needed:
+            raise ValueError(
+                f"header chain has {len(self.header_blocks)} locations, needs {needed}"
+            )
+        digest = path_digest(self.path)
+        payloads = []
+        for chunk_index in range(needed):
+            chunk = self.block_pointers[chunk_index * per_block : (chunk_index + 1) * per_block]
+            has_next = chunk_index + 1 < needed
+            flags = (FLAG_DUMMY if self.is_dummy else 0) | (FLAG_HAS_NEXT if has_next else 0)
+            next_header = self.header_blocks[chunk_index + 1] if has_next else NO_BLOCK
+            body = bytearray()
+            body += HEADER_MAGIC
+            body.append(flags)
+            body += b"\x00" * 3
+            body += self.file_size.to_bytes(8, "big")
+            body += self.total_blocks.to_bytes(4, "big")
+            body += len(chunk).to_bytes(4, "big")
+            body += next_header.to_bytes(8, "big")
+            body += digest
+            for pointer in chunk:
+                body += pointer.to_bytes(POINTER_SIZE, "big")
+            body += b"\x00" * (data_field_bytes - len(body))
+            payloads.append(bytes(body))
+        return payloads
+
+    @staticmethod
+    def parse_chunk(payload: bytes) -> "HeaderChunk":
+        """Parse one header-block payload into a :class:`HeaderChunk`."""
+        if payload[:4] != HEADER_MAGIC:
+            raise IntegrityError("header magic mismatch (wrong key or not a header block)")
+        flags = payload[4]
+        file_size = int.from_bytes(payload[8:16], "big")
+        total_blocks = int.from_bytes(payload[16:20], "big")
+        pointer_count = int.from_bytes(payload[20:24], "big")
+        next_header = int.from_bytes(payload[24:32], "big")
+        digest = payload[32:48]
+        pointers = []
+        offset = HEADER_FIXED_SIZE
+        for _ in range(pointer_count):
+            pointers.append(int.from_bytes(payload[offset : offset + POINTER_SIZE], "big"))
+            offset += POINTER_SIZE
+        return HeaderChunk(
+            is_dummy=bool(flags & FLAG_DUMMY),
+            has_next=bool(flags & FLAG_HAS_NEXT),
+            file_size=file_size,
+            total_blocks=total_blocks,
+            pointers=pointers,
+            next_header=next_header,
+            path_digest=digest,
+        )
+
+    @classmethod
+    def from_chunks(cls, path: str, chunks: list["HeaderChunk"], header_blocks: list[int]) -> "FileHeader":
+        """Rebuild a header from a parsed chain of chunks."""
+        if not chunks:
+            raise IntegrityError("empty header chain")
+        expected_digest = path_digest(path)
+        for chunk in chunks:
+            if chunk.path_digest != expected_digest:
+                raise IntegrityError("header path digest mismatch (wrong path or key)")
+        pointers: list[int] = []
+        for chunk in chunks:
+            pointers.extend(chunk.pointers)
+        first = chunks[0]
+        if len(pointers) != first.total_blocks:
+            raise IntegrityError(
+                f"header chain has {len(pointers)} pointers, expected {first.total_blocks}"
+            )
+        return cls(
+            path=path,
+            file_size=first.file_size,
+            block_pointers=pointers,
+            header_blocks=list(header_blocks),
+            is_dummy=first.is_dummy,
+        )
+
+
+@dataclass(frozen=True)
+class HeaderChunk:
+    """One parsed element of a header chain."""
+
+    is_dummy: bool
+    has_next: bool
+    file_size: int
+    total_blocks: int
+    pointers: list[int]
+    next_header: int
+    path_digest: bytes

@@ -1,0 +1,52 @@
+"""Simulated raw block storage, the substrate the file systems run on.
+
+The paper's prototype runs on a 20 GB Ultra ATA/100 disk with 4 KB
+blocks (Tables 1 and 2).  We do not have that testbed, so this
+subpackage provides a simulated block device:
+
+* :class:`~repro.storage.block.StoredBlock` — the on-disk block format
+  (IV + encrypted data field) of Section 4.1.1.
+* :class:`~repro.storage.latency.DiskLatencyModel` — charges seek,
+  rotational and transfer time, distinguishing sequential from random
+  accesses so that the CleanDisk/FragDisk baselines keep their paper
+  advantage on sequential workloads.
+* :class:`~repro.storage.disk.RawStorage` — the block device itself,
+  with I/O accounting and pluggable latency.
+* :class:`~repro.storage.snapshot.Snapshot` — what the update-analysis
+  attacker sees (a full copy of the raw bytes), plus diffing.
+* :class:`~repro.storage.trace.IoTrace` — what the traffic-analysis
+  attacker sees (the sequence of I/O requests between agent and storage).
+"""
+
+from repro.storage.bitmap import Bitmap
+from repro.storage.block import BLOCK_IV_SIZE, StoredBlock, data_field_size
+from repro.storage.device import BlockDevice, Partition, RawDevice, split_volume
+from repro.storage.disk import GIB, KIB, MIB, IoCounters, RawStorage, StorageGeometry
+from repro.storage.latency import DiskLatencyModel, ZeroLatencyModel
+from repro.storage.snapshot import Snapshot, SnapshotDiff, diff_snapshots, take_snapshot
+from repro.storage.trace import IoEvent, IoTrace
+
+__all__ = [
+    "Bitmap",
+    "BLOCK_IV_SIZE",
+    "StoredBlock",
+    "data_field_size",
+    "BlockDevice",
+    "Partition",
+    "RawDevice",
+    "split_volume",
+    "RawStorage",
+    "StorageGeometry",
+    "IoCounters",
+    "KIB",
+    "MIB",
+    "GIB",
+    "DiskLatencyModel",
+    "ZeroLatencyModel",
+    "Snapshot",
+    "SnapshotDiff",
+    "take_snapshot",
+    "diff_snapshots",
+    "IoEvent",
+    "IoTrace",
+]

@@ -1,0 +1,96 @@
+"""A simple block bitmap.
+
+The paper's simulation of the non-volatile agent "use[s] a bitmap to
+mark data blocks against dummy blocks" (Section 6.2).  The same
+structure is used by the baseline allocators to track free blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import BlockOutOfRangeError
+
+
+class Bitmap:
+    """Fixed-size bitmap over block indices."""
+
+    def __init__(self, size: int, fill: bool = False):
+        if size <= 0:
+            raise ValueError("bitmap size must be positive")
+        self._size = size
+        self._bits = bytearray([0xFF] * ((size + 7) // 8)) if fill else bytearray((size + 7) // 8)
+        self._count = size if fill else 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self._size:
+            raise BlockOutOfRangeError(f"bit {index} outside bitmap of {self._size}")
+
+    def get(self, index: int) -> bool:
+        """Whether bit ``index`` is set."""
+        self._check(index)
+        return bool(self._bits[index // 8] & (1 << (index % 8)))
+
+    def set(self, index: int) -> None:
+        """Set bit ``index``."""
+        self._check(index)
+        if not self.get(index):
+            self._bits[index // 8] |= 1 << (index % 8)
+            self._count += 1
+
+    def clear(self, index: int) -> None:
+        """Clear bit ``index``."""
+        self._check(index)
+        if self.get(index):
+            self._bits[index // 8] &= ~(1 << (index % 8)) & 0xFF
+            self._count -= 1
+
+    @property
+    def set_count(self) -> int:
+        """Number of set bits."""
+        return self._count
+
+    @property
+    def clear_count(self) -> int:
+        """Number of clear bits."""
+        return self._size - self._count
+
+    def iter_set(self) -> Iterator[int]:
+        """Indices of set bits, in increasing order."""
+        for index in range(self._size):
+            if self.get(index):
+                yield index
+
+    def iter_clear(self) -> Iterator[int]:
+        """Indices of clear bits, in increasing order."""
+        for index in range(self._size):
+            if not self.get(index):
+                yield index
+
+    def first_clear(self, start: int = 0) -> int | None:
+        """The first clear bit at or after ``start``, or None."""
+        for index in range(start, self._size):
+            if not self.get(index):
+                return index
+        return None
+
+    def find_clear_run(self, length: int, start: int = 0) -> int | None:
+        """The start of the first run of ``length`` clear bits, or None."""
+        if length <= 0:
+            raise ValueError("run length must be positive")
+        run_start = None
+        run_len = 0
+        for index in range(start, self._size):
+            if self.get(index):
+                run_start = None
+                run_len = 0
+                continue
+            if run_start is None:
+                run_start = index
+            run_len += 1
+            if run_len >= length:
+                return run_start
+        return None

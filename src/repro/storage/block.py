@@ -1,0 +1,78 @@
+"""On-disk block format: an initial vector plus an encrypted data field.
+
+Section 4.1.1 of the paper: "each block contains an initial vector (IV)
+and a data field.  The data field contains real data in the case of a
+data block, and random bytes if it is a dummy block. ... Whenever the
+agent re-encrypts a block, it resets the IV so that the content of the
+whole encrypted block changes.  This enables the agent to carry out
+dummy updates on any block, by simply changing its IV."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.cipher import FieldCipher
+from repro.errors import BlockSizeMismatchError
+
+BLOCK_IV_SIZE = 16
+
+
+@dataclass(frozen=True)
+class StoredBlock:
+    """Raw bytes of one storage block, split into IV and encrypted data field.
+
+    The block as written to disk is ``iv || ciphertext``; an attacker
+    scanning the raw storage sees only these bytes and cannot tell a data
+    block from a dummy block.
+    """
+
+    iv: bytes
+    ciphertext: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.iv) != BLOCK_IV_SIZE:
+            raise BlockSizeMismatchError(
+                f"IV must be {BLOCK_IV_SIZE} bytes, got {len(self.iv)}"
+            )
+
+    @property
+    def raw(self) -> bytes:
+        """The block exactly as stored on disk."""
+        return self.iv + self.ciphertext
+
+    @classmethod
+    def from_raw(cls, raw: bytes) -> "StoredBlock":
+        """Parse a raw on-disk block back into IV and ciphertext."""
+        if len(raw) < BLOCK_IV_SIZE:
+            raise BlockSizeMismatchError(
+                f"raw block of {len(raw)} bytes is smaller than the IV"
+            )
+        return cls(iv=raw[:BLOCK_IV_SIZE], ciphertext=raw[BLOCK_IV_SIZE:])
+
+    @classmethod
+    def seal(cls, cipher: FieldCipher, iv: bytes, plaintext: bytes) -> "StoredBlock":
+        """Encrypt ``plaintext`` under ``cipher`` seeded by ``iv``."""
+        return cls(iv=iv, ciphertext=cipher.encrypt(iv, plaintext))
+
+    def open(self, cipher: FieldCipher) -> bytes:
+        """Decrypt the data field with ``cipher``."""
+        return cipher.decrypt(self.iv, self.ciphertext)
+
+    def reseal_with_new_iv(self, cipher: FieldCipher, new_iv: bytes) -> "StoredBlock":
+        """Re-encrypt the same plaintext under a fresh IV (a dummy update).
+
+        The plaintext is unchanged but every ciphertext byte changes, so
+        an observer cannot distinguish this from a real content update.
+        """
+        plaintext = self.open(cipher)
+        return StoredBlock.seal(cipher, new_iv, plaintext)
+
+
+def data_field_size(block_size: int) -> int:
+    """Number of data-field bytes available in a block of ``block_size`` bytes."""
+    if block_size <= BLOCK_IV_SIZE:
+        raise BlockSizeMismatchError(
+            f"block size {block_size} leaves no room for a data field"
+        )
+    return block_size - BLOCK_IV_SIZE

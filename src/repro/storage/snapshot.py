@@ -1,0 +1,86 @@
+"""Snapshots of the raw storage and snapshot diffing.
+
+This is the observable of the *update analysis* attacker (Section 3.1):
+"if an attacker can compare consecutive snapshots, he can detect changes
+on blocks that do not belong to any plain files, and conclude that one
+or more hidden files exist."  A :class:`Snapshot` is a verbatim copy of
+the volume's raw bytes at a point in time; :class:`SnapshotDiff` reports
+which blocks changed between two snapshots.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import SnapshotMismatchError
+from repro.storage.disk import RawStorage
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A point-in-time copy of the raw storage, as an attacker would take it."""
+
+    block_size: int
+    num_blocks: int
+    data: bytes
+    label: str = ""
+
+    def block(self, index: int) -> bytes:
+        """Raw bytes of block ``index`` in this snapshot."""
+        offset = index * self.block_size
+        return self.data[offset : offset + self.block_size]
+
+    def block_digest(self, index: int) -> bytes:
+        """SHA-256 digest of one block (attackers compare digests, not bytes)."""
+        return hashlib.sha256(self.block(index)).digest()
+
+    def digests(self) -> list[bytes]:
+        """Digest of every block, in order."""
+        return [self.block_digest(i) for i in range(self.num_blocks)]
+
+
+@dataclass(frozen=True)
+class SnapshotDiff:
+    """The result of comparing two snapshots of the same volume."""
+
+    changed_blocks: tuple[int, ...]
+    total_blocks: int
+
+    @property
+    def change_count(self) -> int:
+        """How many blocks changed."""
+        return len(self.changed_blocks)
+
+    @property
+    def change_fraction(self) -> float:
+        """Fraction of the volume that changed."""
+        return self.change_count / self.total_blocks if self.total_blocks else 0.0
+
+
+def take_snapshot(storage: RawStorage, label: str = "") -> Snapshot:
+    """Capture the current contents of ``storage`` without generating device I/O.
+
+    The attacker is assumed to obtain snapshots out-of-band (e.g. from
+    backups or by imaging the shared volume), so taking one does not
+    perturb the I/O trace.
+    """
+    return Snapshot(
+        block_size=storage.geometry.block_size,
+        num_blocks=storage.geometry.num_blocks,
+        data=storage.raw_bytes(),
+        label=label,
+    )
+
+
+def diff_snapshots(before: Snapshot, after: Snapshot) -> SnapshotDiff:
+    """Report which blocks differ between two snapshots of the same volume."""
+    if before.block_size != after.block_size or before.num_blocks != after.num_blocks:
+        raise SnapshotMismatchError("snapshots come from volumes with different geometry")
+    changed = []
+    size = before.block_size
+    for index in range(before.num_blocks):
+        offset = index * size
+        if before.data[offset : offset + size] != after.data[offset : offset + size]:
+            changed.append(index)
+    return SnapshotDiff(changed_blocks=tuple(changed), total_blocks=before.num_blocks)

@@ -1,0 +1,82 @@
+"""I/O traces: the observable the traffic-analysis attacker works from.
+
+Section 3.2.2 of the paper: the second group of attackers "are able to
+observe the I/O requests between the agent and the storage, either from
+the activity log or by trapping requests directly at runtime".  An
+:class:`IoTrace` is exactly that activity log — a sequence of
+(operation, block index, stream, timestamp) events with no plaintext and
+no knowledge of the agent's internal state.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Literal
+
+Operation = Literal["read", "write"]
+
+
+@dataclass(frozen=True)
+class IoEvent:
+    """One observed I/O request between the agent and the raw storage."""
+
+    op: Operation
+    index: int
+    time_ms: float
+    stream: str = "default"
+
+
+@dataclass
+class IoTrace:
+    """An append-only log of I/O events, with simple query helpers."""
+
+    events: list[IoEvent] = field(default_factory=list)
+
+    def record(self, op: Operation, index: int, time_ms: float, stream: str = "default") -> None:
+        """Append one event."""
+        self.events.append(IoEvent(op=op, index=index, time_ms=time_ms, stream=stream))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[IoEvent]:
+        return iter(self.events)
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()
+
+    # -- queries used by attackers and analysis --------------------------------
+
+    def reads(self) -> list[IoEvent]:
+        """All read events in order."""
+        return [e for e in self.events if e.op == "read"]
+
+    def writes(self) -> list[IoEvent]:
+        """All write events in order."""
+        return [e for e in self.events if e.op == "write"]
+
+    def indices(self, op: Operation | None = None) -> list[int]:
+        """Block indices touched, optionally filtered by operation."""
+        return [e.index for e in self.events if op is None or e.op == op]
+
+    def index_histogram(self, op: Operation | None = None) -> Counter:
+        """How many times each block index was touched."""
+        return Counter(self.indices(op))
+
+    def touched_blocks(self, op: Operation | None = None) -> set[int]:
+        """The set of distinct block indices touched."""
+        return set(self.indices(op))
+
+    def slice_by_stream(self, stream: str) -> "IoTrace":
+        """Events belonging to one request stream."""
+        return IoTrace([e for e in self.events if e.stream == stream])
+
+    def between(self, start_ms: float, end_ms: float) -> "IoTrace":
+        """Events with timestamps in [start_ms, end_ms)."""
+        return IoTrace([e for e in self.events if start_ms <= e.time_ms < end_ms])
+
+    def extend(self, other: Iterable[IoEvent]) -> None:
+        """Append events from another trace."""
+        self.events.extend(other)

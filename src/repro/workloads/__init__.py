@@ -1,0 +1,32 @@
+"""Workload generators for the paper's evaluation.
+
+Table 2 of the paper defines the workload: 4 KB blocks, files of
+(4, 8] MB, a 1 GB volume, space utilisation up to 50%.  These modules
+generate file contents, retrieval and update request streams, the
+multi-user variants of both, and the Figure-1 salary-table scenario the
+introduction motivates.
+"""
+
+from repro.workloads.filegen import FileSpec, generate_content, generate_file_specs
+from repro.workloads.retrieval import file_read_job, measure_file_read
+from repro.workloads.update import (
+    block_update_job,
+    measure_block_update,
+    measure_range_update,
+    random_update_requests,
+)
+from repro.workloads.tableupdate import SalaryTable, TableUpdateWorkload
+
+__all__ = [
+    "FileSpec",
+    "generate_content",
+    "generate_file_specs",
+    "file_read_job",
+    "measure_file_read",
+    "block_update_job",
+    "measure_block_update",
+    "measure_range_update",
+    "random_update_requests",
+    "SalaryTable",
+    "TableUpdateWorkload",
+]

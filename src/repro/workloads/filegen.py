@@ -1,0 +1,51 @@
+"""Synthetic file generation.
+
+File contents only need to be (a) deterministic for a given seed and
+(b) cheap to produce at multi-megabyte sizes, so they come from a
+numpy generator rather than the cryptographic PRNG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crypto.prng import Sha256Prng
+
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class FileSpec:
+    """A file to create in a workload: logical name and size."""
+
+    name: str
+    size_bytes: int
+
+
+def generate_content(size_bytes: int, seed: int = 0) -> bytes:
+    """Deterministic pseudo-random file content of exactly ``size_bytes``."""
+    if size_bytes < 0:
+        raise ValueError("size_bytes must be non-negative")
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=size_bytes, dtype=np.uint8).tobytes()
+
+
+def generate_file_specs(
+    count: int,
+    prng: Sha256Prng,
+    min_size_bytes: int = 4 * MIB,
+    max_size_bytes: int = 8 * MIB,
+    name_prefix: str = "/hidden/file",
+) -> list[FileSpec]:
+    """File specs matching the paper's (4, 8] MB default size range."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if min_size_bytes > max_size_bytes:
+        raise ValueError("min_size_bytes must not exceed max_size_bytes")
+    specs = []
+    for index in range(count):
+        size = prng.randint(min_size_bytes, max_size_bytes)
+        specs.append(FileSpec(name=f"{name_prefix}{index}", size_bytes=size))
+    return specs

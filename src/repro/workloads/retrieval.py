@@ -1,0 +1,34 @@
+"""Data-retrieval workloads (Figure 10).
+
+A retrieval reads a whole file, block by block, through whichever file
+system adapter is under test.  The single-user variant simply measures
+elapsed simulated time; the multi-user variant exposes the read as a
+generator (one block per step) so the round-robin simulator can
+interleave several users on the shared disk.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.baselines.interface import BaselineFile, FileSystemAdapter
+
+
+def measure_file_read(
+    adapter: FileSystemAdapter, handle: BaselineFile, stream: str = "default"
+) -> float:
+    """Read a whole file and return the elapsed simulated milliseconds."""
+    storage = adapter.storage
+    storage.reset_head_position()
+    started = storage.clock_ms
+    adapter.read_file(handle, stream)
+    return storage.clock_ms - started
+
+
+def file_read_job(
+    adapter: FileSystemAdapter, handle: BaselineFile, stream: str
+) -> Iterator[None]:
+    """Generator performing a full-file read one block per step."""
+    for logical in range(handle.num_blocks):
+        adapter.read_block(handle, logical, stream)
+        yield

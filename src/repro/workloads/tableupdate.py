@@ -1,0 +1,128 @@
+"""The Figure-1 motivating scenario: updating a hidden database table.
+
+The paper opens with a DBMS updating ``Sal_table`` ("Set Salary +=
+100,000 Where name = 'Bob'"): a tiny logical change whose physical
+footprint betrays the table's existence to a snapshot-comparing
+attacker.  This module provides a miniature row-oriented table stored
+inside one hidden file, plus a workload that issues row updates through
+any of the file-system adapters — it is used both by the salary-database
+example and by the update-analysis security benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.interface import BaselineFile, FileSystemAdapter
+from repro.crypto.prng import Sha256Prng
+
+ROW_SIZE = 64
+_NAME_BYTES = 32
+_SALARY_BYTES = 8
+
+
+@dataclass
+class SalaryTable:
+    """A fixed-width (name, salary) table serialised into one file.
+
+    Each row is 64 bytes: a 32-byte padded name, an 8-byte big-endian
+    salary and 24 reserved bytes.  Depending on the file system's
+    per-block payload size a row may straddle a block boundary, in which
+    case an update touches two consecutive blocks.
+    """
+
+    rows: list[tuple[str, int]]
+
+    def serialise(self) -> bytes:
+        """Pack all rows into the table's on-file representation."""
+        out = bytearray()
+        for name, salary in self.rows:
+            encoded = name.encode("utf-8")[:_NAME_BYTES]
+            out += encoded + b"\x00" * (_NAME_BYTES - len(encoded))
+            out += int(salary).to_bytes(_SALARY_BYTES, "big")
+            out += b"\x00" * (ROW_SIZE - _NAME_BYTES - _SALARY_BYTES)
+        return bytes(out)
+
+    @classmethod
+    def deserialise(cls, data: bytes) -> "SalaryTable":
+        """Unpack the on-file representation back into rows."""
+        rows = []
+        for offset in range(0, len(data) - len(data) % ROW_SIZE, ROW_SIZE):
+            name = data[offset : offset + _NAME_BYTES].rstrip(b"\x00").decode("utf-8")
+            salary = int.from_bytes(
+                data[offset + _NAME_BYTES : offset + _NAME_BYTES + _SALARY_BYTES], "big"
+            )
+            if name:
+                rows.append((name, salary))
+        return cls(rows=rows)
+
+    def row_offset(self, name: str) -> int:
+        """Byte offset of the row for ``name``."""
+        for index, (row_name, _) in enumerate(self.rows):
+            if row_name == name:
+                return index * ROW_SIZE
+        raise KeyError(f"no row for {name!r}")
+
+    def set_salary(self, name: str, salary: int) -> None:
+        """Update one row in the in-memory table."""
+        for index, (row_name, _) in enumerate(self.rows):
+            if row_name == name:
+                self.rows[index] = (row_name, salary)
+                return
+        raise KeyError(f"no row for {name!r}")
+
+    @classmethod
+    def generate(cls, num_rows: int, prng: Sha256Prng) -> "SalaryTable":
+        """A synthetic table of ``num_rows`` employees."""
+        rows = [
+            (f"employee-{index:05d}", 30_000 + prng.randrange(200_000))
+            for index in range(num_rows)
+        ]
+        return cls(rows=rows)
+
+
+class TableUpdateWorkload:
+    """Issues salary updates against a table stored through a file-system adapter."""
+
+    def __init__(
+        self,
+        adapter: FileSystemAdapter,
+        table: SalaryTable,
+        name: str = "/db/sal_table",
+        stream: str = "db",
+    ):
+        self.adapter = adapter
+        self.table = table
+        self.stream = stream
+        self.handle: BaselineFile = adapter.create_file(name, table.serialise(), stream)
+
+    def _blocks_of_row(self, row_name: str) -> tuple[int, int]:
+        """(first, last) logical block covering a row (rows can straddle a boundary)."""
+        offset = self.table.row_offset(row_name)
+        first = offset // self.adapter.payload_bytes
+        last = (offset + ROW_SIZE - 1) // self.adapter.payload_bytes
+        return first, last
+
+    def update_salary(self, row_name: str, new_salary: int) -> list[int]:
+        """Apply one salary update through the adapter; returns the logical blocks touched."""
+        self.table.set_salary(row_name, new_salary)
+        first, last = self._blocks_of_row(row_name)
+        serialised = self.table.serialise()
+        payloads = []
+        for logical in range(first, last + 1):
+            start = logical * self.adapter.payload_bytes
+            payloads.append(serialised[start : start + self.adapter.payload_bytes])
+        self.adapter.update_blocks(self.handle, first, payloads, self.stream)
+        return list(range(first, last + 1))
+
+    def run_random_updates(self, count: int, prng: Sha256Prng) -> list[int]:
+        """Issue ``count`` random salary updates; returns the logical blocks touched."""
+        touched = []
+        for _ in range(count):
+            name, _ = self.table.rows[prng.randrange(len(self.table.rows))]
+            touched.extend(self.update_salary(name, 30_000 + prng.randrange(200_000)))
+        return touched
+
+    def read_back(self) -> SalaryTable:
+        """Read the table back through the adapter and deserialise it."""
+        return SalaryTable.deserialise(self.adapter.read_file(self.handle, self.stream))

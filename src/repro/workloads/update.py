@@ -1,0 +1,75 @@
+"""Update workloads (Figure 11).
+
+The paper's update experiments measure the access time of updating a
+randomly selected data block of a file (Figure 11(a)), a run of 1–5
+consecutive blocks (Figure 11(b)), and 5-block updates under growing
+concurrency (Figure 11(c)).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.baselines.interface import BaselineFile, FileSystemAdapter
+from repro.crypto.prng import Sha256Prng
+from repro.workloads.filegen import generate_content
+
+
+def random_update_requests(
+    handle: BaselineFile, count: int, prng: Sha256Prng, range_blocks: int = 1
+) -> list[int]:
+    """Starting logical indices for ``count`` random updates of ``range_blocks`` blocks."""
+    if handle.num_blocks < range_blocks:
+        raise ValueError("file too small for the requested update range")
+    upper = handle.num_blocks - range_blocks + 1
+    return [prng.randrange(upper) for _ in range(count)]
+
+
+def measure_block_update(
+    adapter: FileSystemAdapter,
+    handle: BaselineFile,
+    logical_index: int,
+    seed: int = 0,
+    stream: str = "default",
+) -> float:
+    """Update one block with fresh content; return elapsed simulated ms."""
+    payload = generate_content(adapter.payload_bytes, seed)
+    storage = adapter.storage
+    storage.reset_head_position()
+    started = storage.clock_ms
+    adapter.update_blocks(handle, logical_index, [payload], stream)
+    return storage.clock_ms - started
+
+
+def measure_range_update(
+    adapter: FileSystemAdapter,
+    handle: BaselineFile,
+    start_logical: int,
+    range_blocks: int,
+    seed: int = 0,
+    stream: str = "default",
+) -> float:
+    """Update ``range_blocks`` consecutive blocks; return elapsed simulated ms."""
+    payloads = [
+        generate_content(adapter.payload_bytes, seed + offset) for offset in range(range_blocks)
+    ]
+    storage = adapter.storage
+    storage.reset_head_position()
+    started = storage.clock_ms
+    adapter.update_blocks(handle, start_logical, payloads, stream)
+    return storage.clock_ms - started
+
+
+def block_update_job(
+    adapter: FileSystemAdapter,
+    handle: BaselineFile,
+    start_logical: int,
+    range_blocks: int,
+    seed: int,
+    stream: str,
+) -> Iterator[None]:
+    """Generator performing a range update one block per step (for the simulator)."""
+    for offset in range(range_blocks):
+        payload = generate_content(adapter.payload_bytes, seed + offset)
+        adapter.update_blocks(handle, start_logical + offset, [payload], stream)
+        yield

@@ -1,0 +1,93 @@
+"""Unit tests for the pure-Python AES implementation (FIPS 197 vectors)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.aes import AES
+from repro.errors import InvalidBlockSizeError, InvalidKeyError
+
+
+class TestAesKnownVectors:
+    """Official FIPS-197 / NIST example vectors."""
+
+    def test_fips197_aes128_example(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES(key).encrypt_block(plaintext) == expected
+
+    def test_fips197_aes192_example(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191")
+        assert AES(key).encrypt_block(plaintext) == expected
+
+    def test_fips197_aes256_example(self):
+        key = bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+        )
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+        assert AES(key).encrypt_block(plaintext) == expected
+
+    def test_nist_sp800_38a_ecb_aes128_first_block(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        expected = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+        assert AES(key).encrypt_block(plaintext) == expected
+
+    def test_decrypt_inverts_known_vector(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        ciphertext = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        expected = bytes.fromhex("00112233445566778899aabbccddeeff")
+        assert AES(key).decrypt_block(ciphertext) == expected
+
+
+class TestAesRoundTrip:
+    def test_roundtrip_aes128(self):
+        cipher = AES(b"0123456789abcdef")
+        block = bytes(range(16))
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_roundtrip_aes256(self):
+        cipher = AES(bytes(range(32)))
+        block = b"\xff" * 16
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_different_keys_give_different_ciphertexts(self):
+        block = b"same plaintext!!"
+        c1 = AES(b"A" * 16).encrypt_block(block)
+        c2 = AES(b"B" * 16).encrypt_block(block)
+        assert c1 != c2
+
+    def test_encryption_changes_every_block(self):
+        cipher = AES(b"k" * 16)
+        block = b"\x00" * 16
+        assert cipher.encrypt_block(block) != block
+
+    def test_rounds_by_key_size(self):
+        assert AES(b"k" * 16).rounds == 10
+        assert AES(b"k" * 24).rounds == 12
+        assert AES(b"k" * 32).rounds == 14
+
+    def test_key_size_property(self):
+        assert AES(b"k" * 24).key_size == 24
+
+
+class TestAesValidation:
+    def test_rejects_bad_key_length(self):
+        with pytest.raises(InvalidKeyError):
+            AES(b"short")
+
+    def test_rejects_non_bytes_key(self):
+        with pytest.raises(InvalidKeyError):
+            AES("not-bytes-0123456")  # type: ignore[arg-type]
+
+    def test_rejects_wrong_block_size_encrypt(self):
+        with pytest.raises(InvalidBlockSizeError):
+            AES(b"k" * 16).encrypt_block(b"too short")
+
+    def test_rejects_wrong_block_size_decrypt(self):
+        with pytest.raises(InvalidBlockSizeError):
+            AES(b"k" * 16).decrypt_block(b"x" * 17)

@@ -1,0 +1,262 @@
+"""Unit tests for the update-hiding agents (Constructions 1 and 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.nonvolatile import NonVolatileAgent
+from repro.core.volatile import VolatileAgent
+from repro.crypto.keys import FileAccessKey, KeyRing
+from repro.crypto.prng import Sha256Prng
+from repro.errors import NotLoggedInError, UnknownFileError
+from repro.stegfs.dummy import create_dummy_file
+from repro.stegfs.filesystem import StegFsVolume
+from repro.storage.device import RawDevice
+
+from conftest import make_storage
+
+
+def _payload(volume, fill: bytes) -> bytes:
+    return fill * (volume.data_field_bytes // len(fill))
+
+
+class TestNonVolatileAgent:
+    def test_create_and_read(self, nonvolatile_agent, fak):
+        handle = nonvolatile_agent.create_file(fak, "/f", b"secret" * 100)
+        assert nonvolatile_agent.read_file(handle) == b"secret" * 100
+
+    def test_files_are_encrypted_under_master_key(self, nonvolatile_agent, fak):
+        assert nonvolatile_agent.header_key_for(fak) == nonvolatile_agent.master_key
+        assert nonvolatile_agent.content_key_for(fak) == nonvolatile_agent.master_key
+
+    def test_open_uses_master_key(self, nonvolatile_agent, fak):
+        nonvolatile_agent.create_file(fak, "/f", b"data")
+        reopened = nonvolatile_agent.open_file(fak, "/f")
+        assert nonvolatile_agent.read_file(reopened) == b"data"
+
+    def test_update_block_changes_content(self, nonvolatile_agent, volume, fak):
+        handle = nonvolatile_agent.create_file(fak, "/f", _payload(volume, b"old!") * 3)
+        result = nonvolatile_agent.update_block(handle, 1, b"updated payload")
+        assert result.iterations >= 1
+        assert result.reads == result.iterations
+        assert result.writes == result.iterations
+        assert nonvolatile_agent.read_block(handle, 1).startswith(b"updated payload")
+
+    def test_update_block_relocates_or_stays(self, nonvolatile_agent, volume, fak):
+        handle = nonvolatile_agent.create_file(fak, "/f", _payload(volume, b"x") * 4)
+        before = set(handle.header.block_pointers)
+        result = nonvolatile_agent.update_block(handle, 0, b"moved")
+        if result.relocated:
+            assert result.moved_to not in before
+            assert handle.header.physical_block(0) == result.moved_to
+        else:
+            assert handle.header.physical_block(0) == result.moved_from
+
+    def test_relocation_preserves_other_blocks(self, nonvolatile_agent, volume, fak):
+        content = _payload(volume, b"A") + _payload(volume, b"B") + _payload(volume, b"C")
+        handle = nonvolatile_agent.create_file(fak, "/f", content)
+        for _ in range(10):
+            nonvolatile_agent.update_block(handle, 1, _payload(volume, b"Z"))
+        assert nonvolatile_agent.read_block(handle, 0) == _payload(volume, b"A")
+        assert nonvolatile_agent.read_block(handle, 2) == _payload(volume, b"C")
+        assert nonvolatile_agent.read_block(handle, 1) == _payload(volume, b"Z")
+
+    def test_update_persists_after_save_and_reopen(self, nonvolatile_agent, fak):
+        handle = nonvolatile_agent.create_file(fak, "/f", b"1" * 2000)
+        nonvolatile_agent.update_block(handle, 0, b"fresh data")
+        nonvolatile_agent.save_file(handle)
+        reopened = nonvolatile_agent.open_file(fak, "/f")
+        assert nonvolatile_agent.read_block(reopened, 0).startswith(b"fresh data")
+
+    def test_dummy_update_preserves_all_content(self, nonvolatile_agent, volume, fak):
+        handle = nonvolatile_agent.create_file(fak, "/f", b"stable" * 300)
+        content_before = nonvolatile_agent.read_file(handle)
+        for _ in range(20):
+            nonvolatile_agent.dummy_update()
+        assert nonvolatile_agent.read_file(handle) == content_before
+
+    def test_dummy_update_changes_raw_bytes(self, nonvolatile_agent, volume):
+        storage = volume.device.storage
+        before = storage.raw_bytes()
+        touched = nonvolatile_agent.dummy_update()
+        after = storage.raw_bytes()
+        assert before != after
+        block_size = storage.geometry.block_size
+        assert (
+            before[touched * block_size : (touched + 1) * block_size]
+            != after[touched * block_size : (touched + 1) * block_size]
+        )
+
+    def test_expected_update_overhead_matches_model(self, nonvolatile_agent, volume, fak):
+        nonvolatile_agent.create_file(fak, "/f", b"x" * volume.data_field_bytes * 100)
+        utilisation = volume.utilisation
+        assert nonvolatile_agent.expected_update_overhead() == pytest.approx(
+            1.0 / (1.0 - utilisation), rel=1e-6
+        )
+
+    def test_update_of_unknown_file_rejected(self, nonvolatile_agent, volume, prng):
+        other_volume_agent_file = FileAccessKey.generate(prng.spawn("other"))
+        handle = volume.create_file(other_volume_agent_file, "/foreign", b"data")
+        with pytest.raises(UnknownFileError):
+            nonvolatile_agent.update_block(handle, 0, b"nope")
+
+    def test_idle_runs_requested_number_of_dummy_updates(self, nonvolatile_agent, volume):
+        storage = volume.device.storage
+        before = storage.counters.total_ops
+        touched = nonvolatile_agent.idle(5)
+        assert len(touched) == 5
+        assert storage.counters.total_ops == before + 10  # each dummy update = 1 read + 1 write
+
+    def test_update_range(self, nonvolatile_agent, volume, fak):
+        handle = nonvolatile_agent.create_file(fak, "/f", _payload(volume, b"r") * 6)
+        results = nonvolatile_agent.update_range(handle, 2, [b"one", b"two", b"three"])
+        assert len(results) == 3
+        assert nonvolatile_agent.read_block(handle, 2).startswith(b"one")
+        assert nonvolatile_agent.read_block(handle, 3).startswith(b"two")
+        assert nonvolatile_agent.read_block(handle, 4).startswith(b"three")
+
+    def test_close_file_saves_dirty_header(self, nonvolatile_agent, fak):
+        handle = nonvolatile_agent.create_file(fak, "/f", b"c" * 3000)
+        nonvolatile_agent.update_block(handle, 0, b"dirty")
+        nonvolatile_agent.close_file(handle)
+        reopened = nonvolatile_agent.open_file(fak, "/f")
+        assert nonvolatile_agent.read_block(reopened, 0).startswith(b"dirty")
+        assert reopened.header.physical_block(0) == handle.header.physical_block(0)
+
+
+class TestVolatileAgent:
+    def _setup_user(self, agent: VolatileAgent, volume: StegFsVolume, prng: Sha256Prng):
+        """Create a user with one hidden file and one dummy file, logged in."""
+        keyring = KeyRing(owner="alice")
+        hidden_fak = FileAccessKey.generate(prng.spawn("hidden"))
+        content = b"hidden data!" * 200
+        # Create through the volume with the FAK's own keys, as the agent would.
+        handle = agent.create_file(hidden_fak, "/alice/data", content)
+        agent.close_file(handle)
+        keyring.add_hidden("/alice/data", hidden_fak)
+        dummy_fak, dummy_handle = create_dummy_file(volume, "/alice/dummy", 20, prng.spawn("dummy"))
+        keyring.add_dummy("/alice/dummy", dummy_fak)
+        return keyring, content
+
+    def test_login_discloses_blocks(self, volatile_agent, volume, prng):
+        keyring, _ = self._setup_user(volatile_agent, volume, prng)
+        assert volatile_agent.disclosed_block_count() == 0
+        handles = volatile_agent.login(keyring)
+        assert set(handles) == {"/alice/data", "/alice/dummy"}
+        assert volatile_agent.disclosed_block_count() > 0
+        assert volatile_agent.disclosed_dummy_block_count() == 20
+        assert volatile_agent.logged_in_users == ["alice"]
+
+    def test_read_after_login(self, volatile_agent, volume, prng):
+        keyring, content = self._setup_user(volatile_agent, volume, prng)
+        handles = volatile_agent.login(keyring)
+        assert volatile_agent.read_file(handles["/alice/data"]) == content
+
+    def test_keys_come_from_fak(self, volatile_agent, prng):
+        fak = FileAccessKey.generate(prng.spawn("k"))
+        assert volatile_agent.header_key_for(fak) == fak.header_key
+        assert volatile_agent.content_key_for(fak) == fak.content_key
+
+    def test_dummy_fak_content_key_falls_back_to_header_key(self, volatile_agent, prng):
+        dummy = FileAccessKey.generate(prng.spawn("d"), is_dummy=True)
+        assert volatile_agent.content_key_for(dummy) == dummy.header_key
+
+    def test_no_disclosure_no_dummy_updates(self, volatile_agent):
+        with pytest.raises(NotLoggedInError):
+            volatile_agent.dummy_update()
+
+    def test_update_relocates_into_dummy_file_blocks(self, volatile_agent, volume, prng):
+        keyring, _ = self._setup_user(volatile_agent, volume, prng)
+        handles = volatile_agent.login(keyring)
+        data_handle = handles["/alice/data"]
+        dummy_handle = handles["/alice/dummy"]
+        dummy_blocks_before = set(dummy_handle.header.block_pointers)
+        relocated = None
+        for _ in range(30):
+            result = volatile_agent.update_block(data_handle, 0, b"relocated content")
+            if result.relocated:
+                relocated = result
+                break
+        assert relocated is not None, "no update relocated in 30 tries"
+        # The block it moved to used to belong to the dummy file, and the
+        # dummy file absorbed the vacated block, keeping its size.
+        assert relocated.moved_to in dummy_blocks_before
+        assert len(dummy_handle.header.block_pointers) == 20
+        assert relocated.moved_from in dummy_handle.header.block_pointers
+        assert volatile_agent.read_block(data_handle, 0).startswith(b"relocated content")
+
+    def test_dummy_updates_stay_within_disclosed_blocks(self, volatile_agent, volume, prng):
+        keyring, _ = self._setup_user(volatile_agent, volume, prng)
+        volatile_agent.login(keyring)
+        disclosed = volatile_agent.known_blocks
+        for _ in range(25):
+            assert volatile_agent.dummy_update() in disclosed
+
+    def test_logout_clears_disclosure(self, volatile_agent, volume, prng):
+        keyring, _ = self._setup_user(volatile_agent, volume, prng)
+        volatile_agent.login(keyring)
+        volatile_agent.logout("alice")
+        assert volatile_agent.disclosed_block_count() == 0
+        assert volatile_agent.logged_in_users == []
+        with pytest.raises(NotLoggedInError):
+            volatile_agent.logout("alice")
+
+    def test_logout_persists_relocations(self, volatile_agent, volume, prng):
+        keyring, _ = self._setup_user(volatile_agent, volume, prng)
+        handles = volatile_agent.login(keyring)
+        volatile_agent.update_block(handles["/alice/data"], 0, b"persisted across logout")
+        volatile_agent.logout("alice")
+        handles_again = volatile_agent.login(keyring)
+        assert volatile_agent.read_block(handles_again["/alice/data"], 0).startswith(
+            b"persisted across logout"
+        )
+
+    def test_handle_for(self, volatile_agent, volume, prng):
+        keyring, _ = self._setup_user(volatile_agent, volume, prng)
+        volatile_agent.login(keyring)
+        assert volatile_agent.handle_for("alice", "/alice/data").path == "/alice/data"
+        with pytest.raises(UnknownFileError):
+            volatile_agent.handle_for("alice", "/missing")
+        with pytest.raises(NotLoggedInError):
+            volatile_agent.handle_for("bob", "/alice/data")
+
+    def test_two_users_are_independent(self, volatile_agent, volume, prng):
+        keyring_a, _ = self._setup_user(volatile_agent, volume, prng)
+        keyring_b = KeyRing(owner="bob")
+        fak_b = FileAccessKey.generate(prng.spawn("bob"))
+        handle_b = volatile_agent.create_file(fak_b, "/bob/data", b"bob data" * 50)
+        volatile_agent.close_file(handle_b)
+        keyring_b.add_hidden("/bob/data", fak_b)
+        volatile_agent.login(keyring_a)
+        count_after_a = volatile_agent.disclosed_block_count()
+        volatile_agent.login(keyring_b)
+        assert volatile_agent.disclosed_block_count() > count_after_a
+        volatile_agent.logout("alice")
+        assert volatile_agent.logged_in_users == ["bob"]
+
+    def test_expected_update_overhead_reflects_disclosure(self, volatile_agent, volume, prng):
+        keyring, _ = self._setup_user(volatile_agent, volume, prng)
+        assert volatile_agent.expected_update_overhead() == float("inf")
+        volatile_agent.login(keyring)
+        overhead = volatile_agent.expected_update_overhead()
+        assert overhead == pytest.approx(
+            volatile_agent.disclosed_block_count() / volatile_agent.disclosed_dummy_block_count()
+        )
+
+
+class TestVolumeSharedByBothConstructions:
+    def test_constructions_have_identical_update_io_pattern(self, prng):
+        """Both constructions perform 2 I/Os per Figure-6 iteration."""
+        for builder in (NonVolatileAgent, VolatileAgent):
+            storage = make_storage(num_blocks=256)
+            volume = StegFsVolume(RawDevice(storage), prng.spawn(f"vol-{builder.__name__}"))
+            agent = builder(volume, prng.spawn(f"agent-{builder.__name__}"))
+            fak = FileAccessKey.generate(prng.spawn(f"fak-{builder.__name__}"))
+            handle = agent.create_file(fak, "/f", b"q" * volume.data_field_bytes * 3)
+            if isinstance(agent, VolatileAgent):
+                _, dummy_handle = create_dummy_file(volume, "/d", 10, prng.spawn("d"))
+                agent._register_handle(dummy_handle)
+            before = storage.counters.snapshot()
+            result = agent.update_block(handle, 0, b"payload")
+            delta = storage.counters.delta(before)
+            assert delta.total_ops == 2 * result.iterations

@@ -1,0 +1,126 @@
+"""Unit tests for the attacker implementations."""
+
+from __future__ import annotations
+
+from repro.attacks.observer import SnapshotObserver, TraceObserver
+from repro.attacks.traffic_analysis import TrafficAnalysisAttacker
+from repro.attacks.update_analysis import UpdateAnalysisAttacker
+from repro.crypto.prng import Sha256Prng
+from repro.storage.trace import IoTrace
+
+
+class TestSnapshotObserver:
+    def test_observe_and_diff(self, storage):
+        observer = SnapshotObserver(storage)
+        observer.observe("t0")
+        storage.write_block(5, b"\x01" * 512)
+        observer.observe("t1")
+        storage.write_block(6, b"\x02" * 512)
+        storage.write_block(7, b"\x03" * 512)
+        observer.observe("t2")
+        diffs = observer.diffs()
+        assert [d.change_count for d in diffs] == [1, 2]
+        assert observer.changed_blocks_per_interval() == [{5}, {6, 7}]
+
+
+class TestTraceObserver:
+    def test_capture_window(self, storage):
+        observer = TraceObserver(storage)
+        storage.read_block(1)
+        observer.start()
+        storage.read_block(2)
+        storage.write_block(3, b"\x00" * 512)
+        captured = observer.capture()
+        assert [e.index for e in captured] == [2, 3]
+
+
+class TestUpdateAnalysisAttacker:
+    def test_repeated_in_place_updates_are_detected(self):
+        attacker = UpdateAnalysisAttacker(num_blocks=1000)
+        # The same small working set changes in every interval: the
+        # signature of a conventional system updating a hidden table.
+        changed_sets = [{10, 11, 12} for _ in range(20)]
+        verdict = attacker.analyse(changed_sets)
+        assert verdict.suspects_hidden_activity
+        assert verdict.repeated_change_fraction == 1.0
+
+    def test_uniform_dummy_like_changes_pass(self):
+        prng = Sha256Prng("updates")
+        attacker = UpdateAnalysisAttacker(num_blocks=4096)
+        changed_sets = [
+            {prng.randrange(4096) for _ in range(8)} for _ in range(20)
+        ]
+        verdict = attacker.analyse(changed_sets)
+        assert not verdict.suspects_hidden_activity
+
+    def test_skewed_positions_detected_even_without_repeats(self):
+        attacker = UpdateAnalysisAttacker(num_blocks=8192)
+        # Changes never repeat but all land in one small region.
+        changed_sets = [{i * 3, i * 3 + 1} for i in range(100)]
+        verdict = attacker.analyse(changed_sets)
+        assert verdict.uniformity_p_value < 0.01
+        assert verdict.suspects_hidden_activity
+
+    def test_activity_correlation(self):
+        attacker = UpdateAnalysisAttacker(num_blocks=100)
+        assert attacker.activity_correlation([100, 120], [2, 1]) > 0.9
+        assert attacker.activity_correlation([50, 52], [49, 51]) < 0.05
+        assert attacker.activity_correlation([], []) == 0.0
+
+    def test_empty_history(self):
+        attacker = UpdateAnalysisAttacker(num_blocks=100)
+        verdict = attacker.analyse([])
+        assert not verdict.suspects_hidden_activity
+        assert verdict.changed_blocks_total == 0
+
+
+class TestTrafficAnalysisAttacker:
+    def _uniform_trace(self, prng, num_blocks, count) -> IoTrace:
+        trace = IoTrace()
+        for step in range(count):
+            trace.record("read", prng.randrange(num_blocks), float(step))
+        return trace
+
+    def test_sequential_scan_detected(self):
+        attacker = TrafficAnalysisAttacker(num_blocks=4096)
+        trace = IoTrace()
+        for step in range(512):
+            trace.record("read", 1000 + step, float(step))
+        verdict = attacker.analyse(trace)
+        assert verdict.sequential_run_fraction > 0.9
+        assert verdict.suspects_hidden_activity
+
+    def test_hot_block_detected(self):
+        attacker = TrafficAnalysisAttacker(num_blocks=4096)
+        prng = Sha256Prng("hot")
+        trace = self._uniform_trace(prng, 4096, 200)
+        for step in range(10):
+            trace.record("write", 77, 1000.0 + step)
+        verdict = attacker.analyse(trace)
+        assert verdict.max_repeat_count >= 10
+        assert verdict.suspects_hidden_activity
+
+    def test_uniform_traffic_passes(self):
+        attacker = TrafficAnalysisAttacker(num_blocks=4096)
+        prng = Sha256Prng("uniform-traffic")
+        observed = self._uniform_trace(prng.spawn("a"), 4096, 3000)
+        reference = self._uniform_trace(prng.spawn("b"), 4096, 3000)
+        verdict = attacker.analyse(observed, reference)
+        assert not verdict.suspects_hidden_activity
+        assert verdict.advantage_vs_reference < 0.25
+
+    def test_skewed_traffic_distinguished_from_reference(self):
+        attacker = TrafficAnalysisAttacker(num_blocks=4096)
+        prng = Sha256Prng("skew")
+        reference = self._uniform_trace(prng, 4096, 2000)
+        skewed = IoTrace()
+        for step in range(2000):
+            skewed.record("read", prng.randrange(128), float(step))
+        verdict = attacker.analyse(skewed, reference)
+        assert verdict.advantage_vs_reference > 0.5
+        assert verdict.suspects_hidden_activity
+
+    def test_empty_trace(self):
+        attacker = TrafficAnalysisAttacker(num_blocks=100)
+        verdict = attacker.analyse(IoTrace())
+        assert not verdict.suspects_hidden_activity

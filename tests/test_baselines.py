@@ -1,0 +1,178 @@
+"""Unit tests for the baseline file systems and the adapter interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.cleandisk import CleanDiskFileSystem
+from repro.baselines.fragdisk import FragDiskFileSystem
+from repro.baselines.plainstegfs import PlainStegFsAdapter
+from repro.baselines.steghide import StegHideAdapter
+from repro.core.nonvolatile import NonVolatileAgent
+from repro.crypto.prng import Sha256Prng
+from repro.errors import VolumeFullError
+from repro.stegfs.filesystem import StegFsVolume
+from repro.storage.device import RawDevice
+
+from conftest import make_storage
+
+
+def _content(adapter, blocks: int, fill: bytes = b"z") -> bytes:
+    return fill * (adapter.payload_bytes * blocks)
+
+
+class TestCleanDisk:
+    def test_contiguous_allocation(self, storage):
+        fs = CleanDiskFileSystem(storage)
+        handle = fs.create_file("/a", _content(fs, 5))
+        blocks = handle.native_handle
+        assert blocks == list(range(blocks[0], blocks[0] + 5))
+
+    def test_read_roundtrip(self, storage):
+        fs = CleanDiskFileSystem(storage)
+        content = b"clean disk data" * 100
+        handle = fs.create_file("/a", content)
+        assert fs.read_file(handle) == content
+
+    def test_read_block(self, storage):
+        fs = CleanDiskFileSystem(storage)
+        handle = fs.create_file("/a", _content(fs, 2, b"A") + _content(fs, 1, b"B"))
+        assert fs.read_block(handle, 2) == _content(fs, 1, b"B")
+
+    def test_update_in_place(self, storage):
+        fs = CleanDiskFileSystem(storage)
+        handle = fs.create_file("/a", _content(fs, 3))
+        fs.update_blocks(handle, 1, [b"updated" + b"\x00" * 10])
+        assert fs.read_block(handle, 1).startswith(b"updated")
+        assert handle.native_handle == sorted(handle.native_handle)
+
+    def test_sequential_files_packed_back_to_back(self, storage):
+        fs = CleanDiskFileSystem(storage)
+        h1 = fs.create_file("/a", _content(fs, 3))
+        h2 = fs.create_file("/b", _content(fs, 3))
+        assert h2.native_handle[0] == h1.native_handle[-1] + 1
+
+    def test_volume_full(self, storage):
+        fs = CleanDiskFileSystem(storage)
+        with pytest.raises(VolumeFullError):
+            fs.create_file("/big", _content(fs, storage.geometry.num_blocks + 1))
+
+    def test_utilisation(self, storage):
+        fs = CleanDiskFileSystem(storage)
+        fs.create_file("/a", _content(fs, storage.geometry.num_blocks // 4))
+        assert fs.utilisation == pytest.approx(0.25)
+
+    def test_sequential_read_is_cheap(self):
+        storage = make_storage(timed=True)
+        fs = CleanDiskFileSystem(storage)
+        handle = fs.create_file("/a", _content(fs, 100))
+        storage.reset_counters()
+        fs.read_file(handle)
+        # 100 blocks: one seek plus ~99 sequential transfers.
+        assert storage.clock_ms < 2 * storage.latency.random_access_ms + 100 * storage.latency.sequential_access_ms
+
+
+class TestFragDisk:
+    def test_fragments_of_eight_blocks(self, storage, prng):
+        fs = FragDiskFileSystem(storage, prng)
+        handle = fs.create_file("/a", _content(fs, 24))
+        blocks = handle.native_handle
+        for start in range(0, 24, 8):
+            fragment = blocks[start : start + 8]
+            assert fragment == list(range(fragment[0], fragment[0] + 8))
+
+    def test_fragments_are_scattered(self, storage, prng):
+        fs = FragDiskFileSystem(storage, prng)
+        handle = fs.create_file("/a", _content(fs, 32))
+        blocks = handle.native_handle
+        fragment_starts = [blocks[i] for i in range(0, 32, 8)]
+        gaps = [b - a for a, b in zip(fragment_starts, fragment_starts[1:])]
+        assert any(abs(gap) != 8 for gap in gaps)
+
+    def test_read_roundtrip(self, storage, prng):
+        fs = FragDiskFileSystem(storage, prng)
+        content = b"fragmented" * 500
+        handle = fs.create_file("/a", content)
+        assert fs.read_file(handle) == content
+
+    def test_update_in_place(self, storage, prng):
+        fs = FragDiskFileSystem(storage, prng)
+        handle = fs.create_file("/a", _content(fs, 10))
+        before = list(handle.native_handle)
+        fs.update_blocks(handle, 4, [b"new data"])
+        assert handle.native_handle == before
+        assert fs.read_block(handle, 4).startswith(b"new data")
+
+    def test_no_overlap_between_files(self, storage, prng):
+        fs = FragDiskFileSystem(storage, prng)
+        h1 = fs.create_file("/a", _content(fs, 20))
+        h2 = fs.create_file("/b", _content(fs, 20))
+        assert set(h1.native_handle).isdisjoint(h2.native_handle)
+
+    def test_full_volume_rejected(self, prng):
+        storage = make_storage(num_blocks=32)
+        fs = FragDiskFileSystem(storage, prng)
+        fs.create_file("/a", _content(fs, 24))
+        with pytest.raises(VolumeFullError):
+            fs.create_file("/b", _content(fs, 16))
+
+    def test_read_slower_than_cleandisk_faster_than_random(self):
+        storage_frag = make_storage(timed=True)
+        storage_clean = make_storage(timed=True)
+        frag = FragDiskFileSystem(storage_frag, Sha256Prng("frag"))
+        clean = CleanDiskFileSystem(storage_clean)
+        h_frag = frag.create_file("/a", _content(frag, 64))
+        h_clean = clean.create_file("/a", _content(clean, 64))
+        storage_frag.reset_counters()
+        storage_clean.reset_counters()
+        frag.read_file(h_frag)
+        clean.read_file(h_clean)
+        assert storage_clean.clock_ms < storage_frag.clock_ms
+        # But fragmentation still beats 64 fully random accesses.
+        assert storage_frag.clock_ms < 64 * storage_frag.latency.random_access_ms
+
+
+class TestStegAdapters:
+    def test_plain_stegfs_adapter_roundtrip(self, storage, prng):
+        volume = StegFsVolume(RawDevice(storage), prng.spawn("v"))
+        fs = PlainStegFsAdapter(storage, volume, prng.spawn("a"))
+        content = b"steg content" * 200
+        handle = fs.create_file("/hidden", content)
+        assert fs.read_file(handle) == content
+        assert fs.read_block(handle, 0) == content[: fs.payload_bytes]
+
+    def test_plain_stegfs_updates_in_place(self, storage, prng):
+        volume = StegFsVolume(RawDevice(storage), prng.spawn("v"))
+        fs = PlainStegFsAdapter(storage, volume, prng.spawn("a"))
+        handle = fs.create_file("/hidden", _content(fs, 4))
+        physical_before = list(handle.native_handle.header.block_pointers)
+        fs.update_blocks(handle, 2, [b"inplace"])
+        assert handle.native_handle.header.block_pointers == physical_before
+
+    def test_steghide_adapter_relocates_on_update(self, storage, prng):
+        volume = StegFsVolume(RawDevice(storage), prng.spawn("v"))
+        agent = NonVolatileAgent(volume, prng.spawn("agent"))
+        fs = StegHideAdapter(storage, agent, prng.spawn("a"), label="StegHide*")
+        handle = fs.create_file("/hidden", _content(fs, 4))
+        moved = False
+        for _ in range(20):
+            before = list(handle.native_handle.header.block_pointers)
+            fs.update_blocks(handle, 1, [b"reloc"])
+            if handle.native_handle.header.block_pointers != before:
+                moved = True
+                break
+        assert moved, "Figure-6 updates never relocated in 20 attempts"
+        assert fs.read_block(handle, 1).startswith(b"reloc")
+
+    def test_steghide_adapter_exposes_fak(self, storage, prng):
+        volume = StegFsVolume(RawDevice(storage), prng.spawn("v"))
+        agent = NonVolatileAgent(volume, prng.spawn("agent"))
+        fs = StegHideAdapter(storage, agent, prng.spawn("a"), label="StegHide*")
+        fs.create_file("/hidden", b"x")
+        assert fs.fak_of("/hidden") is not None
+
+    def test_labels(self, storage, prng):
+        assert CleanDiskFileSystem(storage).label == "CleanDisk"
+        assert FragDiskFileSystem(storage, prng).label == "FragDisk"
+        volume = StegFsVolume(RawDevice(storage), prng.spawn("v"))
+        assert PlainStegFsAdapter(storage, volume, prng).label == "StegFS"

@@ -1,0 +1,99 @@
+"""Unit tests for hidden directories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import FileAccessKey
+from repro.errors import FileNotFoundError_
+from repro.stegfs.directory import (
+    DirectoryEntry,
+    HiddenDirectory,
+    deserialise_directory,
+    serialise_directory,
+)
+
+
+class TestDirectorySerialisation:
+    def test_roundtrip(self, prng):
+        entries = [
+            DirectoryEntry("a.txt", "/root/a.txt", FileAccessKey.generate(prng.spawn("a"))),
+            DirectoryEntry(
+                "sub", "/root/sub", FileAccessKey.generate(prng.spawn("b")), is_directory=True
+            ),
+            DirectoryEntry(
+                "decoy", "/root/decoy", FileAccessKey.generate(prng.spawn("c"), is_dummy=True)
+            ),
+        ]
+        recovered = deserialise_directory(serialise_directory(entries))
+        assert len(recovered) == 3
+        assert recovered[0].name == "a.txt"
+        assert recovered[0].fak == entries[0].fak
+        assert recovered[1].is_directory
+        assert recovered[2].fak.is_dummy
+        assert recovered[2].fak.content_key is None
+
+    def test_empty_directory(self):
+        assert deserialise_directory(serialise_directory([])) == []
+
+    def test_garbage_rejected(self):
+        with pytest.raises(FileNotFoundError_):
+            deserialise_directory(b"not a directory at all")
+
+
+class TestHiddenDirectory:
+    def test_create_add_and_reopen(self, volume, prng):
+        root_fak = FileAccessKey.generate(prng.spawn("root"))
+        root = HiddenDirectory.create(volume, root_fak, "/root")
+        child_fak = FileAccessKey.generate(prng.spawn("child"))
+        volume.create_file(child_fak, "/root/report", b"hidden report body")
+        root.add_file("report", child_fak, "/root/report")
+
+        reopened = HiddenDirectory.open(volume, root_fak, "/root")
+        assert reopened.names() == ["report"]
+        assert "report" in reopened
+        handle = reopened.open_file("report")
+        assert volume.read_file(handle) == b"hidden report body"
+
+    def test_nested_directories_and_resolve(self, volume, prng):
+        root_fak = FileAccessKey.generate(prng.spawn("root"))
+        root = HiddenDirectory.create(volume, root_fak, "/root")
+        sub_fak = FileAccessKey.generate(prng.spawn("sub"))
+        sub = HiddenDirectory.create(volume, sub_fak, "/root/2004")
+        root.add_subdirectory("2004", sub_fak, "/root/2004")
+        leaf_fak = FileAccessKey.generate(prng.spawn("leaf"))
+        volume.create_file(leaf_fak, "/root/2004/budget", b"numbers")
+        sub.add_file("budget", leaf_fak, "/root/2004/budget")
+
+        reopened = HiddenDirectory.open(volume, root_fak, "/root")
+        entry = reopened.resolve("2004/budget")
+        assert entry.path == "/root/2004/budget"
+        opened = volume.open_file(entry.fak, entry.path)
+        assert volume.read_file(opened) == b"numbers"
+
+    def test_remove(self, volume, prng):
+        root = HiddenDirectory.create(volume, FileAccessKey.generate(prng.spawn("r")), "/root")
+        fak = FileAccessKey.generate(prng.spawn("f"))
+        volume.create_file(fak, "/root/tmp", b"x")
+        root.add_file("tmp", fak, "/root/tmp")
+        root.remove("tmp")
+        assert len(root) == 0
+        with pytest.raises(FileNotFoundError_):
+            root.remove("tmp")
+
+    def test_missing_entry_and_wrong_kind(self, volume, prng):
+        root = HiddenDirectory.create(volume, FileAccessKey.generate(prng.spawn("r")), "/root")
+        fak = FileAccessKey.generate(prng.spawn("f"))
+        volume.create_file(fak, "/root/file", b"x")
+        root.add_file("file", fak, "/root/file")
+        with pytest.raises(FileNotFoundError_):
+            root.entry("missing")
+        with pytest.raises(FileNotFoundError_):
+            root.open_subdirectory("file")
+        with pytest.raises(FileNotFoundError_):
+            root.resolve("")
+
+    def test_directory_is_undiscoverable_without_key(self, volume, prng):
+        HiddenDirectory.create(volume, FileAccessKey.generate(prng.spawn("r")), "/root")
+        with pytest.raises(FileNotFoundError_):
+            HiddenDirectory.open(volume, FileAccessKey.generate(prng.spawn("other")), "/root")

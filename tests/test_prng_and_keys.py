@@ -1,0 +1,208 @@
+"""Unit tests for the SHA-256 PRNG and the FAK / key-ring structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import (
+    KEY_SIZE,
+    FileAccessKey,
+    KeyRing,
+    derive_header_location,
+    probe_sequence,
+)
+from repro.crypto.prng import Sha256Prng
+from repro.errors import InvalidKeyError
+
+
+class TestSha256Prng:
+    def test_determinism(self):
+        a = Sha256Prng("seed").random_bytes(64)
+        b = Sha256Prng("seed").random_bytes(64)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert Sha256Prng("s1").random_bytes(32) != Sha256Prng("s2").random_bytes(32)
+
+    def test_int_and_bytes_seeds_accepted(self):
+        assert Sha256Prng(12345).random_bytes(8) == Sha256Prng(12345).random_bytes(8)
+        assert Sha256Prng(b"raw").random_bytes(8) == Sha256Prng(b"raw").random_bytes(8)
+
+    def test_spawn_independence_and_determinism(self):
+        parent = Sha256Prng("seed")
+        child_a = parent.spawn("a")
+        child_b = parent.spawn("b")
+        assert child_a.random_bytes(16) != child_b.random_bytes(16)
+        assert Sha256Prng("seed").spawn("a").random_bytes(16) == Sha256Prng("seed").spawn(
+            "a"
+        ).random_bytes(16)
+
+    def test_randint_bounds(self):
+        prng = Sha256Prng(1)
+        values = [prng.randint(3, 7) for _ in range(500)]
+        assert min(values) == 3
+        assert max(values) == 7
+
+    def test_randrange_single_argument(self):
+        prng = Sha256Prng(1)
+        assert all(0 <= prng.randrange(10) < 10 for _ in range(200))
+
+    def test_randrange_empty_raises(self):
+        with pytest.raises(ValueError):
+            Sha256Prng(1).randrange(5, 5)
+
+    def test_choice(self):
+        prng = Sha256Prng(2)
+        population = ["a", "b", "c"]
+        assert all(prng.choice(population) in population for _ in range(50))
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(IndexError):
+            Sha256Prng(1).choice([])
+
+    def test_shuffle_is_permutation(self):
+        prng = Sha256Prng(3)
+        items = list(range(50))
+        shuffled = list(items)
+        prng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # astronomically unlikely to be identity
+
+    def test_sample_without_replacement(self):
+        prng = Sha256Prng(4)
+        sample = prng.sample(list(range(100)), 20)
+        assert len(sample) == 20
+        assert len(set(sample)) == 20
+
+    def test_sample_size_validation(self):
+        with pytest.raises(ValueError):
+            Sha256Prng(1).sample([1, 2, 3], 4)
+
+    def test_permutation_covers_range(self):
+        perm = Sha256Prng(5).permutation(30)
+        assert sorted(perm) == list(range(30))
+
+    def test_random_in_unit_interval(self):
+        prng = Sha256Prng(6)
+        assert all(0.0 <= prng.random() < 1.0 for _ in range(200))
+
+    def test_random_is_roughly_uniform(self):
+        prng = Sha256Prng(7)
+        values = [prng.random() for _ in range(2000)]
+        mean = sum(values) / len(values)
+        assert 0.45 < mean < 0.55
+
+    def test_expovariate_positive(self):
+        prng = Sha256Prng(8)
+        assert all(prng.expovariate(2.0) >= 0.0 for _ in range(100))
+
+    def test_gauss_reasonable_spread(self):
+        prng = Sha256Prng(9)
+        values = [prng.gauss(0.0, 1.0) for _ in range(2000)]
+        mean = sum(values) / len(values)
+        assert -0.1 < mean < 0.1
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            Sha256Prng(1).random_bytes(-1)
+
+
+class TestDerivedLocations:
+    def test_header_location_is_stable(self):
+        assert derive_header_location(b"secret", "/a", 1000) == derive_header_location(
+            b"secret", "/a", 1000
+        )
+
+    def test_header_location_in_range(self):
+        for path in ("/a", "/b", "/c/d"):
+            assert 0 <= derive_header_location(b"s", path, 321) < 321
+
+    def test_location_depends_on_path_and_secret(self):
+        assert derive_header_location(b"s", "/a", 10_000) != derive_header_location(
+            b"s", "/b", 10_000
+        )
+        assert derive_header_location(b"s1", "/a", 10_000) != derive_header_location(
+            b"s2", "/a", 10_000
+        )
+
+    def test_probe_sequence_distinct_and_bounded(self):
+        sequence = probe_sequence(b"s", "/a", 500, 64)
+        assert len(sequence) == 64
+        assert len(set(sequence)) == 64
+        assert all(0 <= index < 500 for index in sequence)
+
+    def test_probe_sequence_starts_with_primary_location(self):
+        assert probe_sequence(b"s", "/a", 500, 8)[0] == derive_header_location(b"s", "/a", 500)
+
+    def test_probe_sequence_tiny_volume(self):
+        sequence = probe_sequence(b"s", "/a", 4, 16)
+        assert sorted(sequence) == [0, 1, 2, 3]
+
+    def test_volume_must_be_positive(self):
+        with pytest.raises(ValueError):
+            derive_header_location(b"s", "/a", 0)
+
+
+class TestFileAccessKey:
+    def test_generate_hidden(self, prng):
+        fak = FileAccessKey.generate(prng)
+        assert len(fak.secret) == KEY_SIZE
+        assert len(fak.header_key) == KEY_SIZE
+        assert fak.content_key is not None
+        assert not fak.is_dummy
+
+    def test_generate_dummy_has_no_content_key(self, prng):
+        fak = FileAccessKey.generate(prng, is_dummy=True)
+        assert fak.content_key is None
+        assert fak.is_dummy
+
+    def test_as_disclosed_dummy_hides_content_key(self, prng):
+        fak = FileAccessKey.generate(prng)
+        disclosed = fak.as_disclosed_dummy()
+        assert disclosed.content_key is None
+        assert disclosed.is_dummy
+        assert disclosed.secret == fak.secret
+        assert disclosed.header_key == fak.header_key
+
+    def test_fingerprint_is_short_and_stable(self, prng):
+        fak = FileAccessKey.generate(prng)
+        assert fak.fingerprint() == fak.fingerprint()
+        assert len(fak.fingerprint()) == 12
+
+    def test_invalid_key_sizes_rejected(self):
+        with pytest.raises(InvalidKeyError):
+            FileAccessKey(secret=b"", header_key=b"x" * KEY_SIZE)
+        with pytest.raises(InvalidKeyError):
+            FileAccessKey(secret=b"s", header_key=b"short")
+        with pytest.raises(InvalidKeyError):
+            FileAccessKey(secret=b"s", header_key=b"x" * KEY_SIZE, content_key=b"bad")
+
+    def test_header_location_helper(self, prng):
+        fak = FileAccessKey.generate(prng)
+        assert fak.header_location("/a", 100) == derive_header_location(fak.secret, "/a", 100)
+
+
+class TestKeyRing:
+    def test_add_and_merge(self, prng):
+        ring = KeyRing(owner="alice")
+        hidden = FileAccessKey.generate(prng.spawn("h"))
+        dummy = FileAccessKey.generate(prng.spawn("d"), is_dummy=True)
+        ring.add_hidden("/h", hidden)
+        ring.add_dummy("/d", dummy)
+        merged = ring.all_keys()
+        assert merged["/h"] is hidden
+        assert merged["/d"] is dummy
+
+    def test_hidden_fak_must_not_be_dummy(self, prng):
+        ring = KeyRing(owner="alice")
+        with pytest.raises(InvalidKeyError):
+            ring.add_hidden("/h", FileAccessKey.generate(prng, is_dummy=True))
+
+    def test_deniable_view_hides_all_content_keys(self, prng):
+        ring = KeyRing(owner="alice")
+        ring.add_hidden("/h", FileAccessKey.generate(prng.spawn("h")))
+        ring.add_dummy("/d", FileAccessKey.generate(prng.spawn("d"), is_dummy=True))
+        view = ring.deniable_view()
+        assert set(view) == {"/h", "/d"}
+        assert all(fak.content_key is None for fak in view.values())
+        assert all(fak.is_dummy for fak in view.values())

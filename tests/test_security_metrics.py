@@ -1,0 +1,90 @@
+"""Unit tests for the Definition-1 security metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.security import (
+    access_distribution,
+    distinguishing_advantage,
+    kl_divergence,
+    repeat_access_counts,
+    total_variation_distance,
+    uniformity_chi_square,
+)
+from repro.crypto.prng import Sha256Prng
+from repro.storage.trace import IoTrace
+
+
+class TestDistributions:
+    def test_access_distribution_sums_to_one(self):
+        dist = access_distribution([0, 1, 1, 2], num_blocks=4)
+        assert dist.sum() == pytest.approx(1.0)
+        assert dist[1] == pytest.approx(0.5)
+
+    def test_access_distribution_accepts_trace(self):
+        trace = IoTrace()
+        trace.record("read", 2, 0.0)
+        trace.record("write", 2, 1.0)
+        dist = access_distribution(trace, num_blocks=4)
+        assert dist[2] == pytest.approx(1.0)
+
+    def test_empty_distribution_is_zero(self):
+        assert access_distribution([], num_blocks=4).sum() == 0.0
+
+    def test_total_variation_bounds(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert total_variation_distance(p, q) == pytest.approx(1.0)
+        assert total_variation_distance(p, p) == pytest.approx(0.0)
+
+    def test_total_variation_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            total_variation_distance(np.ones(3), np.ones(4))
+
+    def test_kl_divergence_zero_for_identical(self):
+        p = np.array([0.25, 0.25, 0.5])
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_kl_divergence_positive_for_different(self):
+        assert kl_divergence(np.array([0.9, 0.1]), np.array([0.1, 0.9])) > 0.5
+
+
+class TestUniformityTest:
+    def test_uniform_sample_passes(self):
+        prng = Sha256Prng("uniform")
+        indices = [prng.randrange(1000) for _ in range(5000)]
+        _, p_value = uniformity_chi_square(indices, 1000)
+        assert p_value > 0.001
+
+    def test_skewed_sample_fails(self):
+        indices = [5] * 500 + [900] * 500
+        _, p_value = uniformity_chi_square(indices, 1000)
+        assert p_value < 1e-6
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            uniformity_chi_square([], 10)
+
+
+class TestAdvantage:
+    def test_identical_traces_have_no_advantage(self):
+        prng = Sha256Prng("adv")
+        a = [prng.randrange(500) for _ in range(2000)]
+        b = [prng.randrange(500) for _ in range(2000)]
+        assert distinguishing_advantage(a, b, 500) < 0.15
+
+    def test_concentrated_trace_is_distinguishable(self):
+        prng = Sha256Prng("adv2")
+        uniform = [prng.randrange(500) for _ in range(2000)]
+        concentrated = [7] * 2000
+        assert distinguishing_advantage(concentrated, uniform, 500) > 0.8
+
+
+class TestRepeatCounts:
+    def test_repeat_access_counts(self):
+        counts = repeat_access_counts([1, 1, 1, 2, 2, 3])
+        assert counts[3] == 1  # one block touched three times
+        assert counts[2] == 1
+        assert counts[1] == 1

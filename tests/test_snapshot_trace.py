@@ -1,0 +1,95 @@
+"""Unit tests for snapshots, snapshot diffs and I/O traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SnapshotMismatchError
+from repro.storage.snapshot import diff_snapshots, take_snapshot
+from repro.storage.trace import IoEvent, IoTrace
+
+from conftest import make_storage
+
+
+class TestSnapshots:
+    def test_snapshot_captures_contents(self, storage):
+        snapshot = take_snapshot(storage, label="t0")
+        assert snapshot.block(5) == storage.peek_block(5)
+        assert snapshot.num_blocks == storage.geometry.num_blocks
+        assert snapshot.label == "t0"
+
+    def test_snapshot_does_not_generate_io(self, storage):
+        take_snapshot(storage)
+        assert storage.counters.total_ops == 0
+        assert len(storage.trace) == 0
+
+    def test_diff_detects_changed_blocks(self, storage):
+        before = take_snapshot(storage)
+        storage.write_block(3, b"\x01" * 512)
+        storage.write_block(9, b"\x02" * 512)
+        after = take_snapshot(storage)
+        diff = diff_snapshots(before, after)
+        assert diff.changed_blocks == (3, 9)
+        assert diff.change_count == 2
+        assert 0 < diff.change_fraction < 1
+
+    def test_identical_snapshots_have_empty_diff(self, storage):
+        before = take_snapshot(storage)
+        after = take_snapshot(storage)
+        assert diff_snapshots(before, after).change_count == 0
+
+    def test_rewriting_same_bytes_is_not_a_change(self, storage):
+        original = storage.peek_block(4)
+        before = take_snapshot(storage)
+        storage.write_block(4, original)
+        after = take_snapshot(storage)
+        assert diff_snapshots(before, after).change_count == 0
+
+    def test_mismatched_geometry_rejected(self, storage):
+        other = make_storage(num_blocks=128)
+        with pytest.raises(SnapshotMismatchError):
+            diff_snapshots(take_snapshot(storage), take_snapshot(other))
+
+    def test_block_digest_differs_after_change(self, storage):
+        before = take_snapshot(storage)
+        storage.write_block(2, b"\x07" * 512)
+        after = take_snapshot(storage)
+        assert before.block_digest(2) != after.block_digest(2)
+        assert before.block_digest(1) == after.block_digest(1)
+
+
+class TestIoTrace:
+    def test_record_and_query(self):
+        trace = IoTrace()
+        trace.record("read", 10, 1.0, "a")
+        trace.record("write", 11, 2.0, "b")
+        trace.record("read", 10, 3.0, "a")
+        assert len(trace) == 3
+        assert [e.index for e in trace.reads()] == [10, 10]
+        assert [e.index for e in trace.writes()] == [11]
+        assert trace.indices() == [10, 11, 10]
+        assert trace.indices("read") == [10, 10]
+        assert trace.touched_blocks() == {10, 11}
+        assert trace.index_histogram()[10] == 2
+
+    def test_slice_by_stream(self):
+        trace = IoTrace()
+        trace.record("read", 1, 0.0, "alice")
+        trace.record("read", 2, 1.0, "bob")
+        assert [e.index for e in trace.slice_by_stream("alice")] == [1]
+
+    def test_between(self):
+        trace = IoTrace()
+        for t in range(10):
+            trace.record("read", t, float(t))
+        window = trace.between(2.0, 5.0)
+        assert [e.index for e in window] == [2, 3, 4]
+
+    def test_clear_and_extend(self):
+        trace = IoTrace()
+        trace.record("read", 1, 0.0)
+        other = IoTrace([IoEvent("write", 2, 1.0)])
+        trace.extend(other)
+        assert len(trace) == 2
+        trace.clear()
+        assert len(trace) == 0

@@ -1,0 +1,281 @@
+"""Unit tests for the StegFS substrate: headers, allocator, volume operations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.cbc import CbcCipher
+from repro.crypto.keys import FileAccessKey
+from repro.crypto.prng import Sha256Prng
+from repro.errors import (
+    FileNotFoundError_,
+    IntegrityError,
+    VolumeFullError,
+)
+from repro.stegfs.allocator import RandomAllocator
+from repro.stegfs.constants import pointers_per_header
+from repro.stegfs.dummy import build_dummy_content, create_dummy_file
+from repro.stegfs.filesystem import StegFsVolume, VolumeConfig
+from repro.stegfs.header import FileHeader, path_digest
+from repro.storage.device import RawDevice
+
+from conftest import make_storage
+
+
+class TestFileHeader:
+    def test_serialise_parse_roundtrip_single_chunk(self):
+        header = FileHeader(path="/a", file_size=1000, block_pointers=[5, 9, 13], header_blocks=[2])
+        payloads = header.serialise(496)
+        assert len(payloads) == 1
+        chunk = FileHeader.parse_chunk(payloads[0])
+        rebuilt = FileHeader.from_chunks("/a", [chunk], [2])
+        assert rebuilt.block_pointers == [5, 9, 13]
+        assert rebuilt.file_size == 1000
+        assert not rebuilt.is_dummy
+
+    def test_serialise_parse_roundtrip_multi_chunk(self):
+        per_block = pointers_per_header(496)
+        pointers = list(range(per_block * 2 + 3))
+        header = FileHeader(
+            path="/big",
+            file_size=12345,
+            block_pointers=pointers,
+            header_blocks=[1, 2, 3],
+            is_dummy=True,
+        )
+        payloads = header.serialise(496)
+        assert len(payloads) == 3
+        chunks = [FileHeader.parse_chunk(p) for p in payloads]
+        assert chunks[0].has_next and chunks[0].next_header == 2
+        assert chunks[1].has_next and chunks[1].next_header == 3
+        assert not chunks[2].has_next
+        rebuilt = FileHeader.from_chunks("/big", chunks, [1, 2, 3])
+        assert rebuilt.block_pointers == pointers
+        assert rebuilt.is_dummy
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(IntegrityError):
+            FileHeader.parse_chunk(b"\x00" * 496)
+
+    def test_wrong_path_digest_rejected(self):
+        header = FileHeader(path="/a", file_size=10, block_pointers=[1], header_blocks=[0])
+        chunk = FileHeader.parse_chunk(header.serialise(496)[0])
+        with pytest.raises(IntegrityError):
+            FileHeader.from_chunks("/other", [chunk], [0])
+
+    def test_relocate_updates_pointer_and_returns_old(self):
+        header = FileHeader(path="/a", block_pointers=[10, 20, 30], header_blocks=[1])
+        old = header.relocate(1, 99)
+        assert old == 20
+        assert header.block_pointers == [10, 99, 30]
+
+    def test_logical_of_physical(self):
+        header = FileHeader(path="/a", block_pointers=[10, 20], header_blocks=[1])
+        assert header.logical_of_physical(20) == 1
+        assert header.logical_of_physical(77) is None
+
+    def test_all_blocks_includes_headers(self):
+        header = FileHeader(path="/a", block_pointers=[10, 20], header_blocks=[1, 2])
+        assert header.all_blocks() == {1, 2, 10, 20}
+
+    def test_headers_needed(self):
+        per_block = pointers_per_header(496)
+        header = FileHeader(path="/a", block_pointers=list(range(per_block + 1)), header_blocks=[])
+        assert header.headers_needed(496) == 2
+
+    def test_path_digest_is_16_bytes(self):
+        assert len(path_digest("/x")) == 16
+
+    def test_serialise_requires_enough_header_blocks(self):
+        per_block = pointers_per_header(496)
+        header = FileHeader(path="/a", block_pointers=list(range(per_block * 2)), header_blocks=[1])
+        with pytest.raises(ValueError):
+            header.serialise(496)
+
+
+class TestRandomAllocator:
+    def test_allocate_marks_blocks(self):
+        allocator = RandomAllocator(100, Sha256Prng(1))
+        index = allocator.allocate_random()
+        assert allocator.is_allocated(index)
+        assert allocator.used_blocks == 1
+
+    def test_allocate_many_unique(self):
+        allocator = RandomAllocator(200, Sha256Prng(2))
+        blocks = allocator.allocate_many(50)
+        assert len(set(blocks)) == 50
+        assert allocator.used_blocks == 50
+
+    def test_allocation_exhaustion(self):
+        allocator = RandomAllocator(10, Sha256Prng(3))
+        allocator.allocate_many(10)
+        with pytest.raises(VolumeFullError):
+            allocator.allocate_random()
+
+    def test_allocate_many_overflow_rejected(self):
+        allocator = RandomAllocator(10, Sha256Prng(3))
+        with pytest.raises(VolumeFullError):
+            allocator.allocate_many(11)
+
+    def test_free_and_reuse(self):
+        allocator = RandomAllocator(10, Sha256Prng(4))
+        blocks = allocator.allocate_many(10)
+        allocator.free(blocks[0])
+        assert allocator.free_blocks == 1
+        assert allocator.allocate_random() == blocks[0]
+
+    def test_allocate_specific(self):
+        allocator = RandomAllocator(10, Sha256Prng(5))
+        assert allocator.allocate_specific(7)
+        assert not allocator.allocate_specific(7)
+
+    def test_transfer(self):
+        allocator = RandomAllocator(10, Sha256Prng(6))
+        allocator.allocate_specific(3)
+        allocator.transfer(3, 8)
+        assert not allocator.is_allocated(3)
+        assert allocator.is_allocated(8)
+
+    def test_utilisation(self):
+        allocator = RandomAllocator(100, Sha256Prng(7))
+        allocator.allocate_many(25)
+        assert allocator.utilisation == pytest.approx(0.25)
+
+    def test_nearly_full_volume_fallback(self):
+        allocator = RandomAllocator(64, Sha256Prng(8), max_probes=1)
+        blocks = allocator.allocate_many(63)
+        last = allocator.allocate_random()
+        assert last not in blocks
+
+
+class TestStegFsVolume:
+    def test_create_open_read_roundtrip(self, volume, fak):
+        content = b"the quick brown fox" * 50
+        created = volume.create_file(fak, "/docs/secret", content)
+        reopened = volume.open_file(fak, "/docs/secret")
+        assert reopened.header.block_pointers == created.header.block_pointers
+        assert volume.read_file(reopened) == content
+
+    def test_read_block_by_logical_index(self, volume, fak):
+        payload = volume.data_field_bytes
+        content = b"A" * payload + b"B" * payload + b"C" * 10
+        handle = volume.create_file(fak, "/f", content)
+        assert volume.read_block(handle, 0) == b"A" * payload
+        assert volume.read_block(handle, 1) == b"B" * payload
+        assert volume.read_block(handle, 2).startswith(b"C" * 10)
+
+    def test_empty_file(self, volume, fak):
+        handle = volume.create_file(fak, "/empty", b"")
+        assert handle.num_blocks == 0
+        assert volume.read_file(handle) == b""
+        reopened = volume.open_file(fak, "/empty")
+        assert volume.read_file(reopened) == b""
+
+    def test_wrong_key_cannot_open(self, volume, fak, prng):
+        volume.create_file(fak, "/f", b"data")
+        wrong = FileAccessKey.generate(prng.spawn("wrong"))
+        with pytest.raises(FileNotFoundError_):
+            volume.open_file(wrong, "/f")
+
+    def test_wrong_path_cannot_open(self, volume, fak):
+        volume.create_file(fak, "/f", b"data")
+        with pytest.raises(FileNotFoundError_):
+            volume.open_file(fak, "/g")
+
+    def test_blocks_are_scattered_not_contiguous(self, volume, fak):
+        content = b"x" * (volume.data_field_bytes * 20)
+        handle = volume.create_file(fak, "/scatter", content)
+        pointers = handle.header.block_pointers
+        gaps = [b - a for a, b in zip(pointers, pointers[1:])]
+        assert any(abs(gap) > 1 for gap in gaps)
+
+    def test_write_block_in_place_keeps_location(self, volume, fak):
+        content = b"y" * (volume.data_field_bytes * 3)
+        handle = volume.create_file(fak, "/inplace", content)
+        physical_before = handle.header.physical_block(1)
+        volume.write_block_in_place(handle, 1, b"updated")
+        assert handle.header.physical_block(1) == physical_before
+        assert volume.read_block(handle, 1).startswith(b"updated")
+
+    def test_update_is_visible_after_reopen_and_save(self, volume, fak):
+        handle = volume.create_file(fak, "/persist", b"z" * volume.data_field_bytes * 2)
+        volume.write_block_in_place(handle, 0, b"fresh")
+        volume.save_header(handle)
+        reopened = volume.open_file(fak, "/persist")
+        assert volume.read_block(reopened, 0).startswith(b"fresh")
+
+    def test_delete_frees_blocks(self, volume, fak):
+        handle = volume.create_file(fak, "/del", b"d" * volume.data_field_bytes * 4)
+        used_before = volume.allocator.used_blocks
+        volume.delete_file(handle)
+        assert volume.allocator.used_blocks < used_before
+
+    def test_volume_full(self, prng):
+        storage = make_storage(num_blocks=16)
+        small = StegFsVolume(RawDevice(storage), prng.spawn("small"))
+        fak = FileAccessKey.generate(prng.spawn("fak"))
+        with pytest.raises(VolumeFullError):
+            small.create_file(fak, "/huge", b"x" * small.data_field_bytes * 32)
+
+    def test_rewrite_with_new_iv_preserves_content(self, volume, fak):
+        handle = volume.create_file(fak, "/dummyupd", b"stable content")
+        physical = handle.header.physical_block(0)
+        raw_before = volume.device.peek_block(physical)
+        volume.rewrite_with_new_iv(physical, handle.content_key)
+        raw_after = volume.device.peek_block(physical)
+        assert raw_before != raw_after
+        assert volume.read_block(handle, 0).startswith(b"stable content")
+
+    def test_append_block(self, volume, fak):
+        handle = volume.create_file(fak, "/grow", b"a" * volume.data_field_bytes)
+        logical = volume.append_block(handle, b"appended")
+        assert logical == 1
+        assert volume.read_block(handle, 1).startswith(b"appended")
+        volume.save_header(handle)
+        reopened = volume.open_file(fak, "/grow")
+        assert reopened.num_blocks == 2
+
+    def test_two_files_do_not_collide(self, volume, prng):
+        fak1 = FileAccessKey.generate(prng.spawn("1"))
+        fak2 = FileAccessKey.generate(prng.spawn("2"))
+        h1 = volume.create_file(fak1, "/one", b"1" * volume.data_field_bytes * 5)
+        h2 = volume.create_file(fak2, "/two", b"2" * volume.data_field_bytes * 5)
+        assert h1.header.all_blocks().isdisjoint(h2.header.all_blocks())
+        assert volume.read_file(h1) == b"1" * volume.data_field_bytes * 5
+        assert volume.read_file(h2) == b"2" * volume.data_field_bytes * 5
+
+    def test_cbc_cipher_factory_also_works(self, prng):
+        storage = make_storage(num_blocks=64)
+        config = VolumeConfig(cipher_factory=lambda key: CbcCipher(key, pad=False))
+        volume = StegFsVolume(RawDevice(storage), prng.spawn("cbcvol"), config)
+        fak = FileAccessKey.generate(prng.spawn("fak"))
+        handle = volume.create_file(fak, "/cbc", b"cbc protected content")
+        assert volume.read_file(volume.open_file(fak, "/cbc")) == b"cbc protected content"
+
+    def test_ciphertext_on_disk_differs_from_plaintext(self, volume, fak):
+        content = b"plaintext marker" * 10
+        handle = volume.create_file(fak, "/ct", content)
+        physical = handle.header.physical_block(0)
+        assert b"plaintext marker" not in volume.device.peek_block(physical)
+
+
+class TestDummyFiles:
+    def test_create_dummy_file(self, volume, prng):
+        fak, handle = create_dummy_file(volume, "/dummy0", 5, prng)
+        assert handle.is_dummy
+        assert handle.num_blocks == 5
+        assert fak.is_dummy
+
+    def test_dummy_file_reopens(self, volume, prng):
+        fak, _ = create_dummy_file(volume, "/dummy1", 3, prng)
+        reopened = volume.open_file(fak, "/dummy1")
+        assert reopened.is_dummy
+        assert reopened.num_blocks == 3
+
+    def test_build_dummy_content_size(self, prng):
+        content = build_dummy_content(prng, 4, 100)
+        assert len(content) == 400
+
+    def test_dummy_content_negative_rejected(self, prng):
+        with pytest.raises(ValueError):
+            build_dummy_content(prng, -1, 100)

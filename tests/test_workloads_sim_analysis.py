@@ -1,0 +1,285 @@
+"""Unit tests for workloads, the round-robin simulator, builders and analysis helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.models import (
+    expected_iterations,
+    expected_update_overhead,
+    steghide_expected_update_ios,
+    update_overhead_curve,
+)
+from repro.analysis.series import SeriesTable, SweepResult
+from repro.analysis.tables import format_markdown_table, format_table
+from repro.baselines.cleandisk import CleanDiskFileSystem
+from repro.crypto.prng import Sha256Prng
+from repro.sim.builders import SYSTEM_LABELS, build_system
+from repro.sim.engine import ClientJob, RoundRobinSimulator
+from repro.storage.latency import ZeroLatencyModel
+from repro.workloads.filegen import FileSpec, generate_content, generate_file_specs
+from repro.workloads.retrieval import file_read_job, measure_file_read
+from repro.workloads.tableupdate import SalaryTable, TableUpdateWorkload
+from repro.workloads.update import (
+    measure_block_update,
+    measure_range_update,
+    random_update_requests,
+)
+
+from conftest import make_storage
+
+
+class TestFileGeneration:
+    def test_content_deterministic(self):
+        assert generate_content(1000, seed=3) == generate_content(1000, seed=3)
+        assert generate_content(1000, seed=3) != generate_content(1000, seed=4)
+
+    def test_content_length(self):
+        assert len(generate_content(12345)) == 12345
+        assert generate_content(0) == b""
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            generate_content(-1)
+
+    def test_specs_in_paper_range(self):
+        specs = generate_file_specs(20, Sha256Prng(1))
+        assert len(specs) == 20
+        assert all(4 * 1024 * 1024 <= s.size_bytes <= 8 * 1024 * 1024 for s in specs)
+        assert len({s.name for s in specs}) == 20
+
+    def test_specs_validation(self):
+        with pytest.raises(ValueError):
+            generate_file_specs(-1, Sha256Prng(1))
+        with pytest.raises(ValueError):
+            generate_file_specs(1, Sha256Prng(1), min_size_bytes=10, max_size_bytes=5)
+
+
+class TestWorkloadMeasurements:
+    def test_measure_file_read_returns_positive_time(self):
+        storage = make_storage(timed=True)
+        fs = CleanDiskFileSystem(storage)
+        handle = fs.create_file("/a", b"x" * fs.payload_bytes * 20)
+        assert measure_file_read(fs, handle) > 0.0
+
+    def test_measure_block_update(self):
+        storage = make_storage(timed=True)
+        fs = CleanDiskFileSystem(storage)
+        handle = fs.create_file("/a", b"x" * fs.payload_bytes * 20)
+        elapsed = measure_block_update(fs, handle, 5)
+        assert elapsed > 0.0
+        assert fs.read_block(handle, 5) != b"x" * fs.payload_bytes
+
+    def test_measure_range_update_scales_with_range(self):
+        storage = make_storage(timed=True)
+        fs = CleanDiskFileSystem(storage)
+        handle = fs.create_file("/a", b"x" * fs.payload_bytes * 40)
+        one = measure_range_update(fs, handle, 0, 1)
+        five = measure_range_update(fs, handle, 10, 5)
+        assert five >= one
+
+    def test_random_update_requests_in_bounds(self):
+        storage = make_storage()
+        fs = CleanDiskFileSystem(storage)
+        handle = fs.create_file("/a", b"x" * fs.payload_bytes * 10)
+        starts = random_update_requests(handle, 50, Sha256Prng(2), range_blocks=3)
+        assert all(0 <= s <= 7 for s in starts)
+
+    def test_random_update_requests_too_small_file(self):
+        storage = make_storage()
+        fs = CleanDiskFileSystem(storage)
+        handle = fs.create_file("/a", b"x" * fs.payload_bytes * 2)
+        with pytest.raises(ValueError):
+            random_update_requests(handle, 1, Sha256Prng(2), range_blocks=3)
+
+
+class TestSalaryTable:
+    def test_serialise_roundtrip(self):
+        table = SalaryTable(rows=[("Alice", 200_000), ("Bob", 810_000)])
+        assert SalaryTable.deserialise(table.serialise()).rows == table.rows
+
+    def test_generate(self):
+        table = SalaryTable.generate(100, Sha256Prng(5))
+        assert len(table.rows) == 100
+        assert all(salary >= 30_000 for _, salary in table.rows)
+
+    def test_set_salary_and_offset(self):
+        table = SalaryTable(rows=[("Alice", 1), ("Bob", 2)])
+        table.set_salary("Bob", 910_000)
+        assert table.rows[1] == ("Bob", 910_000)
+        assert table.row_offset("Bob") == 64
+        with pytest.raises(KeyError):
+            table.row_offset("Carol")
+
+    def test_workload_updates_through_adapter(self):
+        storage = make_storage()
+        fs = CleanDiskFileSystem(storage)
+        table = SalaryTable.generate(200, Sha256Prng(6))
+        workload = TableUpdateWorkload(fs, table)
+        workload.update_salary("employee-00007", 999_999)
+        read_back = workload.read_back()
+        assert ("employee-00007", 999_999) in read_back.rows
+
+    def test_run_random_updates(self):
+        storage = make_storage()
+        fs = CleanDiskFileSystem(storage)
+        workload = TableUpdateWorkload(fs, SalaryTable.generate(50, Sha256Prng(7)))
+        touched = workload.run_random_updates(10, Sha256Prng(8))
+        # Each of the 10 row updates touches one block, or two when it straddles.
+        assert 10 <= len(touched) <= 20
+
+
+class TestRoundRobinSimulator:
+    def test_single_job_runs_to_completion(self):
+        storage = make_storage(timed=True)
+        fs = CleanDiskFileSystem(storage)
+        handle = fs.create_file("/a", b"x" * fs.payload_bytes * 10)
+        job = ClientJob("u1", file_read_job(fs, handle, "u1"))
+        result = RoundRobinSimulator(storage).run([job])
+        assert job.operations == 10
+        assert result.total_elapsed_ms > 0
+        assert result.mean_elapsed_ms == pytest.approx(job.elapsed_ms)
+
+    def test_concurrent_jobs_interleave_and_slow_down(self):
+        """Two concurrent sequential readers cost far more than twice one reader."""
+        single = make_storage(num_blocks=2048, timed=True)
+        fs_single = CleanDiskFileSystem(single)
+        handle = fs_single.create_file("/a", b"x" * fs_single.payload_bytes * 100)
+        single_time = measure_file_read(fs_single, handle)
+
+        shared = make_storage(num_blocks=2048, timed=True)
+        fs_shared = CleanDiskFileSystem(shared)
+        handles = [
+            fs_shared.create_file(f"/f{i}", b"x" * fs_shared.payload_bytes * 100) for i in range(2)
+        ]
+        jobs = [
+            ClientJob(f"u{i}", file_read_job(fs_shared, h, f"u{i}")) for i, h in enumerate(handles)
+        ]
+        result = RoundRobinSimulator(shared).run(jobs)
+        assert result.mean_elapsed_ms > 4 * single_time
+
+    def test_empty_job_list(self):
+        storage = make_storage()
+        result = RoundRobinSimulator(storage).run([])
+        assert result.jobs == []
+        assert result.total_elapsed_ms == 0.0
+
+    def test_per_job_elapsed_mapping(self):
+        storage = make_storage(timed=True)
+        fs = CleanDiskFileSystem(storage)
+        h1 = fs.create_file("/a", b"x" * fs.payload_bytes * 5)
+        h2 = fs.create_file("/b", b"x" * fs.payload_bytes * 5)
+        jobs = [
+            ClientJob("alice", file_read_job(fs, h1, "alice")),
+            ClientJob("bob", file_read_job(fs, h2, "bob")),
+        ]
+        result = RoundRobinSimulator(storage).run(jobs)
+        assert set(result.per_job_elapsed_ms) == {"alice", "bob"}
+        assert result.max_elapsed_ms >= result.mean_elapsed_ms
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("label", SYSTEM_LABELS)
+    def test_build_every_system_and_read_back(self, label):
+        specs = [FileSpec("/f0", 64 * 1024)]
+        sut = build_system(label, volume_mib=2, file_specs=specs, seed=3,
+                           latency=ZeroLatencyModel())
+        assert sut.label == label
+        content = sut.adapter.read_file(sut.handle("/f0"))
+        assert content == generate_content(64 * 1024, 3)
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ValueError):
+            build_system("NotASystem")
+
+    def test_target_utilisation_reached_for_steg_systems(self):
+        sut = build_system(
+            "StegHide*",
+            volume_mib=2,
+            file_specs=[FileSpec("/f0", 32 * 1024)],
+            target_utilisation=0.4,
+            seed=1,
+            latency=ZeroLatencyModel(),
+        )
+        assert sut.volume is not None
+        assert 0.38 <= sut.volume.utilisation <= 0.45
+
+    def test_too_high_initial_utilisation_rejected(self):
+        with pytest.raises(ValueError):
+            build_system(
+                "StegFS",
+                volume_mib=2,
+                file_specs=[FileSpec("/f0", 1536 * 1024)],
+                target_utilisation=0.10,
+                latency=ZeroLatencyModel(),
+            )
+
+    def test_steghide_builder_discloses_dummy_space(self):
+        sut = build_system(
+            "StegHide",
+            volume_mib=2,
+            file_specs=[FileSpec("/f0", 64 * 1024)],
+            target_utilisation=0.25,
+            seed=2,
+            latency=ZeroLatencyModel(),
+        )
+        assert sut.keyring is not None
+        assert len(sut.keyring.dummy) > 0
+        assert sut.agent is not None
+        # The agent can run dummy updates because dummy space was disclosed.
+        sut.agent.dummy_update()
+
+
+class TestAnalysisHelpers:
+    def test_expected_update_overhead(self):
+        assert expected_update_overhead(100, 50) == 2.0
+        assert expected_update_overhead(100, 100) == 1.0
+        assert expected_update_overhead(100, 0) == float("inf")
+        with pytest.raises(ValueError):
+            expected_update_overhead(0, 0)
+        with pytest.raises(ValueError):
+            expected_update_overhead(10, 20)
+
+    def test_expected_iterations(self):
+        assert expected_iterations(0.0) == 1.0
+        assert expected_iterations(0.5) == 2.0
+        with pytest.raises(ValueError):
+            expected_iterations(1.0)
+
+    def test_update_overhead_curve(self):
+        curve = update_overhead_curve([0.1, 0.25, 0.5])
+        assert curve == pytest.approx([1 / 0.9, 1 / 0.75, 2.0])
+
+    def test_expected_ios(self):
+        assert steghide_expected_update_ios(0.5) == pytest.approx(4.0)
+
+    def test_sweep_result_rendering_and_ratio(self):
+        sweep = SweepResult(name="fig", x_label="x", y_label="ms", x_values=[1, 2])
+        sweep.add_point("A", 10.0)
+        sweep.add_point("A", 20.0)
+        sweep.add_point("B", 5.0)
+        sweep.add_point("B", 10.0)
+        rendered = sweep.render()
+        assert "fig" in rendered and "A" in rendered and "B" in rendered
+        assert sweep.ratio("A", "B") == [2.0, 2.0]
+        assert sweep.series_for("A") == [10.0, 20.0]
+
+    def test_series_table(self):
+        table = SeriesTable(name="Table 4", columns=["buffer", "height"])
+        table.add_row("8M", 7)
+        table.add_row("16M", 6)
+        assert table.column("height") == [7, 6]
+        assert "Table 4" in table.render()
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_markdown_table(self):
+        text = format_markdown_table(["a", "b"], [["1", "2"]])
+        assert text.splitlines()[0] == "| a | b |"
+        assert "---" in text.splitlines()[1]
