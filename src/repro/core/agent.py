@@ -31,6 +31,7 @@ from repro.crypto.prng import Sha256Prng
 from repro.errors import UnknownFileError
 from repro.stegfs.file import HiddenFile
 from repro.stegfs.filesystem import StegFsVolume
+from repro.storage.block import StoredBlock
 
 
 @dataclass(frozen=True)
@@ -249,10 +250,80 @@ class StegAgent(ABC):
         payloads: list[bytes],
         stream: str = "default",
     ) -> list[UpdateResult]:
-        """Update a run of consecutive logical blocks (the Figure 11(b) workload)."""
-        results = []
+        """Update a run of consecutive logical blocks (the Figure 11(b) workload).
+
+        Observationally this is exactly a loop of :meth:`update_block`:
+        the Figure-6 draws, the IV draws and every device request happen
+        in the same order with the same bytes.  Internally each update
+        is first *planned* — the draws and the in-memory bookkeeping run
+        without device I/O, which is sound because no Figure-6 decision
+        depends on device contents — and then *executed* with its new
+        payload sealed through the batched crypto path.  Planning stays
+        per-update (not whole-range) so that an error while planning a
+        later update leaves every earlier update fully committed to the
+        device, just as the plain loop would.  The read/write
+        interleaving of the loop is preserved deliberately: re-ordering
+        it would change the trace and the simulated head movement that
+        the update-analysis experiments observe.
+        """
+        device = self.volume.device
+        results: list[UpdateResult] = []
         for offset, payload in enumerate(payloads):
-            results.append(self.update_block(handle, start_logical + offset, payload, stream))
+            logical_index = start_logical + offset
+            if self.owner_of(handle.header.physical_block(logical_index)) is None:
+                raise UnknownFileError(
+                    "the agent does not hold keys for the file being updated"
+                )
+            b1 = handle.header.physical_block(logical_index)
+            iterations = 0
+            reads = 0
+            writes = 0
+            reseals: list[tuple[int, bytes, bytes]] = []
+
+            # -- plan this update: draws and bookkeeping, no device I/O.
+            # Nothing mutates until the terminal iteration, so an error
+            # raised while planning leaves the update untouched.
+            while True:
+                iterations += 1
+                b2 = self.select_random_block()
+
+                if b2 == b1:
+                    final_iv = self.volume.fresh_iv()
+                    target = b1
+                    reads += 1
+                    writes += 1
+                    result = UpdateResult(iterations, reads, writes, moved_from=b1, moved_to=b1)
+                    break
+
+                if self.is_dummy_block(b2):
+                    final_iv = self.volume.fresh_iv()
+                    target = b2
+                    reads += 1
+                    writes += 1
+                    handle.header.relocate(logical_index, b2)
+                    handle.mark_dirty()
+                    self.volume.allocator.transfer(b1, b2)
+                    self._untrack_block(b1)
+                    self.claim_dummy_block(new_data_block=b2, released_block=b1)
+                    self._track_block(b2, handle, "data")
+                    result = UpdateResult(iterations, reads, writes, moved_from=b1, moved_to=b2)
+                    break
+
+                reseals.append((b2, self.key_for_block(b2), self.volume.fresh_iv()))
+                reads += 1
+                writes += 1
+
+            # -- execute this update's I/O in the loop's exact order.
+            [sealed] = self.volume.seal_payloads(handle.content_key, [payload], [final_iv])
+            for b2, key, new_iv in reseals:
+                raw = device.read_block(b2, stream)
+                resealed = StoredBlock.from_raw(raw).reseal_with_new_iv(
+                    self.volume.cipher_for(key), new_iv
+                )
+                device.write_block(b2, resealed.raw, stream)
+            device.read_block(b1, stream)
+            device.write_block(target, sealed, stream)
+            results.append(result)
         return results
 
     def idle(self, num_dummy_updates: int, stream: str = "dummy") -> list[int]:

@@ -22,7 +22,7 @@ Implementation notes
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.oblivious.cost import oblivious_height
 from repro.core.oblivious.level import Level
@@ -215,16 +215,24 @@ class ObliviousStore:
         return found
 
     def write(self, logical_id: int, payload: bytes, stream: str = "oblivious") -> None:
-        """Update a cached block; observationally identical to a read."""
+        """Update a cached block; observationally identical to a read.
+
+        Exactly like :meth:`read`, every level is probed once: the level
+        holding the block gets the real probe, every other level gets a
+        random one.  Stopping at the hit (as an earlier version did)
+        would make writes distinguishable from reads by their per-level
+        probe counts, breaking the paper's security argument.
+        """
         self.stats.requests += 1
         if logical_id not in self._buffer:
+            found = False
             for level in self.levels:
-                slot = level.slot_of(logical_id)
+                slot = level.slot_of(logical_id) if not found else None
                 if slot is not None:
                     self._read_slot(level, slot, stream, "retrieval")
-                    # Only one real probe; the rest are random, as in read().
-                    break
-                self._probe_random(level, stream)
+                    found = True
+                else:
+                    self._probe_random(level, stream)
         self._add_to_buffer(logical_id, self._pad(payload), stream)
 
     def insert(self, logical_id: int, payload: bytes, stream: str = "oblivious") -> None:
@@ -325,25 +333,61 @@ class ObliviousStore:
         sort_stream = f"{stream}-sort"
         if self.config.charge_sort_io:
             passes = external_merge_sort_passes(level.capacity, self.config.buffer_blocks)
+            slots = list(level.slot_range())
+            # Pre-seal the final level contents.  The PRNG draws happen in
+            # slot order — dummy payload then IV — exactly as the per-slot
+            # loop drew them, so the written bytes are unchanged; the
+            # encryption itself runs through one batched encrypt_many.
+            payloads = []
+            ivs = []
+            for local_slot in range(level.capacity):
+                logical_id = occupied_slots.get(local_slot)
+                if logical_id is not None:
+                    payloads.append(entries[logical_id])
+                else:
+                    payloads.append(self._prng.random_bytes(self.payload_bytes))
+                ivs.append(self._prng.random_bytes(BLOCK_IV_SIZE))
+            ciphertexts = cipher.encrypt_many(ivs, payloads)
+            datas = [iv + ciphertext for iv, ciphertext in zip(ivs, ciphertexts)]
+
+            read_write_blocks = getattr(self.device, "read_write_blocks", None)
             for pass_number in range(passes):
                 final = pass_number == passes - 1
-                for local_slot in range(level.capacity):
-                    slot = level.first_slot + local_slot
-                    raw = self._read_slot(level, slot, sort_stream, "sort")
-                    if final:
-                        logical_id = occupied_slots.get(local_slot)
-                        if logical_id is not None:
-                            payload = entries[logical_id]
-                        else:
-                            payload = self._prng.random_bytes(self.payload_bytes)
-                        iv = self._prng.random_bytes(BLOCK_IV_SIZE)
-                        raw = StoredBlock.seal(cipher, iv, payload).raw
-                    self._write_slot(slot, raw, sort_stream, "sort")
+                if read_write_blocks is not None:
+                    # One batched device call per pass; non-final passes
+                    # rewrite each slot with its current bytes, the final
+                    # pass installs the freshly sealed permutation.  The
+                    # per-slot read/write interleaving (and therefore the
+                    # trace and the sequential-I/O cost) is identical to
+                    # the loop below.
+                    started = self._clock()
+                    read_write_blocks(slots, datas if final else None, sort_stream)
+                    elapsed = self._clock() - started
+                    self.stats.sort_reads += len(slots)
+                    self.stats.sort_writes += len(slots)
+                    self.stats.sort_time_ms += elapsed
+                else:
+                    for local_slot, slot in enumerate(slots):
+                        raw = self._read_slot(level, slot, sort_stream, "sort")
+                        if final:
+                            raw = datas[local_slot]
+                        self._write_slot(slot, raw, sort_stream, "sort")
         else:
-            for logical_id, local_slot in placements.items():
-                iv = self._prng.random_bytes(BLOCK_IV_SIZE)
-                raw = StoredBlock.seal(cipher, iv, entries[logical_id]).raw
-                self._write_slot(level.first_slot + local_slot, raw, sort_stream, "sort")
+            items = list(placements.items())
+            ivs = [self._prng.random_bytes(BLOCK_IV_SIZE) for _ in items]
+            ciphertexts = cipher.encrypt_many(ivs, [entries[lid] for lid, _ in items])
+            indices = [level.first_slot + local_slot for _, local_slot in items]
+            datas = [iv + ciphertext for iv, ciphertext in zip(ivs, ciphertexts)]
+            write_blocks = getattr(self.device, "write_blocks", None)
+            if write_blocks is not None and indices:
+                started = self._clock()
+                write_blocks(indices, datas, sort_stream)
+                elapsed = self._clock() - started
+                self.stats.sort_writes += len(indices)
+                self.stats.sort_time_ms += elapsed
+            else:
+                for index, data in zip(indices, datas):
+                    self._write_slot(index, data, sort_stream, "sort")
 
         level.install(placements, new_key)
         self.stats.shuffles += 1

@@ -143,9 +143,9 @@ class Sha256Prng:
 
         if rate <= 0:
             raise ValueError("rate must be positive")
-        u = self.random()
-        # Guard against log(0).
-        return -math.log(1.0 - u if u < 1.0 else 0.5) / rate
+        # random() returns u in [0, 1), so 1 - u is in (0, 1] and the
+        # inverse-CDF transform is exact; log1p keeps precision near 0.
+        return -math.log1p(-self.random()) / rate
 
     def gauss(self, mu: float = 0.0, sigma: float = 1.0) -> float:
         """Normal variate via the Box-Muller transform."""

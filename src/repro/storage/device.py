@@ -13,7 +13,7 @@ on either a whole volume or a partition.
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import Iterable, Protocol, Sequence, runtime_checkable
 
 from repro.errors import BlockOutOfRangeError
 from repro.storage.disk import RawStorage
@@ -36,6 +36,22 @@ class BlockDevice(Protocol):
 
     def write_block(self, index: int, data: bytes, stream: str = "default") -> None:
         """Write one block (charges I/O)."""
+
+    def read_blocks(self, indices: Iterable[int], stream: str = "default") -> list[bytes]:
+        """Read many blocks; observationally identical to a loop of reads."""
+
+    def write_blocks(
+        self, indices: Iterable[int], datas: Sequence[bytes], stream: str = "default"
+    ) -> None:
+        """Write many blocks; observationally identical to a loop of writes."""
+
+    def read_write_blocks(
+        self,
+        indices: Iterable[int],
+        datas: Sequence[bytes] | None = None,
+        stream: str = "default",
+    ) -> None:
+        """Charge an interleaved read+write per block (``datas=None`` rewrites in place)."""
 
     def peek_block(self, index: int) -> bytes:
         """Read block bytes without charging I/O (attacker/bookkeeping view)."""
@@ -60,6 +76,22 @@ class RawDevice:
 
     def write_block(self, index: int, data: bytes, stream: str = "default") -> None:
         self.storage.write_block(index, data, stream)
+
+    def read_blocks(self, indices: Iterable[int], stream: str = "default") -> list[bytes]:
+        return self.storage.read_blocks(indices, stream)
+
+    def write_blocks(
+        self, indices: Iterable[int], datas: Sequence[bytes], stream: str = "default"
+    ) -> None:
+        self.storage.write_blocks(indices, datas, stream)
+
+    def read_write_blocks(
+        self,
+        indices: Iterable[int],
+        datas: Sequence[bytes] | None = None,
+        stream: str = "default",
+    ) -> None:
+        self.storage.read_write_blocks(indices, datas, stream)
 
     def peek_block(self, index: int) -> bytes:
         return self.storage.peek_block(index)
@@ -100,6 +132,22 @@ class Partition:
 
     def write_block(self, index: int, data: bytes, stream: str = "default") -> None:
         self.storage.write_block(self._translate(index), data, stream)
+
+    def read_blocks(self, indices: Iterable[int], stream: str = "default") -> list[bytes]:
+        return self.storage.read_blocks([self._translate(i) for i in indices], stream)
+
+    def write_blocks(
+        self, indices: Iterable[int], datas: Sequence[bytes], stream: str = "default"
+    ) -> None:
+        self.storage.write_blocks([self._translate(i) for i in indices], datas, stream)
+
+    def read_write_blocks(
+        self,
+        indices: Iterable[int],
+        datas: Sequence[bytes] | None = None,
+        stream: str = "default",
+    ) -> None:
+        self.storage.read_write_blocks([self._translate(i) for i in indices], datas, stream)
 
     def peek_block(self, index: int) -> bytes:
         return self.storage.peek_block(self._translate(index))

@@ -11,6 +11,7 @@ same things they could observe against the real system.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -47,8 +48,13 @@ class StorageGeometry:
 
     @classmethod
     def from_capacity(cls, capacity_bytes: int, block_size: int = 4 * KIB) -> "StorageGeometry":
-        """Build a geometry holding at least ``capacity_bytes``."""
-        num_blocks = max(1, capacity_bytes // block_size)
+        """Build a geometry holding at least ``capacity_bytes``.
+
+        A capacity that is not a multiple of the block size rounds *up*
+        to the next whole block, so the volume always honours the
+        "at least" contract.
+        """
+        num_blocks = max(1, -(-capacity_bytes // block_size))
         return cls(block_size=block_size, num_blocks=num_blocks)
 
 
@@ -109,6 +115,11 @@ class RawStorage:
         self.counters = IoCounters()
         self.clock_ms = 0.0
         self._data = bytearray(geometry.capacity_bytes)
+        # (num_blocks, block_size) uint8 view over the same buffer; the
+        # batched operations move data through it in single numpy calls.
+        self._blocks_view = np.frombuffer(self._data, dtype=np.uint8).reshape(
+            geometry.num_blocks, geometry.block_size
+        )
         # The disk has a single head: sequentiality is judged against the
         # last accessed block regardless of which request stream touched it.
         # This is what makes interleaved multi-user workloads lose the
@@ -165,6 +176,114 @@ class RawStorage:
         self.trace.record("write", index, self.clock_ms, stream)
         offset = index * self.geometry.block_size
         self._data[offset : offset + self.geometry.block_size] = data
+
+    # -- batched block access ---------------------------------------------------
+    #
+    # The batched calls are *observationally identical* to a loop of the
+    # single-block calls above: every block is charged latency against the
+    # shared head position, bumps the same counters and clock, and records
+    # the same trace event with the same timestamp.  Only the wall-clock
+    # cost changes — the data moves through numpy in one gather/scatter
+    # instead of one Python-level copy per block.  Unlike the single-block
+    # loop, all indices (and data sizes) are validated up-front, so a
+    # failed batched call leaves no partial side effects behind.
+
+    def _check_batch(self, indices: Sequence[int], datas: Sequence[bytes] | None) -> None:
+        for index in indices:
+            self._check_index(index)
+        if datas is not None:
+            if len(datas) != len(indices):
+                raise ValueError(
+                    f"{len(indices)} indices but {len(datas)} data blocks"
+                )
+            for data in datas:
+                if len(data) != self.geometry.block_size:
+                    raise BlockSizeMismatchError(
+                        f"write of {len(data)} bytes to a "
+                        f"{self.geometry.block_size}-byte block"
+                    )
+
+    def _gather(self, indices: Sequence[int]) -> list[bytes]:
+        block_size = self.geometry.block_size
+        flat = self._blocks_view[np.asarray(indices, dtype=np.intp)].tobytes()
+        return [flat[i * block_size : (i + 1) * block_size] for i in range(len(indices))]
+
+    def _scatter(self, indices: Sequence[int], datas: Sequence[bytes]) -> None:
+        rows = np.frombuffer(b"".join(datas), dtype=np.uint8).reshape(
+            len(indices), self.geometry.block_size
+        )
+        if len(set(indices)) == len(indices):
+            self._blocks_view[np.asarray(indices, dtype=np.intp)] = rows
+        else:
+            # Duplicate targets: apply in order so the last writer wins,
+            # exactly as the single-block loop would.
+            for row, index in enumerate(indices):
+                self._blocks_view[index] = rows[row]
+
+    def read_blocks(self, indices: Iterable[int], stream: str = "default") -> list[bytes]:
+        """Read many blocks in one call; equivalent to a loop of :meth:`read_block`."""
+        indices = list(indices)
+        self._check_batch(indices, None)
+        for index in indices:
+            cost = self._charge(index, stream)
+            self.counters.reads += 1
+            self.counters.read_time_ms += cost
+            self.trace.record("read", index, self.clock_ms, stream)
+        if not indices:
+            return []
+        return self._gather(indices)
+
+    def write_blocks(
+        self, indices: Iterable[int], datas: Sequence[bytes], stream: str = "default"
+    ) -> None:
+        """Write many blocks in one call; equivalent to a loop of :meth:`write_block`."""
+        indices = list(indices)
+        datas = list(datas)
+        self._check_batch(indices, datas)
+        for index in indices:
+            cost = self._charge(index, stream)
+            self.counters.writes += 1
+            self.counters.write_time_ms += cost
+            self.trace.record("write", index, self.clock_ms, stream)
+        if indices:
+            self._scatter(indices, datas)
+
+    def read_write_blocks(
+        self,
+        indices: Iterable[int],
+        datas: Sequence[bytes] | None = None,
+        stream: str = "default",
+    ) -> None:
+        """Charge an interleaved read+write on every block, in one call.
+
+        Equivalent to ``for i, d in zip(indices, datas): read_block(i);
+        write_block(i, d)`` with the read results discarded.  When
+        ``datas`` is None every block is rewritten with its current
+        content — a pure charging pass, which is what the oblivious
+        store's non-final merge-sort passes need.
+        """
+        indices = list(indices)
+        if datas is not None:
+            datas = list(datas)
+        self._check_batch(indices, datas)
+        if datas is not None and len(set(indices)) != len(indices):
+            # A later read of a duplicated index must observe the earlier
+            # write; only the genuine loop preserves that.
+            for index, data in zip(indices, datas):
+                self.read_block(index, stream)
+                self.write_block(index, data, stream)
+            return
+        for index in indices:
+            cost = self._charge(index, stream)
+            self.counters.reads += 1
+            self.counters.read_time_ms += cost
+            self.trace.record("read", index, self.clock_ms, stream)
+            cost = self._charge(index, stream)
+            self.counters.writes += 1
+            self.counters.write_time_ms += cost
+            self.trace.record("write", index, self.clock_ms, stream)
+        if datas is not None and indices:
+            self._scatter(indices, datas)
 
     def peek_block(self, index: int) -> bytes:
         """Read block bytes *without* charging latency or recording a request.

@@ -249,6 +249,47 @@ class TestObliviousStore:
         with pytest.raises(ValueError):
             store.insert(1, b"x" * (store.payload_bytes + 1))
 
+    def test_write_probes_every_level_exactly_like_read(self):
+        """Regression: write() must not stop probing at the level of the hit.
+
+        An earlier version broke out of the level loop after the real
+        probe, so levels below the hit got no random probes and a write
+        was observationally distinguishable from a read.  Reads and
+        writes must issue identical per-level probe counts.
+        """
+        storage, _, store, _ = _make_store(buffer_blocks=4, last_level_blocks=64)
+        for logical in range(20):
+            store.insert(logical, b"\x01" * store.payload_bytes)
+
+        partition_start = store.device.start_block
+
+        def probes_per_level(events):
+            counts = []
+            for level in store.levels:
+                slots = {partition_start + slot for slot in level.slot_range()}
+                counts.append(sum(1 for e in events if e.index in slots))
+            return counts
+
+        def retrieval_events_of(action):
+            before = len(storage.trace)
+            action()
+            # Only the probe traffic; shuffle I/O runs on the "-sort" stream.
+            return [e for e in storage.trace.events[before:] if e.stream == "oblivious"]
+
+        target = next(lid for lid in range(20) if lid not in store._buffer)
+        read_counts = probes_per_level(retrieval_events_of(lambda: store.read(target)))
+
+        target = next(lid for lid in range(20) if lid not in store._buffer)
+        write_counts = probes_per_level(
+            retrieval_events_of(lambda: store.write(target, b"\x02" * store.payload_bytes))
+        )
+
+        assert read_counts == write_counts
+        # Every level that has ever been shuffled gets exactly one probe.
+        expected = [1 if (not lvl.is_empty or lvl.shuffles > 0) else 0 for lvl in store.levels]
+        assert write_counts == expected
+        assert sum(write_counts) > 1
+
     def test_eviction_when_working_set_exceeds_last_level(self):
         _, _, store, _ = _make_store(buffer_blocks=4, last_level_blocks=16)
         for logical in range(64):

@@ -96,6 +96,22 @@ class TestSha256Prng:
         prng = Sha256Prng(8)
         assert all(prng.expovariate(2.0) >= 0.0 for _ in range(100))
 
+    def test_expovariate_distribution_shape(self):
+        """The inverse-CDF transform must match Exp(rate) — an earlier
+        version remapped some draws to a constant, skewing the shape."""
+        import math
+
+        rate = 2.0
+        prng = Sha256Prng(88)
+        values = sorted(prng.expovariate(rate) for _ in range(20_000))
+        mean = sum(values) / len(values)
+        assert mean == pytest.approx(1.0 / rate, rel=0.05)
+        median = values[len(values) // 2]
+        assert median == pytest.approx(math.log(2.0) / rate, rel=0.05)
+        # P(X > 2/rate) should be about e^-2.
+        tail = sum(1 for v in values if v > 2.0 / rate) / len(values)
+        assert tail == pytest.approx(math.exp(-2.0), rel=0.15)
+
     def test_gauss_reasonable_spread(self):
         prng = Sha256Prng(9)
         values = [prng.gauss(0.0, 1.0) for _ in range(2000)]

@@ -12,7 +12,7 @@ from repro.errors import (
 from repro.storage.bitmap import Bitmap
 from repro.storage.block import BLOCK_IV_SIZE, StoredBlock, data_field_size
 from repro.storage.device import Partition, RawDevice, split_volume
-from repro.storage.disk import IoCounters, RawStorage, StorageGeometry
+from repro.storage.disk import IoCounters, StorageGeometry
 from repro.storage.latency import DiskLatencyModel, ZeroLatencyModel
 
 from conftest import make_storage
