@@ -9,6 +9,9 @@ renders itself in the same row/series layout the paper's figures use.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
 
 from repro.analysis.tables import format_table
 
@@ -27,9 +30,17 @@ class SweepResult:
         """Append one measurement to a system's series."""
         self.series.setdefault(system, []).append(y_value)
 
+    def add_points(self, system: str, y_values: Iterable[float]) -> None:
+        """Append a whole batch of measurements to a system's series."""
+        self.series.setdefault(system, []).extend(float(y) for y in y_values)
+
     def series_for(self, system: str) -> list[float]:
         """The full series of one system."""
         return self.series[system]
+
+    def series_array(self, system: str) -> np.ndarray:
+        """One system's series as a float array (for vectorized analysis)."""
+        return np.asarray(self.series[system], dtype=float)
 
     def as_rows(self) -> list[list[str]]:
         """Rows of the result table: one row per x value."""
@@ -50,9 +61,12 @@ class SweepResult:
 
     def ratio(self, system_a: str, system_b: str) -> list[float]:
         """Point-wise ratio of two series (who wins, by what factor)."""
-        a = self.series[system_a]
-        b = self.series[system_b]
-        return [x / y if y else float("inf") for x, y in zip(a, b)]
+        length = min(len(self.series[system_a]), len(self.series[system_b]))
+        a = self.series_array(system_a)[:length]
+        b = self.series_array(system_b)[:length]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratios = np.where(b == 0, np.inf, a / b)
+        return ratios.tolist()
 
 
 @dataclass

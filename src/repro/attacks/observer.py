@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 
 from repro.storage.disk import RawStorage
 from repro.storage.snapshot import Snapshot, SnapshotDiff, diff_snapshots, take_snapshot
-from repro.storage.trace import IoEvent, IoTrace
+from repro.storage.trace import IoTrace
 
 
 @dataclass
@@ -51,6 +51,6 @@ class TraceObserver:
         self._mark = len(self.storage.trace)
 
     def capture(self) -> IoTrace:
-        """Events recorded since :meth:`start`."""
-        events: list[IoEvent] = self.storage.trace.events[self._mark :]
-        return IoTrace(list(events))
+        """Events recorded since :meth:`start` (a columnar slice, no copies
+        of per-event objects)."""
+        return self.storage.trace.since(self._mark)

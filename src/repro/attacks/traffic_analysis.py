@@ -22,9 +22,10 @@ what the security benchmarks verify.
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
 from typing import Sequence
+
+import numpy as np
 
 from repro.core.security import distinguishing_advantage, uniformity_chi_square
 from repro.storage.trace import IoTrace
@@ -61,25 +62,26 @@ class TrafficAnalysisAttacker:
     # -- statistics -----------------------------------------------------------------
 
     @staticmethod
-    def sequential_run_fraction(indices: Sequence[int]) -> float:
+    def sequential_run_fraction(indices: Sequence[int] | np.ndarray) -> float:
         """Fraction of consecutive request pairs that touch adjacent blocks."""
-        if len(indices) < 2:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size < 2:
             return 0.0
-        sequential_pairs = sum(
-            1 for a, b in zip(indices, indices[1:]) if 0 <= b - a <= 1
-        )
-        return sequential_pairs / (len(indices) - 1)
+        gaps = np.diff(indices)
+        sequential_pairs = int(np.count_nonzero((gaps >= 0) & (gaps <= 1)))
+        return sequential_pairs / (indices.size - 1)
 
     @staticmethod
-    def max_repeat_count(indices: Sequence[int]) -> int:
+    def max_repeat_count(indices: Sequence[int] | np.ndarray) -> int:
         """How often the most frequently accessed block was touched."""
-        if not indices:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
             return 0
-        return max(Counter(indices).values())
+        return int(np.unique(indices, return_counts=True)[1].max())
 
-    def positional_uniformity(self, indices: Sequence[int]) -> float:
+    def positional_uniformity(self, indices: Sequence[int] | np.ndarray) -> float:
         """p-value of the accessed positions against uniformity."""
-        if not indices:
+        if len(indices) == 0:
             return 1.0
         _, p_value = uniformity_chi_square(indices, self.num_blocks)
         return p_value
@@ -106,18 +108,18 @@ class TrafficAnalysisAttacker:
         advantage statistic measures how far the observed trace deviates
         from it.
         """
-        indices = trace.indices()
+        indices = trace.index_column()
         sequential = self.sequential_run_fraction(indices)
         repeats = self.max_repeat_count(indices)
         p_value = self.positional_uniformity(indices)
         advantage = 0.0
-        if reference_dummy_trace is not None and len(reference_dummy_trace) > 0 and indices:
+        if reference_dummy_trace is not None and len(reference_dummy_trace) > 0 and indices.size:
             advantage = distinguishing_advantage(
-                indices, reference_dummy_trace.indices(), self.num_blocks
+                indices, reference_dummy_trace.index_column(), self.num_blocks
             )
         suspects = (
             sequential > self.sequential_threshold
-            or repeats > self.repeat_cutoff(len(indices))
+            or repeats > self.repeat_cutoff(indices.size)
             or p_value < self.uniformity_alpha
             or advantage > self.advantage_threshold
         )

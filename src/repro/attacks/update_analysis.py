@@ -26,12 +26,20 @@ them into a verdict:
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.security import uniformity_chi_square
+
+
+def _concat_changed(changed_sets: list[set[int]]) -> np.ndarray:
+    """All changed-block indices across the intervals, as one array."""
+    if not changed_sets:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(
+        [np.fromiter(changed, dtype=np.int64, count=len(changed)) for changed in changed_sets]
+    )
 
 
 @dataclass(frozen=True)
@@ -67,18 +75,16 @@ class UpdateAnalysisAttacker:
 
     def repeated_change_fraction(self, changed_sets: list[set[int]]) -> float:
         """Fraction of changed blocks that changed in more than one interval."""
-        counts = Counter()
-        for changed in changed_sets:
-            counts.update(changed)
-        if not counts:
+        changed = _concat_changed(changed_sets)
+        if changed.size == 0:
             return 0.0
-        repeated = sum(1 for block, times in counts.items() if times > 1)
-        return repeated / len(counts)
+        _, counts = np.unique(changed, return_counts=True)
+        return float(np.count_nonzero(counts > 1)) / counts.size
 
     def positional_uniformity(self, changed_sets: list[set[int]]) -> float:
         """p-value of the changed-block positions against uniformity."""
-        positions = [block for changed in changed_sets for block in changed]
-        if not positions:
+        positions = _concat_changed(changed_sets)
+        if positions.size == 0:
             return 1.0
         _, p_value = uniformity_chi_square(positions, self.num_blocks)
         return p_value

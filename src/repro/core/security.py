@@ -23,16 +23,23 @@ import numpy as np
 from repro.storage.trace import IoTrace
 
 
+def _as_index_array(indices: IoTrace | Sequence[int] | np.ndarray) -> np.ndarray:
+    """Block indices as an int64 array, straight off the trace columns."""
+    if isinstance(indices, IoTrace):
+        return indices.index_column()
+    return np.asarray(indices, dtype=np.int64)
+
+
 def access_distribution(trace: IoTrace | Sequence[int], num_blocks: int) -> np.ndarray:
     """Empirical probability distribution of accesses over block indices.
 
-    Accepts either an :class:`~repro.storage.trace.IoTrace` or a plain
-    sequence of block indices.
+    Accepts an :class:`~repro.storage.trace.IoTrace`, a plain sequence of
+    block indices, or a numpy index array (the trace's index column).
     """
-    indices = trace.indices() if isinstance(trace, IoTrace) else list(trace)
-    histogram = np.zeros(num_blocks, dtype=float)
-    for index in indices:
-        histogram[index] += 1.0
+    indices = _as_index_array(trace)
+    if indices.size and (indices.min() < 0 or indices.max() >= num_blocks):
+        raise IndexError(f"access index outside volume of {num_blocks} blocks")
+    histogram = np.bincount(indices, minlength=num_blocks).astype(float)
     total = histogram.sum()
     if total == 0:
         return histogram
@@ -65,16 +72,25 @@ def uniformity_chi_square(indices: Sequence[int], num_blocks: int, bins: int = 6
     samples).  Returns ``(statistic, p_value)``; a small p-value means
     the accesses are distinguishable from uniform.
     """
-    if not indices:
+    indices = _as_index_array(indices)
+    if indices.size == 0:
         raise ValueError("cannot test an empty access sequence")
     bins = min(bins, num_blocks)
-    counts = np.zeros(bins, dtype=float)
-    for index in indices:
-        counts[min(bins - 1, index * bins // num_blocks)] += 1
-    expected = len(indices) / bins
+    counts = _binned_counts(indices, num_blocks, bins)
+    expected = indices.size / bins
     statistic = float(np.sum((counts - expected) ** 2 / expected))
     p_value = _chi_square_sf(statistic, bins - 1)
     return statistic, p_value
+
+
+def _binned_counts(indices: np.ndarray, num_blocks: int, bins: int) -> np.ndarray:
+    """Per-bin access counts over ``bins`` equal-width bins of the volume.
+
+    Out-of-range indices (possible in hand-built traces) clip to the
+    edge bins, so the statistics always produce a verdict.
+    """
+    positions = np.clip(indices * bins // num_blocks, 0, bins - 1)
+    return np.bincount(positions, minlength=bins).astype(float)
 
 
 def _chi_square_sf(statistic: float, dof: int) -> float:
@@ -114,9 +130,7 @@ def distinguishing_advantage(
     bins = min(bins, num_blocks)
 
     def binned(indices: Sequence[int]) -> np.ndarray:
-        counts = np.zeros(bins, dtype=float)
-        for index in indices:
-            counts[min(bins - 1, index * bins // num_blocks)] += 1
+        counts = _binned_counts(_as_index_array(indices), num_blocks, bins)
         total = counts.sum()
         return counts / total if total else counts
 
@@ -130,5 +144,9 @@ def repeat_access_counts(indices: Sequence[int]) -> Counter:
     conventional file system updates the same physical block repeatedly,
     while the Figure-6 algorithm spreads updates uniformly.
     """
-    per_block = Counter(indices)
-    return Counter(per_block.values())
+    indices = _as_index_array(indices)
+    if indices.size == 0:
+        return Counter()
+    _, per_block = np.unique(indices, return_counts=True)
+    times, blocks = np.unique(per_block, return_counts=True)
+    return Counter(dict(zip(times.tolist(), blocks.tolist())))

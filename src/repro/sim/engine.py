@@ -29,6 +29,7 @@ class ClientJob:
     start_ms: float | None = None
     end_ms: float | None = None
     operations: int = 0
+    finished: bool = False
 
     @property
     def elapsed_ms(self) -> float:
@@ -72,20 +73,25 @@ class RoundRobinSimulator:
         """Drive all jobs to completion, one step per job per round."""
         if not jobs:
             return SimulationResult(jobs=[], total_elapsed_ms=0.0)
-        started = self.storage.clock_ms
+        storage = self.storage
+        started = storage.clock_ms
         active = list(jobs)
         while active:
-            still_active = []
+            anyone_finished = False
             for job in active:
                 if job.start_ms is None:
-                    job.start_ms = self.storage.clock_ms
+                    job.start_ms = storage.clock_ms
                 try:
                     next(job.steps)
                     job.operations += 1
-                    job.end_ms = self.storage.clock_ms
-                    still_active.append(job)
+                    job.end_ms = storage.clock_ms
                 except StopIteration:
                     if job.end_ms is None:
-                        job.end_ms = self.storage.clock_ms
-            active = still_active
-        return SimulationResult(jobs=list(jobs), total_elapsed_ms=self.storage.clock_ms - started)
+                        job.end_ms = storage.clock_ms
+                    job.finished = True
+                    anyone_finished = True
+            # The round-robin order is stable, so the active list only needs
+            # rebuilding on the (rare) rounds where some job completed.
+            if anyone_finished:
+                active = [job for job in active if not job.finished]
+        return SimulationResult(jobs=list(jobs), total_elapsed_ms=storage.clock_ms - started)

@@ -24,7 +24,7 @@ from repro.storage.device import BlockDevice, Partition, RawDevice, split_volume
 from repro.storage.disk import GIB, KIB, MIB, IoCounters, RawStorage, StorageGeometry
 from repro.storage.latency import DiskLatencyModel, ZeroLatencyModel
 from repro.storage.snapshot import Snapshot, SnapshotDiff, diff_snapshots, take_snapshot
-from repro.storage.trace import IoEvent, IoTrace
+from repro.storage.trace import OP_READ, OP_WRITE, IoEvent, IoTrace
 
 __all__ = [
     "Bitmap",
@@ -49,4 +49,6 @@ __all__ = [
     "diff_snapshots",
     "IoEvent",
     "IoTrace",
+    "OP_READ",
+    "OP_WRITE",
 ]

@@ -15,8 +15,10 @@ from __future__ import annotations
 
 from typing import Iterable, Protocol, Sequence, runtime_checkable
 
+import numpy as np
+
 from repro.errors import BlockOutOfRangeError
-from repro.storage.disk import RawStorage
+from repro.storage.disk import RawStorage, _index_array
 
 
 @runtime_checkable
@@ -127,6 +129,17 @@ class Partition:
             )
         return self.start_block + index
 
+    def _translate_many(self, indices: Iterable[int]) -> np.ndarray:
+        translated = _index_array(indices)
+        if translated.size:
+            bad = (translated < 0) | (translated >= self._num_blocks)
+            if bad.any():
+                raise BlockOutOfRangeError(
+                    f"block {int(translated[bad][0])} outside partition of "
+                    f"{self._num_blocks} blocks"
+                )
+        return translated + self.start_block
+
     def read_block(self, index: int, stream: str = "default") -> bytes:
         return self.storage.read_block(self._translate(index), stream)
 
@@ -134,12 +147,12 @@ class Partition:
         self.storage.write_block(self._translate(index), data, stream)
 
     def read_blocks(self, indices: Iterable[int], stream: str = "default") -> list[bytes]:
-        return self.storage.read_blocks([self._translate(i) for i in indices], stream)
+        return self.storage.read_blocks(self._translate_many(indices), stream)
 
     def write_blocks(
         self, indices: Iterable[int], datas: Sequence[bytes], stream: str = "default"
     ) -> None:
-        self.storage.write_blocks([self._translate(i) for i in indices], datas, stream)
+        self.storage.write_blocks(self._translate_many(indices), datas, stream)
 
     def read_write_blocks(
         self,
@@ -147,7 +160,7 @@ class Partition:
         datas: Sequence[bytes] | None = None,
         stream: str = "default",
     ) -> None:
-        self.storage.read_write_blocks([self._translate(i) for i in indices], datas, stream)
+        self.storage.read_write_blocks(self._translate_many(indices), datas, stream)
 
     def peek_block(self, index: int) -> bytes:
         return self.storage.peek_block(self._translate(index))

@@ -17,11 +17,25 @@ import numpy as np
 
 from repro.errors import BlockOutOfRangeError, BlockSizeMismatchError
 from repro.storage.latency import DiskLatencyModel
-from repro.storage.trace import IoTrace
+from repro.storage.trace import OP_READ, OP_WRITE, IoTrace
 
 KIB = 1024
 MIB = 1024 * 1024
 GIB = 1024 * 1024 * 1024
+
+
+def _index_array(indices: Iterable[int]) -> np.ndarray:
+    """Block indices as an int64 array (shared by the batched paths)."""
+    if isinstance(indices, np.ndarray):
+        return indices.astype(np.int64, copy=False)
+    return np.fromiter(indices, dtype=np.int64)
+
+
+def _sequential_sum(initial: float, costs: np.ndarray) -> float:
+    """Accumulate ``costs`` onto ``initial`` with the same floating-point
+    rounding as the single-block ``total += cost`` loop (cumsum is the
+    identical left-to-right recurrence), keeping counters bit-exact."""
+    return float(np.cumsum(np.concatenate(((initial,), costs)))[-1])
 
 
 @dataclass(frozen=True)
@@ -183,18 +197,25 @@ class RawStorage:
     # single-block calls above: every block is charged latency against the
     # shared head position, bumps the same counters and clock, and records
     # the same trace event with the same timestamp.  Only the wall-clock
-    # cost changes — the data moves through numpy in one gather/scatter
-    # instead of one Python-level copy per block.  Unlike the single-block
-    # loop, all indices (and data sizes) are validated up-front, so a
-    # failed batched call leaves no partial side effects behind.
+    # cost changes — latency is computed vectorized (sequential vs random
+    # from an index-diff), trace rows append in one columnar write, and
+    # the data moves through numpy in one gather/scatter instead of one
+    # Python-level copy per block.  Unlike the single-block loop, all
+    # indices (and data sizes) are validated up-front, so a failed batched
+    # call leaves no partial side effects behind.
 
-    def _check_batch(self, indices: Sequence[int], datas: Sequence[bytes] | None) -> None:
-        for index in indices:
-            self._check_index(index)
+    def _check_batch(self, indices: np.ndarray, datas: Sequence[bytes] | None) -> None:
+        if indices.size:
+            bad = (indices < 0) | (indices >= self.geometry.num_blocks)
+            if bad.any():
+                raise BlockOutOfRangeError(
+                    f"block {int(indices[bad][0])} outside volume of "
+                    f"{self.geometry.num_blocks} blocks"
+                )
         if datas is not None:
-            if len(datas) != len(indices):
+            if len(datas) != indices.size:
                 raise ValueError(
-                    f"{len(indices)} indices but {len(datas)} data blocks"
+                    f"{indices.size} indices but {len(datas)} data blocks"
                 )
             for data in datas:
                 if len(data) != self.geometry.block_size:
@@ -203,50 +224,58 @@ class RawStorage:
                         f"{self.geometry.block_size}-byte block"
                     )
 
-    def _gather(self, indices: Sequence[int]) -> list[bytes]:
-        block_size = self.geometry.block_size
-        flat = self._blocks_view[np.asarray(indices, dtype=np.intp)].tobytes()
-        return [flat[i * block_size : (i + 1) * block_size] for i in range(len(indices))]
+    def _charge_many(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`_charge` over a batch: per-block costs and the
+        per-block clock timestamps, advancing head position and clock."""
+        costs = self.latency.cost_ms_many(self._head_position, indices)
+        times = np.cumsum(np.concatenate(((self.clock_ms,), costs)))[1:]
+        self.clock_ms = float(times[-1])
+        self._head_position = int(indices[-1])
+        return costs, times
 
-    def _scatter(self, indices: Sequence[int], datas: Sequence[bytes]) -> None:
+    def _gather(self, indices: np.ndarray) -> list[bytes]:
+        block_size = self.geometry.block_size
+        flat = self._blocks_view[indices].tobytes()
+        return [flat[i * block_size : (i + 1) * block_size] for i in range(indices.size)]
+
+    def _scatter(self, indices: np.ndarray, datas: Sequence[bytes]) -> None:
         rows = np.frombuffer(b"".join(datas), dtype=np.uint8).reshape(
-            len(indices), self.geometry.block_size
+            indices.size, self.geometry.block_size
         )
-        if len(set(indices)) == len(indices):
-            self._blocks_view[np.asarray(indices, dtype=np.intp)] = rows
+        if np.unique(indices).size == indices.size:
+            self._blocks_view[indices] = rows
         else:
             # Duplicate targets: apply in order so the last writer wins,
             # exactly as the single-block loop would.
-            for row, index in enumerate(indices):
+            for row, index in enumerate(indices.tolist()):
                 self._blocks_view[index] = rows[row]
 
     def read_blocks(self, indices: Iterable[int], stream: str = "default") -> list[bytes]:
         """Read many blocks in one call; equivalent to a loop of :meth:`read_block`."""
-        indices = list(indices)
+        indices = _index_array(indices)
         self._check_batch(indices, None)
-        for index in indices:
-            cost = self._charge(index, stream)
-            self.counters.reads += 1
-            self.counters.read_time_ms += cost
-            self.trace.record("read", index, self.clock_ms, stream)
-        if not indices:
+        if indices.size == 0:
             return []
+        costs, times = self._charge_many(indices)
+        self.counters.reads += indices.size
+        self.counters.read_time_ms = _sequential_sum(self.counters.read_time_ms, costs)
+        self.trace.record_many("read", indices, times, stream)
         return self._gather(indices)
 
     def write_blocks(
         self, indices: Iterable[int], datas: Sequence[bytes], stream: str = "default"
     ) -> None:
         """Write many blocks in one call; equivalent to a loop of :meth:`write_block`."""
-        indices = list(indices)
+        indices = _index_array(indices)
         datas = list(datas)
         self._check_batch(indices, datas)
-        for index in indices:
-            cost = self._charge(index, stream)
-            self.counters.writes += 1
-            self.counters.write_time_ms += cost
-            self.trace.record("write", index, self.clock_ms, stream)
-        if indices:
-            self._scatter(indices, datas)
+        if indices.size == 0:
+            return
+        costs, times = self._charge_many(indices)
+        self.counters.writes += indices.size
+        self.counters.write_time_ms = _sequential_sum(self.counters.write_time_ms, costs)
+        self.trace.record_many("write", indices, times, stream)
+        self._scatter(indices, datas)
 
     def read_write_blocks(
         self,
@@ -262,27 +291,29 @@ class RawStorage:
         content — a pure charging pass, which is what the oblivious
         store's non-final merge-sort passes need.
         """
-        indices = list(indices)
+        indices = _index_array(indices)
         if datas is not None:
             datas = list(datas)
         self._check_batch(indices, datas)
-        if datas is not None and len(set(indices)) != len(indices):
+        if indices.size == 0:
+            return
+        if datas is not None and np.unique(indices).size != indices.size:
             # A later read of a duplicated index must observe the earlier
             # write; only the genuine loop preserves that.
-            for index, data in zip(indices, datas):
+            for index, data in zip(indices.tolist(), datas):
                 self.read_block(index, stream)
                 self.write_block(index, data, stream)
             return
-        for index in indices:
-            cost = self._charge(index, stream)
-            self.counters.reads += 1
-            self.counters.read_time_ms += cost
-            self.trace.record("read", index, self.clock_ms, stream)
-            cost = self._charge(index, stream)
-            self.counters.writes += 1
-            self.counters.write_time_ms += cost
-            self.trace.record("write", index, self.clock_ms, stream)
-        if datas is not None and indices:
+        # The head visits every block twice in a row: read then write.
+        accesses = np.repeat(indices, 2)
+        costs, times = self._charge_many(accesses)
+        self.counters.reads += indices.size
+        self.counters.writes += indices.size
+        self.counters.read_time_ms = _sequential_sum(self.counters.read_time_ms, costs[0::2])
+        self.counters.write_time_ms = _sequential_sum(self.counters.write_time_ms, costs[1::2])
+        op_codes = np.tile(np.array([OP_READ, OP_WRITE], dtype=np.uint8), indices.size)
+        self.trace.record_many(op_codes, accesses, times, stream)
+        if datas is not None:
             self._scatter(indices, datas)
 
     def peek_block(self, index: int) -> bytes:

@@ -124,3 +124,14 @@ class TestTrafficAnalysisAttacker:
         attacker = TrafficAnalysisAttacker(num_blocks=100)
         verdict = attacker.analyse(IoTrace())
         assert not verdict.suspects_hidden_activity
+
+    def test_out_of_range_indices_still_produce_a_verdict(self):
+        """Hand-built traces may carry indices outside the volume; the
+        statistics clip them into the edge bins instead of crashing."""
+        attacker = TrafficAnalysisAttacker(num_blocks=16)
+        trace = IoTrace()
+        trace.record("read", -5, 0.0)
+        trace.record("read", 3, 1.0)
+        trace.record("read", 40, 2.0)
+        verdict = attacker.analyse(trace)
+        assert 0.0 <= verdict.uniformity_p_value <= 1.0

@@ -164,6 +164,32 @@ class TestRoundRobinSimulator:
         assert result.jobs == []
         assert result.total_elapsed_ms == 0.0
 
+    def test_zero_operation_job_completes_with_zero_elapsed(self):
+        """A job whose generator yields nothing must still start, finish and
+        report a zero elapsed time without stalling the round-robin loop."""
+        storage = make_storage(timed=True)
+        fs = CleanDiskFileSystem(storage)
+        handle = fs.create_file("/a", b"x" * fs.payload_bytes * 3)
+
+        def no_steps():
+            return iter(())
+
+        empty = ClientJob("idle", no_steps())
+        busy = ClientJob("busy", file_read_job(fs, handle, "busy"))
+        result = RoundRobinSimulator(storage).run([empty, busy])
+        assert empty.operations == 0
+        assert empty.finished and busy.finished
+        assert empty.elapsed_ms == 0.0
+        assert busy.operations == 3
+        assert result.total_elapsed_ms == pytest.approx(busy.elapsed_ms)
+
+    def test_all_zero_operation_jobs(self):
+        storage = make_storage(timed=True)
+        jobs = [ClientJob(f"u{i}", iter(())) for i in range(4)]
+        result = RoundRobinSimulator(storage).run(jobs)
+        assert all(job.finished and job.elapsed_ms == 0.0 for job in jobs)
+        assert result.total_elapsed_ms == 0.0
+
     def test_per_job_elapsed_mapping(self):
         storage = make_storage(timed=True)
         fs = CleanDiskFileSystem(storage)
