@@ -12,34 +12,46 @@ from __future__ import annotations
 
 import pytest
 
-from common import MIB, PAPER_SYSTEMS, SweepResult, assert_monotone_increasing, run_once, save_result
-from repro.sim.builders import build_system
+from common import (
+    MIB,
+    PAPER_SYSTEMS,
+    SweepResult,
+    assert_monotone_increasing,
+    run_once,
+    save_result,
+)
+from repro import Retrieval, Scenario, run_experiment
 from repro.workloads.filegen import FileSpec
-from repro.workloads.retrieval import measure_file_read
 
 FILE_SIZES_MIB = [2, 4, 6, 8, 10]
 VOLUME_MIB = 96
+SPECS = tuple(FileSpec(f"/bench/file{size}", size * MIB) for size in FILE_SIZES_MIB)
 
 
-def run_experiment() -> SweepResult:
+def run_sweep() -> SweepResult:
     sweep = SweepResult(
         name="Figure 10(a): data retrieval time vs file size (single user)",
         x_label="file size (MB)",
         y_label="access time (simulated ms)",
         x_values=list(FILE_SIZES_MIB),
     )
-    specs = [FileSpec(f"/bench/file{size}", size * MIB) for size in FILE_SIZES_MIB]
     for label in PAPER_SYSTEMS:
-        system = build_system(label, volume_mib=VOLUME_MIB, file_specs=specs, seed=101)
-        for size in FILE_SIZES_MIB:
-            elapsed = measure_file_read(system.adapter, system.handle(f"/bench/file{size}"))
-            sweep.add_point(label, elapsed)
+        result = run_experiment(
+            Scenario(
+                system=label,
+                volume_mib=VOLUME_MIB,
+                files=SPECS,
+                seed=101,
+                workload=Retrieval(),
+            )
+        )
+        sweep.add_points(label, result.series([spec.name for spec in SPECS]))
     return sweep
 
 
 @pytest.mark.benchmark(group="fig10a")
 def test_fig10a_retrieval_vs_file_size(benchmark):
-    sweep = run_once(benchmark, run_experiment)
+    sweep = run_once(benchmark, run_sweep)
     save_result("fig10a_retrieval_filesize", sweep.render())
 
     # Access time grows with file size for every system.
@@ -48,7 +60,9 @@ def test_fig10a_retrieval_vs_file_size(benchmark):
 
     # The three steganographic systems behave alike (within 10%).
     for size_index in range(len(FILE_SIZES_MIB)):
-        steg = [sweep.series_for(label)[size_index] for label in ("StegHide", "StegHide*", "StegFS")]
+        steg = [
+            sweep.series_for(label)[size_index] for label in ("StegHide", "StegHide*", "StegFS")
+        ]
         assert max(steg) <= min(steg) * 1.10
 
     # CleanDisk wins by a large factor in the single-user setting, and

@@ -12,47 +12,52 @@ from __future__ import annotations
 
 import pytest
 
-from common import MIB, PAPER_SYSTEMS, SweepResult, assert_monotone_increasing, run_once, save_result
-from repro.sim.builders import build_system
-from repro.sim.engine import ClientJob, RoundRobinSimulator
+from common import (
+    MIB,
+    PAPER_SYSTEMS,
+    SweepResult,
+    assert_monotone_increasing,
+    run_once,
+    save_result,
+)
+from repro import Retrieval, Scenario, run_experiment
 from repro.workloads.filegen import FileSpec
-from repro.workloads.retrieval import file_read_job
 
-CONCURRENCY_LEVELS = [1, 2, 4, 8, 16, 32]
+CONCURRENCY_LEVELS = (1, 2, 4, 8, 16, 32)
 FILE_SIZE_MIB = 1
 VOLUME_MIB = 96
+SPECS = tuple(
+    FileSpec(f"/bench/user{i}", FILE_SIZE_MIB * MIB) for i in range(max(CONCURRENCY_LEVELS))
+)
 
 
-def run_experiment() -> SweepResult:
+def run_sweep() -> SweepResult:
     sweep = SweepResult(
         name="Figure 10(b): data retrieval time vs concurrency",
         x_label="concurrent users",
         y_label="mean access time (simulated ms)",
         x_values=list(CONCURRENCY_LEVELS),
     )
-    max_users = max(CONCURRENCY_LEVELS)
-    specs = [FileSpec(f"/bench/user{i}", FILE_SIZE_MIB * MIB) for i in range(max_users)]
     for label in PAPER_SYSTEMS:
         # One build per system; each concurrency level re-reads the files of
         # the first `users` clients (reads leave the volume unchanged).
-        system = build_system(label, volume_mib=VOLUME_MIB, file_specs=specs, seed=202)
-        for users in CONCURRENCY_LEVELS:
-            system.storage.reset_counters()
-            jobs = [
-                ClientJob(
-                    f"user{i}",
-                    file_read_job(system.adapter, system.handle(f"/bench/user{i}"), f"user{i}"),
-                )
-                for i in range(users)
-            ]
-            result = RoundRobinSimulator(system.storage).run(jobs)
-            sweep.add_point(label, result.mean_elapsed_ms)
+        result = run_experiment(
+            Scenario(
+                system=label,
+                volume_mib=VOLUME_MIB,
+                files=SPECS,
+                seed=202,
+                users=CONCURRENCY_LEVELS,
+                workload=Retrieval(),
+            )
+        )
+        sweep.add_points(label, result.series([f"users={u}" for u in CONCURRENCY_LEVELS]))
     return sweep
 
 
 @pytest.mark.benchmark(group="fig10b")
 def test_fig10b_retrieval_vs_concurrency(benchmark):
-    sweep = run_once(benchmark, run_experiment)
+    sweep = run_once(benchmark, run_sweep)
     save_result("fig10b_retrieval_concurrency", sweep.render())
 
     # Everyone slows down as concurrency grows.

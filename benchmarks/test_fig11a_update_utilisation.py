@@ -12,11 +12,16 @@ from __future__ import annotations
 
 import pytest
 
-from common import KIB, PAPER_SYSTEMS, SweepResult, assert_monotone_increasing, run_once, save_result
-from repro.crypto.prng import Sha256Prng
-from repro.sim.builders import build_system
+from common import (
+    KIB,
+    PAPER_SYSTEMS,
+    SweepResult,
+    assert_monotone_increasing,
+    run_once,
+    save_result,
+)
+from repro import Scenario, Updates, run_experiment
 from repro.workloads.filegen import FileSpec
-from repro.workloads.update import measure_block_update, random_update_requests
 
 UTILISATIONS = [0.1, 0.2, 0.3, 0.4, 0.5]
 VOLUME_MIB = 16
@@ -24,36 +29,32 @@ FILE_SIZE = 512 * KIB
 UPDATES_PER_POINT = 30
 
 
-def run_experiment() -> SweepResult:
+def run_sweep() -> SweepResult:
     sweep = SweepResult(
         name="Figure 11(a): update time vs space utilisation",
         x_label="space utilisation",
         y_label="access time per update (simulated ms)",
         x_values=list(UTILISATIONS),
     )
-    prng = Sha256Prng("fig11a")
-    specs = [FileSpec("/bench/target", FILE_SIZE)]
     for label in PAPER_SYSTEMS:
         for utilisation in UTILISATIONS:
-            system = build_system(
-                label,
-                volume_mib=VOLUME_MIB,
-                file_specs=specs,
-                target_utilisation=utilisation,
-                seed=303,
+            result = run_experiment(
+                Scenario(
+                    system=label,
+                    volume_mib=VOLUME_MIB,
+                    files=(FileSpec("/bench/target", FILE_SIZE),),
+                    utilisation=utilisation,
+                    seed=303,
+                    workload=Updates(count=UPDATES_PER_POINT, seed=f"fig11a:{utilisation}"),
+                )
             )
-            handle = system.handle("/bench/target")
-            starts = random_update_requests(handle, UPDATES_PER_POINT, prng.spawn(f"{label}-{utilisation}"))
-            total = 0.0
-            for request_index, start in enumerate(starts):
-                total += measure_block_update(system.adapter, handle, start, seed=request_index)
-            sweep.add_point(label, total / UPDATES_PER_POINT)
+            sweep.add_point(label, result.mean_ms)
     return sweep
 
 
 @pytest.mark.benchmark(group="fig11a")
 def test_fig11a_update_vs_utilisation(benchmark):
-    sweep = run_once(benchmark, run_experiment)
+    sweep = run_once(benchmark, run_sweep)
     save_result("fig11a_update_utilisation", sweep.render())
 
     # StegHide and StegHide* grow with utilisation.

@@ -10,53 +10,51 @@ from __future__ import annotations
 
 import pytest
 
-from common import KIB, PAPER_SYSTEMS, SweepResult, assert_monotone_increasing, run_once, save_result
-from repro.crypto.prng import Sha256Prng
-from repro.sim.builders import build_system
+from common import (
+    KIB,
+    PAPER_SYSTEMS,
+    SweepResult,
+    assert_monotone_increasing,
+    run_once,
+    save_result,
+)
+from repro import Scenario, Updates, run_experiment
 from repro.workloads.filegen import FileSpec
-from repro.workloads.update import measure_range_update, random_update_requests
 
-UPDATE_RANGES = [1, 2, 3, 4, 5]
+UPDATE_RANGES = (1, 2, 3, 4, 5)
 UTILISATION = 0.25
 VOLUME_MIB = 16
 FILE_SIZE = 512 * KIB
 UPDATES_PER_POINT = 20
 
 
-def run_experiment() -> SweepResult:
+def run_sweep() -> SweepResult:
     sweep = SweepResult(
         name="Figure 11(b): update time vs update range (25% utilisation)",
         x_label="consecutive blocks updated",
         y_label="access time per update (simulated ms)",
         x_values=list(UPDATE_RANGES),
     )
-    prng = Sha256Prng("fig11b")
-    specs = [FileSpec("/bench/target", FILE_SIZE)]
     for label in PAPER_SYSTEMS:
-        system = build_system(
-            label,
-            volume_mib=VOLUME_MIB,
-            file_specs=specs,
-            target_utilisation=UTILISATION,
-            seed=404,
-        )
-        handle = system.handle("/bench/target")
-        for update_range in UPDATE_RANGES:
-            starts = random_update_requests(
-                handle, UPDATES_PER_POINT, prng.spawn(f"{label}-{update_range}"), update_range
+        result = run_experiment(
+            Scenario(
+                system=label,
+                volume_mib=VOLUME_MIB,
+                files=(FileSpec("/bench/target", FILE_SIZE),),
+                utilisation=UTILISATION,
+                seed=404,
+                workload=Updates(
+                    count=UPDATES_PER_POINT, range_blocks=UPDATE_RANGES, seed="fig11b"
+                ),
             )
-            total = 0.0
-            for request_index, start in enumerate(starts):
-                total += measure_range_update(
-                    system.adapter, handle, start, update_range, seed=request_index
-                )
-            sweep.add_point(label, total / UPDATES_PER_POINT)
+        )
+        sweep.add_points(label, result.series([f"range={r}" for r in UPDATE_RANGES]))
     return sweep
 
 
 @pytest.mark.benchmark(group="fig11b")
 def test_fig11b_update_vs_range(benchmark):
-    sweep = run_once(benchmark, run_experiment)
+    sweep = run_once(benchmark, run_sweep)
     save_result("fig11b_update_range", sweep.render())
 
     # The steganographic systems grow roughly linearly with the range.

@@ -10,63 +10,51 @@ from __future__ import annotations
 
 import pytest
 
-from common import KIB, PAPER_SYSTEMS, SweepResult, assert_monotone_increasing, run_once, save_result
-from repro.crypto.prng import Sha256Prng
-from repro.sim.builders import build_system
-from repro.sim.engine import ClientJob, RoundRobinSimulator
+from common import (
+    KIB,
+    PAPER_SYSTEMS,
+    SweepResult,
+    assert_monotone_increasing,
+    run_once,
+    save_result,
+)
+from repro import Scenario, Updates, run_experiment
 from repro.workloads.filegen import FileSpec
-from repro.workloads.update import block_update_job
 
-CONCURRENCY_LEVELS = [1, 2, 4, 8, 16, 32]
+CONCURRENCY_LEVELS = (1, 2, 4, 8, 16, 32)
 UPDATE_RANGE = 5
 UTILISATION = 0.25
 VOLUME_MIB = 40
 FILE_SIZE = 256 * KIB
+SPECS = tuple(FileSpec(f"/bench/user{i}", FILE_SIZE) for i in range(max(CONCURRENCY_LEVELS)))
 
 
-def run_experiment() -> SweepResult:
+def run_sweep() -> SweepResult:
     sweep = SweepResult(
         name="Figure 11(c): update time vs concurrency (5-block updates)",
         x_label="concurrent users",
         y_label="mean access time per user (simulated ms)",
         x_values=list(CONCURRENCY_LEVELS),
     )
-    prng = Sha256Prng("fig11c")
-    max_users = max(CONCURRENCY_LEVELS)
-    specs = [FileSpec(f"/bench/user{i}", FILE_SIZE) for i in range(max_users)]
     for label in PAPER_SYSTEMS:
-        system = build_system(
-            label,
-            volume_mib=VOLUME_MIB,
-            file_specs=specs,
-            target_utilisation=UTILISATION,
-            seed=505,
+        result = run_experiment(
+            Scenario(
+                system=label,
+                volume_mib=VOLUME_MIB,
+                files=SPECS,
+                utilisation=UTILISATION,
+                seed=505,
+                users=CONCURRENCY_LEVELS,
+                workload=Updates(range_blocks=UPDATE_RANGE, seed="fig11c"),
+            )
         )
-        blocks_per_file = system.handle("/bench/user0").num_blocks
-        for users in CONCURRENCY_LEVELS:
-            system.storage.reset_counters()
-            jobs = []
-            for user in range(users):
-                handle = system.handle(f"/bench/user{user}")
-                start = prng.spawn(f"{label}-{users}-{user}").randrange(
-                    blocks_per_file - UPDATE_RANGE + 1
-                )
-                jobs.append(
-                    ClientJob(
-                        f"user{user}",
-                        block_update_job(
-                            system.adapter, handle, start, UPDATE_RANGE, seed=user, stream=f"user{user}"
-                        ),
-                    )
-                )
-            result = RoundRobinSimulator(system.storage).run(jobs)
-            sweep.add_point(label, result.mean_elapsed_ms)
+        sweep.add_points(label, result.series([f"users={u}" for u in CONCURRENCY_LEVELS]))
     return sweep
 
 
 @pytest.mark.benchmark(group="fig11c")
 def test_fig11c_update_vs_concurrency(benchmark):
-    sweep = run_once(benchmark, run_experiment)
+    sweep = run_once(benchmark, run_sweep)
     save_result("fig11c_update_concurrency", sweep.render())
 
     # Updates slow down for every system as users are added.

@@ -58,7 +58,8 @@ _CACHE: list[ObliviousRunResult] | None = None
 def _run_one(buffer_blocks: int) -> ObliviousRunResult:
     prng = Sha256Prng(f"fig12-{buffer_blocks}")
     stegfs_blocks = FILE_BLOCKS * 3
-    oblivious_slots = (2 ** (oblivious_height(LAST_LEVEL_BLOCKS, buffer_blocks) + 1)) * buffer_blocks
+    height = oblivious_height(LAST_LEVEL_BLOCKS, buffer_blocks)
+    oblivious_slots = (2 ** (height + 1)) * buffer_blocks
     total_blocks = stegfs_blocks + oblivious_slots + 16
     storage = RawStorage(StorageGeometry(block_size=BLOCK_SIZE, num_blocks=total_blocks))
     storage.fill_random(seed=buffer_blocks)

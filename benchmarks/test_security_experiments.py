@@ -19,23 +19,21 @@ from __future__ import annotations
 import pytest
 
 from common import KIB, SeriesTable, run_once, save_result
+from repro import Scenario, TableUpdates, run_experiment
 from repro.analysis.models import expected_iterations
-from repro.attacks.observer import SnapshotObserver, TraceObserver
+from repro.attacks.observer import TraceObserver
 from repro.attacks.traffic_analysis import TrafficAnalysisAttacker
-from repro.attacks.update_analysis import UpdateAnalysisAttacker
 from repro.core.nonvolatile import NonVolatileAgent
 from repro.core.oblivious.reader import ObliviousReader
 from repro.core.oblivious.store import ObliviousStore, ObliviousStoreConfig
 from repro.crypto.keys import FileAccessKey
 from repro.crypto.prng import Sha256Prng
-from repro.sim.builders import build_system
 from repro.stegfs.filesystem import StegFsVolume
 from repro.storage.device import RawDevice, split_volume
 from repro.storage.disk import RawStorage, StorageGeometry
 from repro.storage.latency import ZeroLatencyModel
 from repro.storage.trace import IoTrace
 from repro.workloads.filegen import FileSpec, generate_content
-from repro.workloads.tableupdate import SalaryTable, TableUpdateWorkload
 
 
 def _make_volume(num_blocks: int, seed: str):
@@ -52,69 +50,37 @@ def _make_volume(num_blocks: int, seed: str):
 
 
 def run_update_analysis_experiment() -> SeriesTable:
+    """Both systems run the same declarative salary-table scenario; only the
+    system label (and the StegHide* idle dummy updates) differ."""
     table = SeriesTable(
         name="E9: update-analysis attacker verdicts (snapshot diffing)",
         columns=["system", "repeated change fraction", "uniformity p-value", "detected"],
     )
-    intervals = 8
-    updates_per_interval = 3
-
-    # Conventional system: CleanDisk holding the salary table.
-    clean = build_system(
-        "CleanDisk",
-        volume_mib=8,
-        file_specs=[FileSpec("/seed", 4 * KIB)],
-        seed=606,
-        latency=ZeroLatencyModel(),
-    )
-    workload = TableUpdateWorkload(
-        clean.adapter, SalaryTable.generate(500, Sha256Prng("e9-table"))
-    )
-    observer = SnapshotObserver(clean.storage)
-    observer.observe()
-    prng = Sha256Prng("e9-clean")
-    for _ in range(intervals):
-        workload.run_random_updates(updates_per_interval, prng)
-        observer.observe()
-    attacker = UpdateAnalysisAttacker(num_blocks=clean.storage.geometry.num_blocks)
-    verdict_clean = attacker.analyse(observer.changed_blocks_per_interval())
-    table.add_row(
-        "CleanDisk",
-        round(verdict_clean.repeated_change_fraction, 3),
-        f"{verdict_clean.uniformity_p_value:.2e}",
-        verdict_clean.suspects_hidden_activity,
-    )
-
-    # StegHide*: same logical workload through the Figure-6 update path plus dummies.
-    storage, volume, prng = _make_volume(2048, "e9-steghide")
-    agent = NonVolatileAgent(volume, prng.spawn("agent"))
-    fak = FileAccessKey.generate(prng.spawn("fak"))
-    salary = SalaryTable.generate(500, prng.spawn("table"))
-    handle = agent.create_file(fak, "/db/sal_table", salary.serialise())
-    observer = SnapshotObserver(storage)
-    observer.observe()
-    workload_prng = prng.spawn("updates")
-    for _ in range(intervals):
-        for _ in range(updates_per_interval):
-            name, _ = salary.rows[workload_prng.randrange(len(salary.rows))]
-            salary.set_salary(name, 30_000 + workload_prng.randrange(200_000))
-            serialised = salary.serialise()
-            offset = salary.row_offset(name)
-            for logical in range(offset // volume.data_field_bytes,
-                                 (offset + 63) // volume.data_field_bytes + 1):
-                start = logical * volume.data_field_bytes
-                agent.update_block(handle, logical,
-                                   serialised[start : start + volume.data_field_bytes])
-        agent.idle(6)
-        observer.observe()
-    attacker = UpdateAnalysisAttacker(num_blocks=storage.geometry.num_blocks)
-    verdict_steg = attacker.analyse(observer.changed_blocks_per_interval())
-    table.add_row(
-        "StegHide*",
-        round(verdict_steg.repeated_change_fraction, 3),
-        f"{verdict_steg.uniformity_p_value:.2e}",
-        verdict_steg.suspects_hidden_activity,
-    )
+    for label, idle_dummies in (("CleanDisk", 0), ("StegHide*", 6)):
+        result = run_experiment(
+            Scenario(
+                system=label,
+                volume_mib=8,
+                files=(FileSpec("/seed", 4 * KIB),),
+                seed=606,
+                latency=ZeroLatencyModel(),
+                workload=TableUpdates(
+                    rows=500,
+                    intervals=8,
+                    updates_per_interval=3,
+                    idle_dummy_updates=idle_dummies,
+                    seed="e9",
+                ),
+                attackers=("update-analysis",),
+            )
+        )
+        verdict = result.verdict("update-analysis")
+        table.add_row(
+            label,
+            round(verdict.repeated_change_fraction, 3),
+            f"{verdict.uniformity_p_value:.2e}",
+            verdict.suspects_hidden_activity,
+        )
     return table
 
 

@@ -74,7 +74,9 @@ def test_table4_heights_match_constructed_hierarchy(benchmark):
             )
             store = ObliviousStore(
                 Partition(storage, 0, total_slots),
-                ObliviousStoreConfig(buffer_blocks=buffer_blocks, last_level_blocks=last_level_blocks),
+                ObliviousStoreConfig(
+                    buffer_blocks=buffer_blocks, last_level_blocks=last_level_blocks
+                ),
                 Sha256Prng(f"t4-{buffer_mib}"),
             )
             heights.append(store.height)

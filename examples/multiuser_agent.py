@@ -1,75 +1,78 @@
 #!/usr/bin/env python3
-"""Multiple users sharing a volatile agent (Construction 2, Section 4.2).
+"""Multiple users sharing one service (Construction 2, Section 4.2).
 
-Alice and Bob each own hidden files and dummy files on the same shared
-volume.  The agent persists no secrets: it learns each user's keys only
-at login, widens its dummy-update selection space as users log in, and
-forgets everything at logout.  The example also shows what each user
-could disclose under coercion.
+Alice and Bob each own hidden files and decoy files on the same shared
+volume.  The service's agent persists no secrets: it learns each user's
+keys only at login, widens its dummy-update selection space as sessions
+open, and forgets everything at logout.  The example also shows what
+each user could disclose under coercion.
 
 Run:  python examples/multiuser_agent.py
 """
 
 from __future__ import annotations
 
-from repro import build_steghide_system
-from repro.crypto.keys import KeyRing
-from repro.stegfs.dummy import create_dummy_file
+from repro import HiddenVolumeService, KeyRing
 
 
-def enroll_user(system, name: str, secret: bytes, dummy_blocks: int) -> KeyRing:
-    """Create one user's hidden file and dummy file, returning their key ring."""
-    keyring = KeyRing(owner=name)
-    fak = system.new_fak()
-    handle = system.agent.create_file(fak, f"/{name}/journal", secret)
-    system.agent.close_file(handle)
-    keyring.add_hidden(f"/{name}/journal", fak)
-    dummy_fak, _ = create_dummy_file(
-        system.volume, f"/{name}/backup", dummy_blocks, system.prng.spawn(f"dummy-{name}")
-    )
-    keyring.add_dummy(f"/{name}/backup", dummy_fak)
+def enroll_user(service: HiddenVolumeService, name: str, secret: bytes) -> KeyRing:
+    """Create one user's hidden file and decoy, then log out, keeping the keys."""
+    session = service.login(service.new_keyring(name))
+    session.create(f"/{name}/journal", secret)
+    session.create_decoy(f"/{name}/backup", size_bytes=len(secret))
+    keyring = session.keyring
+    session.logout()
     return keyring
 
 
 def main() -> None:
-    system = build_steghide_system(volume_mib=16, seed=99)
-    agent = system.agent
+    service = HiddenVolumeService.create("volatile", volume_mib=16, seed=99)
 
-    alice = enroll_user(system, "alice", b"alice's diary entry\n" * 300, dummy_blocks=16)
-    bob = enroll_user(system, "bob", b"bob's tax spreadsheet\n" * 300, dummy_blocks=16)
+    alice_keys = enroll_user(service, "alice", b"alice's diary entry\n" * 300)
+    bob_keys = enroll_user(service, "bob", b"bob's tax spreadsheet\n" * 300)
 
-    print("agent starts with zero knowledge:", agent.disclosed_block_count(), "known blocks")
+    print("agent starts with zero knowledge:", service.disclosed_block_count(), "known blocks")
 
-    handles_a = agent.login(alice)
-    print(f"alice logs in  -> {agent.disclosed_block_count()} disclosed blocks, "
-          f"{agent.disclosed_dummy_block_count()} dummy targets")
+    alice = service.login(alice_keys)
+    print(
+        f"alice logs in  -> {service.disclosed_block_count()} disclosed blocks, "
+        f"{service.disclosed_dummy_block_count()} dummy targets"
+    )
 
-    handles_b = agent.login(bob)
-    print(f"bob logs in    -> {agent.disclosed_block_count()} disclosed blocks, "
-          f"{agent.disclosed_dummy_block_count()} dummy targets")
+    bob = service.login(bob_keys)
+    print(
+        f"bob logs in    -> {service.disclosed_block_count()} disclosed blocks, "
+        f"{service.disclosed_dummy_block_count()} dummy targets"
+    )
 
     # Both users work; the agent mixes their updates with dummy updates.
-    agent.update_block(handles_a["/alice/journal"], 0, b"alice: new entry about the merger\n")
-    agent.update_block(handles_b["/bob/journal"], 0, b"bob: revised deductions\n")
-    agent.idle(8)
-    print("after updates + idle dummies, expected update overhead "
-          f"E = {agent.expected_update_overhead():.2f}")
+    alice.write("/alice/journal", b"alice: new entry about the merger\n", at=0)
+    bob.write("/bob/journal", b"bob: revised deductions\n", at=0)
+    service.idle(8)
+    print(
+        "after updates + idle dummies, expected update overhead "
+        f"E = {service.expected_update_overhead():.2f}"
+    )
 
-    print("alice reads back:", agent.read_block(handles_a["/alice/journal"], 0)[:34])
-    print("bob reads back:  ", agent.read_block(handles_b["/bob/journal"], 0)[:24])
+    print("alice reads back:", alice.read("/alice/journal", size=34))
+    print("bob reads back:  ", bob.read("/bob/journal", size=24))
 
     # Bob logs out; the agent forgets his keys and shrinks its selection space.
-    agent.logout("bob")
-    print(f"bob logs out   -> {agent.disclosed_block_count()} disclosed blocks remain; "
-          f"logged in: {agent.logged_in_users}")
+    bob.logout()
+    print(
+        f"bob logs out   -> {service.disclosed_block_count()} disclosed blocks remain; "
+        f"logged in: {service.logged_in_users}"
+    )
 
     # Under coercion, each user can reveal only deniable keys.
-    print("\nunder coercion alice could disclose:",
-          {path: "claims it is a dummy" for path in alice.deniable_view()})
+    print(
+        "\nunder coercion alice could disclose:",
+        {path: "claims it is a dummy" for path in alice.deniable_view().all_keys()},
+    )
 
     # Bob returns later; nothing was lost while the agent knew nothing about him.
-    handles_b = agent.login(bob)
-    print("\nbob logs back in and reads:", agent.read_block(handles_b["/bob/journal"], 0)[:24])
+    bob = service.login(bob_keys)
+    print("\nbob logs back in and reads:", bob.read("/bob/journal", size=24))
 
 
 if __name__ == "__main__":

@@ -1,65 +1,59 @@
 #!/usr/bin/env python3
 """Traffic analysis defeated by the oblivious storage (Section 5).
 
-A hidden file is read repeatedly, once directly from the StegFS
-partition and once through the hierarchical oblivious store.  A
-traffic-analysis attacker watches the I/O requests in both cases and
-tries to decide whether real data is being accessed.  The example also
-prints the measured per-read overhead against the paper's analytic
-model (Table 4 / Figure 12).
+A hidden file is read repeatedly through a session, once directly from
+the StegFS partition and once through the hierarchical oblivious store
+(``session.read(..., oblivious=True)``).  A traffic-analysis attacker
+watches the I/O requests in both cases and tries to decide whether real
+data is being accessed.  The example also prints the measured per-read
+overhead against the paper's analytic model (Table 4 / Figure 12).
 
 Run:  python examples/oblivious_reads.py
 """
 
 from __future__ import annotations
 
+from repro import HiddenVolumeService, ObliviousConfig
 from repro.attacks.observer import TraceObserver
 from repro.attacks.traffic_analysis import TrafficAnalysisAttacker
 from repro.core.oblivious.cost import ObliviousCostModel
-from repro.core.oblivious.reader import ObliviousReader
-from repro.core.oblivious.store import ObliviousStore, ObliviousStoreConfig
-from repro.crypto.keys import FileAccessKey
-from repro.crypto.prng import Sha256Prng
-from repro.stegfs.filesystem import StegFsVolume
-from repro.storage.device import split_volume
-from repro.storage.disk import RawStorage, StorageGeometry
 from repro.storage.trace import IoTrace
 from repro.workloads.filegen import generate_content
 
-FILE_BLOCKS = 64
+FILE_SIZE_BYTES = 256 * 1024
 BUFFER_BLOCKS = 8
 LAST_LEVEL_BLOCKS = 256
+REPEATS = 4
 
 
 def main() -> None:
-    prng = Sha256Prng("oblivious-example")
-    storage = RawStorage(StorageGeometry(block_size=4096, num_blocks=4096))
-    storage.fill_random(seed=5)
-    steg_part, obli_part = split_volume(storage, 2048)
-
-    volume = StegFsVolume(steg_part, prng.spawn("volume"))
-    fak = FileAccessKey.generate(prng.spawn("fak"))
-    content = generate_content(volume.data_field_bytes * FILE_BLOCKS, seed=11)
-    handle = volume.create_file(fak, "/sensor/readings.bin", content)
+    service = HiddenVolumeService.create(
+        "volatile",
+        volume_mib=16,
+        seed=5,
+        oblivious=ObliviousConfig(
+            buffer_blocks=BUFFER_BLOCKS,
+            last_level_blocks=LAST_LEVEL_BLOCKS,
+            partition_blocks=2048,
+        ),
+    )
+    session = service.login(service.new_keyring("sensor"))
+    session.create("/sensor/readings.bin", generate_content(FILE_SIZE_BYTES, seed=11))
+    file_blocks = session.stat("/sensor/readings.bin").num_blocks
 
     model = ObliviousCostModel(last_level_blocks=LAST_LEVEL_BLOCKS, buffer_blocks=BUFFER_BLOCKS)
     print(f"oblivious store: {model.height} levels, theoretical overhead factor {model.total:.0f}")
 
-    store = ObliviousStore(
-        obli_part,
-        ObliviousStoreConfig(buffer_blocks=BUFFER_BLOCKS, last_level_blocks=LAST_LEVEL_BLOCKS),
-        prng.spawn("store"),
-    )
-    reader = ObliviousReader(volume, store, prng.spawn("reader"))
+    storage = service.storage
     attacker = TrafficAnalysisAttacker(num_blocks=storage.geometry.num_blocks)
 
     # --- unprotected: repeated direct reads of the hidden file -------------------
     observer = TraceObserver(storage)
     observer.start()
     storage.reset_counters()
-    for _ in range(4):
-        volume.read_file(handle)
-    direct_ms = storage.counters.total_time_ms / (4 * FILE_BLOCKS)
+    for _ in range(REPEATS):
+        session.read("/sensor/readings.bin")
+    direct_ms = storage.counters.total_time_ms / (REPEATS * file_blocks)
     verdict_direct = attacker.analyse(observer.capture())
     print("\ndirect StegFS reads:")
     print(f"  per-block cost:            {direct_ms:.1f} simulated ms")
@@ -68,18 +62,18 @@ def main() -> None:
     print(f"  attacker detects activity: {verdict_direct.suspects_hidden_activity}")
 
     # --- protected: the same reads through the oblivious store -------------------
-    reader.read_file(handle)  # first pass populates the cache
+    session.read("/sensor/readings.bin", oblivious=True)  # first pass populates the cache
     observer.start()
     storage.reset_counters()
-    for _ in range(4):
-        reader.read_file(handle)
-    oblivious_ms = storage.counters.total_time_ms / (4 * FILE_BLOCKS)
+    for _ in range(REPEATS):
+        session.read("/sensor/readings.bin", oblivious=True)
+    oblivious_ms = storage.counters.total_time_ms / (REPEATS * file_blocks)
     observed = observer.capture()
 
     # The attacker knows the scheme, so it compares against dummy traffic.
     observer.start()
-    for _ in range(4 * FILE_BLOCKS):
-        reader.dummy_oblivious_read()
+    for _ in range(REPEATS * file_blocks):
+        service.dummy_oblivious_read()
     reference = observer.capture()
 
     def probes(trace):
@@ -87,17 +81,20 @@ def main() -> None:
 
     verdict_oblivious = attacker.analyse(probes(observed), probes(reference))
     print("\nreads through the oblivious store:")
-    print(f"  per-block cost:            {oblivious_ms:.1f} simulated ms "
-          f"({oblivious_ms / direct_ms:.1f}x the direct read)")
+    print(
+        f"  per-block cost:            {oblivious_ms:.1f} simulated ms "
+        f"({oblivious_ms / direct_ms:.1f}x the direct read)"
+    )
     print(f"  sequential-run fraction:   {verdict_oblivious.sequential_run_fraction:.2f}")
     print(f"  advantage vs dummy reads:  {verdict_oblivious.advantage_vs_reference:.3f}")
     print(
         "  attacker detects activity: "
         f"{verdict_oblivious.advantage_vs_reference > attacker.advantage_threshold}"
     )
+    stats = service.oblivious_store.stats
     print(
-        f"\nsorting accounted for {store.stats.sort_io_fraction:.0%} of device operations "
-        f"but only {store.stats.sort_time_fraction:.0%} of the time (sequential I/O), "
+        f"\nsorting accounted for {stats.sort_io_fraction:.0%} of device operations "
+        f"but only {stats.sort_time_fraction:.0%} of the time (sequential I/O), "
         "as in Figure 12(b)."
     )
 

@@ -1,66 +1,61 @@
 #!/usr/bin/env python3
-"""Quickstart: create a StegHide volume, hide a file, update it, deny it.
+"""Quickstart: serve a hidden volume, hide a file, update it, deny it.
 
 This walks through the library's public API in five minutes:
 
-1. build a volatile-agent (Construction 2) system on a simulated volume;
-2. create a hidden file that only its access key can locate;
-3. update it through the Figure-6 algorithm (the update relocates the
-   block and is indistinguishable from the agent's dummy updates);
+1. create a :class:`HiddenVolumeService` running the volatile agent
+   (Construction 2) on a simulated volume;
+2. log in and hide a file that only its session's keys can locate;
+3. update it with a byte-granular ``write`` — the service translates
+   the byte range into Figure-6 block updates that relocate blocks and
+   are indistinguishable from the agent's dummy updates;
 4. show what a snapshot-diffing attacker sees;
-5. show the plausible-deniability story: the key ring's deniable view
-   opens the files as dummies and never reveals the plaintext.
+5. show the plausible-deniability story: the session's deniable key
+   ring opens the files as dummies and never reveals the plaintext.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import build_steghide_system
+from repro import HiddenVolumeService
 from repro.attacks.observer import SnapshotObserver
 from repro.attacks.update_analysis import UpdateAnalysisAttacker
-from repro.crypto.keys import KeyRing
-from repro.stegfs.dummy import create_dummy_file
 
 
 def main() -> None:
-    # 1. A 16 MiB simulated volume managed by a volatile agent.
-    system = build_steghide_system(volume_mib=16, seed=2024)
-    agent, volume = system.agent, system.volume
-    print(f"volume: {volume.num_blocks} blocks of {volume.block_size} bytes")
+    # 1. A 16 MiB simulated volume served by a volatile agent.
+    service = HiddenVolumeService.create("volatile", volume_mib=16, seed=2024)
+    print(f"volume: {service.num_blocks} blocks of {service.volume.block_size} bytes")
 
-    # 2. Alice hides a report. The FAK (access key) is all that can find it.
-    alice = KeyRing(owner="alice")
-    report_fak = system.new_fak()
+    # 2. Alice logs in and hides a report. Her session's key ring is all
+    #    that can ever find it again.
+    alice = service.login(service.new_keyring("alice"))
     report = b"Q3 acquisition plan: do not circulate.\n" * 200
-    handle = agent.create_file(report_fak, "/alice/report.txt", report)
-    alice.add_hidden("/alice/report.txt", report_fak)
-    print(f"hidden file occupies {handle.num_blocks} scattered blocks")
+    stat = alice.create("/alice/report.txt", report)
+    print(f"hidden file occupies {stat.num_blocks} scattered blocks")
 
-    # Alice also owns a dummy file of similar size for deniability, and the
-    # agent uses its blocks as relocation targets and dummy-update fodder.
-    dummy_fak, dummy_handle = create_dummy_file(
-        volume, "/alice/archive.bak", handle.num_blocks, system.prng
-    )
-    alice.add_dummy("/alice/archive.bak", dummy_fak)
-    agent._register_handle(dummy_handle)
+    # Alice also owns a decoy of similar size for deniability; the agent
+    # uses its blocks as relocation targets and dummy-update fodder.
+    alice.create_decoy("/alice/archive.bak", size_bytes=len(report))
 
-    # 3. Update the report. The agent relocates the block and, when idle,
-    #    issues dummy updates, so the write pattern carries no information.
-    observer = SnapshotObserver(system.storage)
+    # 3. Update the report in place — byte-granular, no block math. The
+    #    agent relocates the touched block and, when idle, issues dummy
+    #    updates, so the write pattern carries no information.
+    observer = SnapshotObserver(service.storage)
     observer.observe("before")
-    result = agent.update_block(handle, 0, b"Q3 plan (revised): still secret.\n" * 10)
-    agent.idle(num_dummy_updates=5)
+    [result] = alice.write("/alice/report.txt", b"Q3 plan (revised): still secret.\n", at=0)
+    service.idle(num_dummy_updates=5)
     observer.observe("after")
     print(
         f"update took {result.iterations} selection round(s); "
         f"block moved {result.moved_from} -> {result.moved_to}"
     )
-    print("read back:", agent.read_block(handle, 0)[:33])
+    print("read back:", alice.read("/alice/report.txt", size=33))
 
     # 4. What the snapshot attacker sees: a handful of changed blocks at
     #    uniformly random positions - indistinguishable from dummy updates.
-    attacker = UpdateAnalysisAttacker(num_blocks=volume.num_blocks)
+    attacker = UpdateAnalysisAttacker(num_blocks=service.num_blocks)
     verdict = attacker.analyse(observer.changed_blocks_per_interval())
     print(
         "attacker verdict:",
@@ -68,16 +63,13 @@ def main() -> None:
         f"(repeated-change fraction {verdict.repeated_change_fraction:.2f})",
     )
 
-    # 5. Coercion: Alice discloses only the deniable view of her keys.
+    # 5. Coercion: Alice discloses only the deniable view of her keys and
+    #    walks away; the coercer logs in with the disclosed ring.
     disclosed = alice.deniable_view()
-    print("disclosed keys:", {path: "dummy" for path in disclosed})
-    coerced = volume.open_file(
-        disclosed["/alice/report.txt"],
-        "/alice/report.txt",
-        header_key=disclosed["/alice/report.txt"].header_key,
-        content_key=disclosed["/alice/report.txt"].header_key,
-    )
-    leaked = volume.read_file(coerced)
+    alice.logout()
+    print("disclosed keys:", {path: "dummy" for path in disclosed.all_keys()})
+    coerced = service.login(disclosed)
+    leaked = coerced.read("/alice/report.txt")
     print("plaintext leaked under coercion?", b"acquisition" in leaked)
 
 

@@ -7,106 +7,113 @@ The paper opens with a DBMS executing
 
 and shows that the tiny logical change betrays the hidden table to an
 attacker who compares storage snapshots.  This example stores the same
-salary table twice — once on a conventional (CleanDisk) file system and
-once under the non-volatile StegHide* agent — runs the same stream of
-salary updates against both, and lets the update-analysis attacker judge
-each snapshot series.
+salary table twice — once on a conventional (CleanDisk) file system,
+declared as a :class:`Scenario`, and once behind a
+:class:`HiddenVolumeService` session whose byte-granular ``write``
+pushes each 64-byte row through the Figure-6 update path (rows may
+straddle any number of block boundaries; the session does the
+translation) — and lets the update-analysis attacker judge both
+snapshot series.
 
 Run:  python examples/salary_database.py
 """
 
 from __future__ import annotations
 
+from repro import (
+    FileSpec,
+    HiddenVolumeService,
+    Scenario,
+    TableUpdates,
+    ZeroLatencyModel,
+    run_experiment,
+)
 from repro.attacks.observer import SnapshotObserver
 from repro.attacks.update_analysis import UpdateAnalysisAttacker
-from repro.core.nonvolatile import NonVolatileAgent
-from repro.crypto.keys import FileAccessKey
 from repro.crypto.prng import Sha256Prng
-from repro.sim.builders import build_system
-from repro.stegfs.filesystem import StegFsVolume
-from repro.storage.device import RawDevice
-from repro.storage.disk import RawStorage, StorageGeometry
-from repro.storage.latency import ZeroLatencyModel
-from repro.workloads.filegen import FileSpec
-from repro.workloads.tableupdate import SalaryTable, TableUpdateWorkload
+from repro.workloads.tableupdate import SalaryTable
 
 INTERVALS = 8
 UPDATES_PER_INTERVAL = 3
 
 
-def conventional_run() -> tuple[list[set[int]], int]:
+def conventional_run() -> None:
     """Salary updates on CleanDisk, observed through snapshots."""
-    system = build_system(
-        "CleanDisk",
-        volume_mib=8,
-        file_specs=[FileSpec("/seed", 4096)],
-        seed=1,
-        latency=ZeroLatencyModel(),
+    result = run_experiment(
+        Scenario(
+            system="CleanDisk",
+            volume_mib=8,
+            files=(FileSpec("/seed", 4096),),
+            seed=1,
+            latency=ZeroLatencyModel(),
+            workload=TableUpdates(
+                rows=500,
+                intervals=INTERVALS,
+                updates_per_interval=UPDATES_PER_INTERVAL,
+                seed="salary-example",
+            ),
+            attackers=("update-analysis",),
+        )
     )
-    prng = Sha256Prng("conventional")
-    workload = TableUpdateWorkload(system.adapter, SalaryTable.generate(500, prng.spawn("table")))
-    observer = SnapshotObserver(system.storage)
-    observer.observe()
-    for _ in range(INTERVALS):
-        workload.run_random_updates(UPDATES_PER_INTERVAL, prng)
-        observer.observe()
-    return observer.changed_blocks_per_interval(), system.storage.geometry.num_blocks
+    report(
+        "Conventional file system (CleanDisk)",
+        result.verdict("update-analysis"),
+        int(result.measurements["blocks-touched"]),
+    )
 
 
-def steghide_run() -> tuple[list[set[int]], int]:
-    """The same update stream through the StegHide* agent with dummy updates."""
-    prng = Sha256Prng("steghide")
-    storage = RawStorage(
-        StorageGeometry(block_size=4096, num_blocks=2048), latency=ZeroLatencyModel()
+def steghide_run() -> None:
+    """The same update stream through a StegHide* service session."""
+    service = HiddenVolumeService.create(
+        "nonvolatile", volume_mib=8, seed=9, latency=ZeroLatencyModel()
     )
-    storage.fill_random(seed=9)
-    volume = StegFsVolume(RawDevice(storage), prng.spawn("volume"))
-    agent = NonVolatileAgent(volume, prng.spawn("agent"))
-    fak = FileAccessKey.generate(prng.spawn("fak"))
+    prng = Sha256Prng("steghide-salary")
     table = SalaryTable.generate(500, prng.spawn("table"))
-    handle = agent.create_file(fak, "/db/sal_table", table.serialise())
+    dba = service.login(service.new_keyring("dba"))
+    dba.create("/db/sal_table", table.serialise())
 
-    observer = SnapshotObserver(storage)
+    observer = SnapshotObserver(service.storage)
     observer.observe()
     workload_prng = prng.spawn("updates")
+    changes = 0
     for _ in range(INTERVALS):
         for _ in range(UPDATES_PER_INTERVAL):
             name, _ = table.rows[workload_prng.randrange(len(table.rows))]
             table.set_salary(name, 30_000 + workload_prng.randrange(200_000))
-            serialised = table.serialise()
-            offset = table.row_offset(name)
-            first = offset // volume.data_field_bytes
-            last = (offset + 63) // volume.data_field_bytes
-            for logical in range(first, last + 1):
-                start = logical * volume.data_field_bytes
-                agent.update_block(
-                    handle, logical, serialised[start : start + volume.data_field_bytes]
-                )
-        agent.idle(6)  # dummy updates while "idle"
+            # One byte-granular row update; the session translates the
+            # 64-byte range into Figure-6 block updates, wherever the row
+            # falls and however many blocks it straddles.
+            dba.write("/db/sal_table", table.row_bytes(name), at=table.row_offset(name))
+            changes += 1
+        service.idle(6)  # dummy updates while "idle"
         observer.observe()
-    return observer.changed_blocks_per_interval(), storage.geometry.num_blocks
+    attacker = UpdateAnalysisAttacker(num_blocks=service.num_blocks)
+    report(
+        "StegHide* (Figure-6 updates + dummy updates)",
+        attacker.analyse(observer.changed_blocks_per_interval()),
+        changes,
+    )
 
 
-def report(label: str, changed_sets: list[set[int]], num_blocks: int) -> None:
-    attacker = UpdateAnalysisAttacker(num_blocks=num_blocks)
-    verdict = attacker.analyse(changed_sets)
-    changes = sum(len(s) for s in changed_sets)
+def report(label: str, verdict, changes: int) -> None:
     print(f"\n{label}")
-    print(f"  blocks changed across {len(changed_sets)} snapshot intervals: {changes}")
+    print(f"  logical updates issued across {INTERVALS} snapshot intervals: {changes}")
     print(f"  fraction of changed blocks that repeat: {verdict.repeated_change_fraction:.2f}")
     print(f"  positional uniformity p-value:          {verdict.uniformity_p_value:.3g}")
     print(
         "  attacker concludes:                    "
-        + ("HIDDEN DATA IS BEING UPDATED" if verdict.suspects_hidden_activity else "nothing unusual")
+        + (
+            "HIDDEN DATA IS BEING UPDATED"
+            if verdict.suspects_hidden_activity
+            else "nothing unusual"
+        )
     )
 
 
 def main() -> None:
     print("Salary-table updates observed by a snapshot-diffing attacker (Figure 1 scenario)")
-    changed, blocks = conventional_run()
-    report("Conventional file system (CleanDisk)", changed, blocks)
-    changed, blocks = steghide_run()
-    report("StegHide* (Figure-6 updates + dummy updates)", changed, blocks)
+    conventional_run()
+    steghide_run()
 
 
 if __name__ == "__main__":

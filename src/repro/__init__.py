@@ -11,16 +11,23 @@ paper's tables and figures on a simulated block device.
 
 Quickstart
 ----------
->>> from repro import build_steghide_system
->>> system = build_steghide_system(volume_mib=16, seed=7)
->>> fak = system.new_fak()
->>> handle = system.agent.create_file(fak, "/secret/report.txt", b"top secret")
->>> system.agent.read_file(handle)
+>>> from repro import HiddenVolumeService
+>>> service = HiddenVolumeService.create("volatile", volume_mib=16, seed=7)
+>>> session = service.login(service.new_keyring("alice"))
+>>> session.create("/secret/report.txt", b"top secret")  # doctest: +ELLIPSIS
+FileStat(...)
+>>> session.read("/secret/report.txt")
 b'top secret'
+
+Experiments are declared, not hand-wired:
+
+>>> from repro import Scenario, Retrieval, run_experiment  # doctest: +SKIP
+>>> run_experiment(Scenario(system="StegHide", workload=Retrieval()))  # doctest: +SKIP
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.core.agent import StegAgent, UpdateResult
@@ -35,6 +42,20 @@ from repro.core.oblivious import (
 )
 from repro.core.volatile import VolatileAgent
 from repro.crypto import AES, CbcCipher, FastFieldCipher, FileAccessKey, KeyRing, Sha256Prng
+from repro.service import (
+    ExperimentResult,
+    FileStat,
+    HiddenVolumeService,
+    ObliviousConfig,
+    Retrieval,
+    Scenario,
+    Session,
+    TableUpdates,
+    TrafficAnalysisProbe,
+    UpdateAnalysisProbe,
+    Updates,
+    run_experiment,
+)
 from repro.stegfs import StegFsVolume, VolumeConfig, create_dummy_file
 from repro.storage import (
     DiskLatencyModel,
@@ -47,10 +68,27 @@ from repro.storage import (
     diff_snapshots,
     take_snapshot,
 )
+from repro.workloads.filegen import FileSpec
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    # -- session-oriented service facade (the primary public surface)
+    "HiddenVolumeService",
+    "Session",
+    "FileStat",
+    "ObliviousConfig",
+    # -- declarative experiments
+    "Scenario",
+    "Retrieval",
+    "Updates",
+    "TableUpdates",
+    "UpdateAnalysisProbe",
+    "TrafficAnalysisProbe",
+    "ExperimentResult",
+    "run_experiment",
+    "FileSpec",
+    # -- constructions and substrate (advanced / internal-facing surface)
     "StegAgent",
     "UpdateResult",
     "NonVolatileAgent",
@@ -79,19 +117,29 @@ __all__ = [
     "IoTrace",
     "take_snapshot",
     "diff_snapshots",
+    # -- deprecated shims (use HiddenVolumeService instead)
     "SteghideSystem",
     "build_steghide_system",
     "build_nonvolatile_system",
 ]
 
 
+# -- deprecated pre-2.0 surface ----------------------------------------------------
+#
+# ``build_steghide_system``/``build_nonvolatile_system`` predate the
+# session facade.  They remain as thin shims over
+# :meth:`HiddenVolumeService.create` (identical wiring and PRNG
+# derivation, hence bit-identical device traces) and will be removed in
+# a future release.
+
+
 @dataclass
 class SteghideSystem:
-    """A ready-to-use bundle of storage, volume and agent.
+    """Deprecated bundle of storage, volume and agent.
 
-    Produced by :func:`build_steghide_system` /
-    :func:`build_nonvolatile_system`; convenient for examples and quick
-    experiments that do not need to wire the pieces manually.
+    Produced by the deprecated :func:`build_steghide_system` /
+    :func:`build_nonvolatile_system` shims; new code should hold a
+    :class:`HiddenVolumeService` and work through sessions.
     """
 
     storage: RawStorage
@@ -101,33 +149,48 @@ class SteghideSystem:
 
     def new_fak(self, is_dummy: bool = False) -> FileAccessKey:
         """Generate a fresh file access key from the system PRNG."""
-        return FileAccessKey.generate(self.prng.spawn(f"fak-{id(self)}-{self.prng.random()}"), is_dummy)
+        return FileAccessKey.generate(
+            self.prng.spawn(f"fak-{id(self)}-{self.prng.random()}"), is_dummy
+        )
 
 
-def _build_storage(volume_mib: int, seed: int, block_size: int) -> RawStorage:
-    geometry = StorageGeometry.from_capacity(volume_mib * 1024 * 1024, block_size)
-    storage = RawStorage(geometry)
-    storage.fill_random(seed)
-    return storage
+def _legacy_system(
+    construction: str, volume_mib: int, seed: int, block_size: int
+) -> SteghideSystem:
+    service = HiddenVolumeService.create(
+        construction, volume_mib=volume_mib, seed=seed, block_size=block_size
+    )
+    return SteghideSystem(
+        storage=service.storage, volume=service.volume, agent=service.agent, prng=service.prng
+    )
 
 
 def build_steghide_system(
     volume_mib: int = 64, seed: int = 0, block_size: int = 4096
 ) -> SteghideSystem:
-    """Build a volatile-agent (Construction 2, "StegHide") system."""
-    prng = Sha256Prng(seed)
-    storage = _build_storage(volume_mib, seed, block_size)
-    volume = StegFsVolume(RawDevice(storage), prng.spawn("volume"))
-    agent = VolatileAgent(volume, prng.spawn("agent"))
-    return SteghideSystem(storage=storage, volume=volume, agent=agent, prng=prng)
+    """Deprecated: build a volatile-agent (Construction 2, "StegHide") system.
+
+    Use ``HiddenVolumeService.create("volatile", ...)`` instead.
+    """
+    warnings.warn(
+        "build_steghide_system is deprecated; use HiddenVolumeService.create('volatile', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _legacy_system("volatile", volume_mib, seed, block_size)
 
 
 def build_nonvolatile_system(
     volume_mib: int = 64, seed: int = 0, block_size: int = 4096
 ) -> SteghideSystem:
-    """Build a non-volatile-agent (Construction 1, "StegHide*") system."""
-    prng = Sha256Prng(seed)
-    storage = _build_storage(volume_mib, seed, block_size)
-    volume = StegFsVolume(RawDevice(storage), prng.spawn("volume"))
-    agent = NonVolatileAgent(volume, prng.spawn("agent"))
-    return SteghideSystem(storage=storage, volume=volume, agent=agent, prng=prng)
+    """Deprecated: build a non-volatile-agent (Construction 1, "StegHide*") system.
+
+    Use ``HiddenVolumeService.create("nonvolatile", ...)`` instead.
+    """
+    warnings.warn(
+        "build_nonvolatile_system is deprecated; "
+        "use HiddenVolumeService.create('nonvolatile', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _legacy_system("nonvolatile", volume_mib, seed, block_size)

@@ -52,11 +52,16 @@ class CleanDiskFileSystem(FileSystemAdapter):
             name=name, size_bytes=len(content), num_blocks=len(blocks), native_handle=blocks
         )
 
+    def registered_files(self) -> list[str]:
+        return list(self._files)
+
     def read_file(self, handle: BaselineFile, stream: str = "default") -> bytes:
         pieces = [self.storage.read_block(index, stream) for index in handle.native_handle]
         return b"".join(pieces)[: handle.size_bytes]
 
-    def read_block(self, handle: BaselineFile, logical_index: int, stream: str = "default") -> bytes:
+    def read_block(
+        self, handle: BaselineFile, logical_index: int, stream: str = "default"
+    ) -> bytes:
         return self.storage.read_block(handle.native_handle[logical_index], stream)
 
     def update_blocks(

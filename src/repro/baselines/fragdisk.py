@@ -23,7 +23,9 @@ class FragDiskFileSystem(FileSystemAdapter):
 
     label = "FragDisk"
 
-    def __init__(self, storage: RawStorage, prng: Sha256Prng, fragment_blocks: int = FRAGMENT_BLOCKS):
+    def __init__(
+        self, storage: RawStorage, prng: Sha256Prng, fragment_blocks: int = FRAGMENT_BLOCKS
+    ):
         super().__init__(storage)
         if fragment_blocks <= 0:
             raise ValueError("fragment_blocks must be positive")
@@ -76,11 +78,16 @@ class FragDiskFileSystem(FileSystemAdapter):
             name=name, size_bytes=len(content), num_blocks=len(blocks), native_handle=blocks
         )
 
+    def registered_files(self) -> list[str]:
+        return list(self._files)
+
     def read_file(self, handle: BaselineFile, stream: str = "default") -> bytes:
         pieces = [self.storage.read_block(index, stream) for index in handle.native_handle]
         return b"".join(pieces)[: handle.size_bytes]
 
-    def read_block(self, handle: BaselineFile, logical_index: int, stream: str = "default") -> bytes:
+    def read_block(
+        self, handle: BaselineFile, logical_index: int, stream: str = "default"
+    ) -> bytes:
         return self.storage.read_block(handle.native_handle[logical_index], stream)
 
     def update_blocks(

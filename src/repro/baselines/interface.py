@@ -49,7 +49,9 @@ class FileSystemAdapter(ABC):
         """Read a whole file back."""
 
     @abstractmethod
-    def read_block(self, handle: BaselineFile, logical_index: int, stream: str = "default") -> bytes:
+    def read_block(
+        self, handle: BaselineFile, logical_index: int, stream: str = "default"
+    ) -> bytes:
         """Read one logical block of a file (the unit the simulator interleaves at)."""
 
     @abstractmethod
@@ -61,6 +63,17 @@ class FileSystemAdapter(ABC):
         stream: str = "default",
     ) -> None:
         """Update ``len(payloads)`` consecutive logical blocks starting at ``start_logical``."""
+
+    # -- public registry ------------------------------------------------------------
+
+    def registered_files(self) -> list[str]:
+        """Names of the files created through this adapter, in creation order.
+
+        Harness code must use this (or construction-specific accessors
+        like ``StegHideAdapter.iter_faks``) instead of reaching into an
+        adapter's private state.
+        """
+        return []
 
     # -- shared helpers -------------------------------------------------------------
 

@@ -45,10 +45,15 @@ class PlainStegFsAdapter(FileSystemAdapter):
             native_handle=handle,
         )
 
+    def registered_files(self) -> list[str]:
+        return list(self._handles)
+
     def read_file(self, handle: BaselineFile, stream: str = "default") -> bytes:
         return self.volume.read_file(handle.native_handle, stream)
 
-    def read_block(self, handle: BaselineFile, logical_index: int, stream: str = "default") -> bytes:
+    def read_block(
+        self, handle: BaselineFile, logical_index: int, stream: str = "default"
+    ) -> bytes:
         return self.volume.read_block(handle.native_handle, logical_index, stream)
 
     def update_blocks(

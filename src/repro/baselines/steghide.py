@@ -9,6 +9,8 @@ matching what the paper measures in Figures 10 and 11.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 from repro.baselines.interface import BaselineFile, FileSystemAdapter
 from repro.core.agent import StegAgent
 from repro.crypto.keys import FileAccessKey
@@ -48,7 +50,9 @@ class StegHideAdapter(FileSystemAdapter):
     def read_file(self, handle: BaselineFile, stream: str = "default") -> bytes:
         return self.agent.read_file(handle.native_handle, stream)
 
-    def read_block(self, handle: BaselineFile, logical_index: int, stream: str = "default") -> bytes:
+    def read_block(
+        self, handle: BaselineFile, logical_index: int, stream: str = "default"
+    ) -> bytes:
         return self.agent.read_block(handle.native_handle, logical_index, stream)
 
     def update_blocks(
@@ -63,3 +67,16 @@ class StegHideAdapter(FileSystemAdapter):
     def fak_of(self, name: str) -> FileAccessKey:
         """The FAK generated for a file created through this adapter."""
         return self._faks[name]
+
+    def registered_files(self) -> list[str]:
+        """Names of the files created through this adapter, in creation order."""
+        return list(self._faks)
+
+    def iter_faks(self) -> Iterator[tuple[str, FileAccessKey]]:
+        """(name, FAK) pairs of every file created through this adapter.
+
+        This is the public accessor harness code (e.g. the scenario
+        builders assembling a logged-in user's key ring) must use
+        instead of touching the private FAK table.
+        """
+        return iter(self._faks.items())

@@ -23,7 +23,12 @@ from repro.core.security import (
     total_variation_distance,
     uniformity_chi_square,
 )
-from repro.core.oblivious import ObliviousStore, ObliviousStoreConfig, oblivious_height, overhead_factor
+from repro.core.oblivious import (
+    ObliviousStore,
+    ObliviousStoreConfig,
+    oblivious_height,
+    overhead_factor,
+)
 
 __all__ = [
     "StegAgent",

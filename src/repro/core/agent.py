@@ -326,6 +326,30 @@ class StegAgent(ABC):
             results.append(result)
         return results
 
+    def append_blocks(
+        self, handle: HiddenFile, payloads: list[bytes], stream: str = "default"
+    ) -> list[int]:
+        """Append whole data blocks to an open file and track their locations.
+
+        The appended blocks join the agent's selection space (for the
+        volatile agent) exactly like blocks registered at open time.  The
+        caller is responsible for saving the grown header afterwards;
+        :meth:`repro.service.Session.append` is the byte-granular public
+        path that does this bookkeeping.
+        """
+        if (
+            payloads
+            and handle.num_blocks > 0
+            and self.owner_of(handle.header.physical_block(0)) is None
+        ):
+            raise UnknownFileError("the agent does not hold keys for the file being appended to")
+        logicals: list[int] = []
+        for payload in payloads:
+            logical = self.volume.append_block(handle, payload, stream)
+            self._track_block(handle.header.physical_block(logical), handle, "data")
+            logicals.append(logical)
+        return logicals
+
     def idle(self, num_dummy_updates: int, stream: str = "dummy") -> list[int]:
         """Run a burst of dummy updates, as the agent does when no requests arrive."""
         return [self.dummy_update(stream) for _ in range(num_dummy_updates)]

@@ -318,7 +318,8 @@ class ObliviousStore:
         """Re-order a level to a fresh random permutation under a fresh key."""
         if len(entries) > level.capacity:
             raise ObliviousStorageError(
-                f"level {level.number} of capacity {level.capacity} cannot hold {len(entries)} blocks"
+                f"level {level.number} of capacity {level.capacity} "
+                f"cannot hold {len(entries)} blocks"
             )
         new_key = self._prng.random_bytes(32)
         cipher = self._cipher(new_key)

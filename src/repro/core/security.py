@@ -64,7 +64,9 @@ def kl_divergence(p: np.ndarray, q: np.ndarray, epsilon: float = 1e-12) -> float
     return float(np.sum(p * np.log(p / q)))
 
 
-def uniformity_chi_square(indices: Sequence[int], num_blocks: int, bins: int = 64) -> tuple[float, float]:
+def uniformity_chi_square(
+    indices: Sequence[int], num_blocks: int, bins: int = 64
+) -> tuple[float, float]:
     """Chi-square test of the access indices against the uniform distribution.
 
     The indices are bucketed into ``bins`` equal-width bins over the

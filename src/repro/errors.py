@@ -92,6 +92,22 @@ class BlockNotCachedError(ObliviousStorageError):
     """A block requested from the oblivious store is not present in any level."""
 
 
+class ServiceError(ReproError):
+    """Base class for errors raised by the service facade."""
+
+
+class SessionClosedError(ServiceError):
+    """An operation was issued on a session after it logged out."""
+
+
+class SessionConflictError(ServiceError):
+    """A user tried to open a second concurrent session under the same name."""
+
+
+class ByteRangeError(ServiceError):
+    """A byte-granular read/write fell outside the file's current extent."""
+
+
 class WorkloadError(ReproError):
     """Base class for errors in workload generation."""
 

@@ -1,0 +1,43 @@
+"""Session-oriented service facade and declarative scenario runner.
+
+This package is the public face of the reproduction: a
+:class:`HiddenVolumeService` serves byte-granular :class:`Session`
+traffic over a hidden volume (the paper's Figure-3 agent seen as a
+multi-user service), and :func:`run_experiment` executes declarative
+:class:`Scenario` descriptions that unify system construction,
+workloads, the round-robin simulator and the attackers.
+"""
+
+from repro.service.facade import (
+    CONSTRUCTIONS,
+    FileStat,
+    HiddenVolumeService,
+    ObliviousConfig,
+    Session,
+)
+from repro.service.scenario import (
+    ExperimentResult,
+    Retrieval,
+    Scenario,
+    TableUpdates,
+    TrafficAnalysisProbe,
+    UpdateAnalysisProbe,
+    Updates,
+    run_experiment,
+)
+
+__all__ = [
+    "CONSTRUCTIONS",
+    "HiddenVolumeService",
+    "Session",
+    "FileStat",
+    "ObliviousConfig",
+    "Scenario",
+    "Retrieval",
+    "Updates",
+    "TableUpdates",
+    "UpdateAnalysisProbe",
+    "TrafficAnalysisProbe",
+    "ExperimentResult",
+    "run_experiment",
+]

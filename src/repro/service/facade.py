@@ -1,0 +1,530 @@
+"""The session-oriented service facade over a hidden volume.
+
+The paper's constructions are ultimately a *service* (Sections 4.1-4.2,
+Figure 6): many users log in, issue byte-granular reads and updates
+against hidden files, and log out, while the agent hides the access
+patterns.  :class:`HiddenVolumeService` is that service — it bundles the
+simulated storage, the StegFS volume, one of the two update-hiding
+agents and (optionally) the hierarchical oblivious read path, and hands
+out :class:`Session` objects that speak in *paths and byte ranges*.
+
+No caller of this module ever touches ``data_field_bytes``, block
+indices or ``FileAccessKey`` plumbing: the session translates byte
+ranges to Figure-6 block updates internally, and key custody follows the
+construction (FAK-held keys for the volatile agent, the master key for
+the non-volatile agent).
+
+Quickstart::
+
+    service = HiddenVolumeService.create("volatile", volume_mib=16, seed=7)
+    alice = service.login(service.new_keyring("alice"))
+    alice.create("/alice/report.txt", b"top secret")
+    alice.write("/alice/report.txt", b"TOP", at=0)
+    assert alice.read("/alice/report.txt", size=3) == b"TOP"
+    alice.logout()           # the agent forgets alice's keys
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.agent import StegAgent, UpdateResult
+from repro.core.nonvolatile import NonVolatileAgent
+from repro.core.oblivious.reader import ObliviousReader
+from repro.core.oblivious.store import ObliviousStore, ObliviousStoreConfig
+from repro.core.volatile import VolatileAgent
+from repro.crypto.keys import FileAccessKey, KeyRing
+from repro.crypto.prng import Sha256Prng
+from repro.errors import (
+    ByteRangeError,
+    ServiceError,
+    SessionClosedError,
+    SessionConflictError,
+)
+from repro.stegfs.file import HiddenFile
+from repro.stegfs.filesystem import StegFsVolume
+from repro.storage.device import RawDevice, split_volume
+from repro.storage.disk import MIB, RawStorage, StorageGeometry
+from repro.storage.latency import DiskLatencyModel
+
+CONSTRUCTIONS = ("volatile", "nonvolatile")
+
+
+@dataclass(frozen=True)
+class ObliviousConfig:
+    """Declarative shape of the optional oblivious read path (Section 5).
+
+    When passed to :meth:`HiddenVolumeService.create`, the raw volume is
+    split into a StegFS partition and an oblivious partition, and
+    sessions gain ``read(..., oblivious=True)``.
+
+    Attributes
+    ----------
+    buffer_blocks:
+        Size of the hierarchy's first level (the paper's buffer knob).
+    last_level_blocks:
+        Capacity of the deepest level; together with ``buffer_blocks``
+        this fixes the hierarchy height.
+    partition_blocks:
+        Blocks reserved for the oblivious partition; defaults to half
+        the volume.
+    """
+
+    buffer_blocks: int = 8
+    last_level_blocks: int = 256
+    partition_blocks: int | None = None
+
+
+@dataclass(frozen=True)
+class FileStat:
+    """Public metadata of one file visible to a session."""
+
+    path: str
+    size_bytes: int
+    num_blocks: int
+    is_decoy: bool
+
+
+class Session:
+    """One logged-in user's handle on the service.
+
+    A session owns the user's :class:`~repro.crypto.keys.KeyRing`, keeps
+    the user's files open with the agent, and exposes byte-granular
+    ``read``/``write``/``append`` that are translated into block
+    operations (the Figure-6 update algorithm for writes) internally.
+    Sessions are created by :meth:`HiddenVolumeService.login` only.
+    """
+
+    def __init__(self, service: "HiddenVolumeService", keyring: KeyRing, stream: str):
+        self._service = service
+        self.keyring = keyring
+        self.stream = stream
+        self._handles: dict[str, HiddenFile] = {}
+        self._closed = False
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def user(self) -> str:
+        """Name of the user who opened this session."""
+        return self.keyring.owner
+
+    @property
+    def active(self) -> bool:
+        """Whether the session is still logged in."""
+        return not self._closed
+
+    @property
+    def paths(self) -> list[str]:
+        """Paths of the files this session has open, sorted."""
+        return sorted(self._handles)
+
+    def stat(self, path: str) -> FileStat:
+        """Size and shape of one open file."""
+        handle = self._handle(path)
+        return FileStat(
+            path=path,
+            size_bytes=handle.size_bytes,
+            num_blocks=handle.num_blocks,
+            is_decoy=handle.is_dummy,
+        )
+
+    # -- internals -------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError(f"session of {self.user!r} has logged out")
+
+    def _handle(self, path: str) -> HiddenFile:
+        self._check_open()
+        handle = self._handles.get(path)
+        if handle is None:
+            raise ServiceError(f"session of {self.user!r} has no file at {path!r}")
+        return handle
+
+    def _attach(self, path: str, handle: HiddenFile) -> None:
+        handle.owner = self.user
+        self._handles[path] = handle
+
+    # -- file lifecycle --------------------------------------------------------------
+
+    def create(self, path: str, data: bytes) -> FileStat:
+        """Hide a new file at ``path`` and register its key in the key ring."""
+        self._check_open()
+        if path in self._handles:
+            raise ServiceError(f"session of {self.user!r} already has a file at {path!r}")
+        fak = self._service._generate_fak(self.user, path, is_dummy=False)
+        handle = self._service.agent.create_file(fak, path, data, self.stream)
+        self.keyring.add_hidden(path, fak)
+        self._attach(path, handle)
+        return self.stat(path)
+
+    def create_decoy(self, path: str, size_bytes: int) -> FileStat:
+        """Create a dummy file of random bytes for plausible deniability.
+
+        The decoy's blocks widen the agent's dummy-selection space
+        (Section 4.2.1: dummy files of approximately data-file size are
+        distributed to the users).
+        """
+        self._check_open()
+        if path in self._handles:
+            raise ServiceError(f"session of {self.user!r} already has a file at {path!r}")
+        service = self._service
+        fak = service._generate_fak(self.user, path, is_dummy=True)
+        num_blocks = service.volume.blocks_for_size(max(0, size_bytes))
+        content = service._decoy_prng.spawn(f"decoy:{self.user}:{path}").random_bytes(
+            num_blocks * service.volume.data_field_bytes
+        )
+        handle = service.agent.create_file(fak, path, content, self.stream)
+        self.keyring.add_dummy(path, fak)
+        self._attach(path, handle)
+        return self.stat(path)
+
+    def logout(self) -> None:
+        """Save dirty headers, close every file and forget the keys.
+
+        After logout the agent retains nothing about this user; for the
+        volatile agent the selection space shrinks accordingly.
+        """
+        self._check_open()
+        for handle in self._handles.values():
+            self._service.agent.close_file(handle, self.stream)
+        self._handles.clear()
+        self._closed = True
+        self._service._forget_session(self)
+
+    # -- byte-granular data path -----------------------------------------------------
+
+    def read(
+        self, path: str, at: int = 0, size: int | None = None, oblivious: bool = False
+    ) -> bytes:
+        """Read ``size`` bytes at byte offset ``at`` (the whole file by default).
+
+        With ``oblivious=True`` the blocks are served through the
+        hierarchical oblivious store (requires a service created with an
+        :class:`ObliviousConfig`), hiding the read pattern from a
+        traffic-analysis attacker.
+        """
+        handle = self._handle(path)
+        if at < 0:
+            raise ByteRangeError("read offset must be non-negative")
+        if size is not None and size < 0:
+            raise ByteRangeError("read size must be non-negative")
+        if size is None:
+            size = max(0, handle.size_bytes - at)
+        end = at + size
+        if end > handle.size_bytes:
+            raise ByteRangeError(
+                f"read of [{at}, {end}) exceeds the {handle.size_bytes}-byte file {path!r}"
+            )
+        if size == 0:
+            return b""
+        if oblivious:
+            reader = self._service._require_oblivious()
+            if at == 0 and end == handle.size_bytes:
+                return reader.read_file(handle, self.stream)
+            return self._read_range(handle, at, end, reader.read_block)
+        if at == 0 and end == handle.size_bytes:
+            return self._service.agent.read_file(handle, self.stream)
+        return self._read_range(handle, at, end, self._service.agent.read_block)
+
+    def _read_range(self, handle: HiddenFile, at: int, end: int, read_block) -> bytes:
+        payload_bytes = self._service.volume.data_field_bytes
+        first = at // payload_bytes
+        last = (end - 1) // payload_bytes
+        pieces = [read_block(handle, logical, self.stream) for logical in range(first, last + 1)]
+        joined = b"".join(pieces)
+        return joined[at - first * payload_bytes : end - first * payload_bytes]
+
+    def write(self, path: str, data: bytes, at: int = 0) -> list[UpdateResult]:
+        """Overwrite ``data`` at byte offset ``at`` through the Figure-6 path.
+
+        The byte range is translated into a run of logical-block updates:
+        partially covered boundary blocks are read back and merged, then
+        the whole run goes through
+        :meth:`~repro.core.agent.StegAgent.update_range`, so every
+        touched block is relocated/dummy-mixed exactly as a hand-wired
+        caller would see.  The range must lie within the file's current
+        extent; use :meth:`append` to grow it.
+        """
+        handle = self._handle(path)
+        if at < 0:
+            raise ByteRangeError("write offset must be non-negative")
+        if not data:
+            return []
+        end = at + len(data)
+        if end > handle.size_bytes:
+            raise ByteRangeError(
+                f"write of [{at}, {end}) exceeds the {handle.size_bytes}-byte file {path!r}; "
+                "use append() to grow a file"
+            )
+        agent = self._service.agent
+        payload_bytes = self._service.volume.data_field_bytes
+        first = at // payload_bytes
+        last = (end - 1) // payload_bytes
+        head_pad = at - first * payload_bytes
+        tail_pad = (last + 1) * payload_bytes - end
+
+        region = bytearray()
+        first_current: bytes | None = None
+        if head_pad:
+            first_current = agent.read_block(handle, first, self.stream)
+            region += first_current[:head_pad]
+        region += data
+        if tail_pad:
+            if last == first and first_current is not None:
+                last_current = first_current
+            else:
+                last_current = agent.read_block(handle, last, self.stream)
+            region += last_current[payload_bytes - tail_pad :]
+
+        payloads = [
+            bytes(region[offset : offset + payload_bytes])
+            for offset in range(0, len(region), payload_bytes)
+        ]
+        return agent.update_range(handle, first, payloads, self.stream)
+
+    def append(self, path: str, data: bytes) -> FileStat:
+        """Grow the file by ``data`` bytes at its end.
+
+        A partially filled tail block is completed through the Figure-6
+        update path; whole new blocks are allocated at uniformly random
+        free locations, exactly like the blocks of a fresh file.
+        """
+        handle = self._handle(path)
+        if not data:
+            return self.stat(path)
+        agent = self._service.agent
+        payload_bytes = self._service.volume.data_field_bytes
+        old_size = handle.size_bytes
+        tail_used = old_size % payload_bytes
+
+        remaining = data
+        if tail_used:
+            tail_logical = old_size // payload_bytes
+            tail_room = payload_bytes - tail_used
+            current = agent.read_block(handle, tail_logical, self.stream)
+            merged = current[:tail_used] + remaining[:tail_room]
+            agent.update_range(handle, tail_logical, [merged], self.stream)
+            remaining = remaining[tail_room:]
+        if remaining:
+            chunks = [
+                remaining[offset : offset + payload_bytes]
+                for offset in range(0, len(remaining), payload_bytes)
+            ]
+            agent.append_blocks(handle, chunks, self.stream)
+        handle.header.file_size = old_size + len(data)
+        handle.mark_dirty()
+        agent.save_file(handle, self.stream)
+        return self.stat(path)
+
+    # -- coercion --------------------------------------------------------------------
+
+    def deniable_view(self) -> KeyRing:
+        """A key ring this user could plausibly disclose under coercion.
+
+        Decoy keys are revealed as-is; hidden-file keys are shown in
+        their "claimed dummy" form with the content key withheld
+        (Section 4.2.1).  The returned ring is fully functional — a
+        coercer can :meth:`HiddenVolumeService.login` with it — but it
+        opens every file as a dummy and never yields the hidden
+        plaintext.
+        """
+        self._check_open()
+        disclosed = KeyRing(owner=self.user)
+        for path, fak in self.keyring.deniable_view().items():
+            disclosed.add_dummy(path, fak)
+        return disclosed
+
+
+class HiddenVolumeService:
+    """Facade bundling storage, volume, agent and key management.
+
+    Wraps existing parts (``HiddenVolumeService(storage, volume, agent,
+    prng)``) or builds a fresh system (:meth:`create`).  All user-facing
+    work goes through :class:`Session` objects handed out by
+    :meth:`login`.
+    """
+
+    def __init__(
+        self,
+        storage: RawStorage,
+        volume: StegFsVolume,
+        agent: StegAgent,
+        prng: Sha256Prng,
+        oblivious_store: ObliviousStore | None = None,
+        oblivious_reader: ObliviousReader | None = None,
+    ):
+        self.storage = storage
+        self.volume = volume
+        self.agent = agent
+        self.prng = prng
+        self.oblivious_store = oblivious_store
+        self.oblivious_reader = oblivious_reader
+        self._fak_prng = prng.spawn("service-faks")
+        self._decoy_prng = prng.spawn("service-decoys")
+        self._sessions: dict[str, Session] = {}
+
+    # -- construction ----------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        construction: str = "volatile",
+        volume_mib: int = 64,
+        seed: int = 0,
+        block_size: int = 4096,
+        latency: DiskLatencyModel | None = None,
+        oblivious: ObliviousConfig | None = None,
+    ) -> "HiddenVolumeService":
+        """Build a ready-to-serve hidden volume.
+
+        ``construction`` selects the agent: ``"volatile"`` is the
+        paper's Construction 2 ("StegHide", per-user keys, login/logout)
+        and ``"nonvolatile"`` is Construction 1 ("StegHide*", agent-held
+        master key).  The wiring and PRNG derivation are identical to
+        the legacy ``build_steghide_system`` helpers, so a service built
+        here produces bit-identical device traces to the old hand-wired
+        path.
+        """
+        if construction not in CONSTRUCTIONS:
+            raise ValueError(
+                f"unknown construction {construction!r}; expected one of {CONSTRUCTIONS}"
+            )
+        prng = Sha256Prng(seed)
+        geometry = StorageGeometry.from_capacity(volume_mib * MIB, block_size)
+        storage = RawStorage(geometry, latency=latency)
+        storage.fill_random(seed)
+
+        store = reader = None
+        if oblivious is not None:
+            oblivious_blocks = (
+                oblivious.partition_blocks
+                if oblivious.partition_blocks is not None
+                else geometry.num_blocks // 2
+            )
+            if not 0 < oblivious_blocks < geometry.num_blocks:
+                raise ValueError("oblivious partition must leave room for the StegFS partition")
+            steg_part, obli_part = split_volume(storage, geometry.num_blocks - oblivious_blocks)
+            device = steg_part
+        else:
+            device = RawDevice(storage)
+
+        volume = StegFsVolume(device, prng.spawn("volume"))
+        agent: StegAgent
+        if construction == "volatile":
+            agent = VolatileAgent(volume, prng.spawn("agent"))
+        else:
+            agent = NonVolatileAgent(volume, prng.spawn("agent"))
+
+        if oblivious is not None:
+            store = ObliviousStore(
+                obli_part,
+                ObliviousStoreConfig(
+                    buffer_blocks=oblivious.buffer_blocks,
+                    last_level_blocks=oblivious.last_level_blocks,
+                ),
+                prng.spawn("store"),
+            )
+            reader = ObliviousReader(volume, store, prng.spawn("reader"))
+        return cls(storage, volume, agent, prng, store, reader)
+
+    # -- key management --------------------------------------------------------------
+
+    def new_keyring(self, owner: str) -> KeyRing:
+        """A fresh, empty key ring for one user."""
+        return KeyRing(owner=owner)
+
+    def _generate_fak(self, owner: str, path: str, is_dummy: bool) -> FileAccessKey:
+        return FileAccessKey.generate(self._fak_prng.spawn(f"{owner}:{path}"), is_dummy)
+
+    # -- sessions --------------------------------------------------------------------
+
+    @property
+    def logged_in_users(self) -> list[str]:
+        """Names of the users with an active session, sorted."""
+        return sorted(self._sessions)
+
+    def session_of(self, user: str) -> Session:
+        """The active session of ``user``."""
+        session = self._sessions.get(user)
+        if session is None:
+            raise ServiceError(f"user {user!r} has no active session")
+        return session
+
+    def login(self, keyring: KeyRing, stream: str = "default") -> Session:
+        """Open a session: disclose the ring's keys and open all its files.
+
+        Opening the files is what teaches the agent which physical
+        blocks it may touch; for the volatile agent every login widens
+        the dummy-selection space and every logout shrinks it.
+        """
+        if keyring.owner in self._sessions:
+            raise SessionConflictError(f"user {keyring.owner!r} is already logged in")
+        session = Session(self, keyring, stream)
+        try:
+            for path, fak in keyring.all_keys().items():
+                handle = self.agent.open_file(fak, path, stream)
+                session._attach(path, handle)
+        except Exception:
+            # A stale or corrupt ring must not leave half the user's
+            # blocks disclosed with no session able to close them.
+            for handle in session._handles.values():
+                self.agent.close_file(handle, stream)
+            raise
+        self._sessions[keyring.owner] = session
+        return session
+
+    def _forget_session(self, session: Session) -> None:
+        self._sessions.pop(session.user, None)
+
+    def idle(self, num_dummy_updates: int) -> None:
+        """Let the agent run a burst of dummy updates, as it does between requests.
+
+        Dummy updates are what make real Figure-6 updates statistically
+        invisible; services representing a live deployment should call
+        this between request bursts (Section 4.1.3).
+        """
+        self.agent.idle(num_dummy_updates)
+
+    # -- oblivious read path ---------------------------------------------------------
+
+    def _require_oblivious(self) -> ObliviousReader:
+        if self.oblivious_reader is None:
+            raise ServiceError(
+                "this service was created without an ObliviousConfig; "
+                "pass oblivious=ObliviousConfig(...) to HiddenVolumeService.create"
+            )
+        return self.oblivious_reader
+
+    def dummy_oblivious_read(self, stream: str = "dummy") -> None:
+        """Issue one dummy read against the oblivious hierarchy."""
+        self._require_oblivious().dummy_oblivious_read(stream)
+
+    # -- observability ---------------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        """Blocks in the StegFS partition the agent manages."""
+        return self.volume.num_blocks
+
+    def disclosed_block_count(self) -> int:
+        """Blocks currently in the agent's selection space.
+
+        For the volatile agent this is the union of all logged-in users'
+        file blocks; for the non-volatile agent the selection space is
+        the whole volume.
+        """
+        if isinstance(self.agent, VolatileAgent):
+            return self.agent.disclosed_block_count()
+        return self.volume.num_blocks
+
+    def disclosed_dummy_block_count(self) -> int:
+        """Dummy blocks currently available as Figure-6 swap targets."""
+        if isinstance(self.agent, VolatileAgent):
+            return self.agent.disclosed_dummy_block_count()
+        return self.volume.allocator.free_blocks
+
+    def expected_update_overhead(self) -> float:
+        """The paper's E = N/D expected I/O overhead at the current state."""
+        return self.agent.expected_update_overhead()

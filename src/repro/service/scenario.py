@@ -1,0 +1,433 @@
+"""Declarative experiments: one entrypoint for systems, workloads and attackers.
+
+Every evaluation in the paper is the same sentence: *build one of the
+Table-3 systems, run a workload against it (alone or with N concurrent
+users), and measure time and/or let an attacker watch*.  A
+:class:`Scenario` states that sentence declaratively and
+:func:`run_experiment` executes it, unifying
+:func:`repro.sim.builders.build_system`, the workload generators, the
+:class:`~repro.sim.engine.RoundRobinSimulator` and the attacker classes
+behind one call::
+
+    result = run_experiment(
+        Scenario(
+            system="StegHide",
+            volume_mib=16,
+            files=(FileSpec("/bench/target", 512 * 1024),),
+            utilisation=0.25,
+            workload=Updates(count=20, range_blocks=(1, 2, 3, 4, 5)),
+        )
+    )
+    result.series(["range=1", "range=5"])   # -> [ms, ms]
+
+Each benchmark module then shrinks to a scenario declaration plus shape
+assertions on the returned measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+from repro.attacks.observer import SnapshotObserver, TraceObserver
+from repro.attacks.traffic_analysis import TrafficAnalysisAttacker
+from repro.attacks.update_analysis import UpdateAnalysisAttacker
+from repro.crypto.prng import Sha256Prng
+from repro.errors import WorkloadError
+from repro.sim.builders import SYSTEM_LABELS, SystemUnderTest, build_system
+from repro.sim.engine import ClientJob, RoundRobinSimulator, SimulationResult
+from repro.storage.latency import DiskLatencyModel
+from repro.workloads.filegen import FileSpec
+from repro.workloads.retrieval import file_read_job, measure_file_read
+from repro.workloads.tableupdate import SalaryTable, TableUpdateWorkload
+from repro.workloads.update import (
+    block_update_job,
+    measure_range_update,
+    random_update_requests,
+)
+
+# -- workload declarations ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Retrieval:
+    """Whole-file reads (the Figure-10 workload).
+
+    With a single user each target is read once and measured separately
+    (keyed by its path).  With a concurrency sweep, user ``i`` reads
+    ``targets[i]`` and the disk serves everyone round-robin (keyed
+    ``"users=N"``).
+    """
+
+    targets: tuple[str, ...] | None = None
+
+
+@dataclass(frozen=True)
+class Updates:
+    """Random block updates (the Figure-11 workload).
+
+    With a single user, ``count`` updates of ``range_blocks`` consecutive
+    blocks are issued at random starting positions and their mean cost is
+    recorded; ``range_blocks`` may be a tuple to sweep the update range
+    against one built system (keyed ``"range=N"``).  With a concurrency
+    sweep, each user issues one ``range_blocks``-block update against his
+    own target file (keyed ``"users=N"``).
+    """
+
+    count: int = 1
+    range_blocks: int | tuple[int, ...] = 1
+    targets: tuple[str, ...] | None = None
+    seed: str = "updates"
+
+
+@dataclass(frozen=True)
+class TableUpdates:
+    """The Figure-1 salary-table scenario: row updates observed in intervals.
+
+    A fixed-width table is stored through the system's adapter; each
+    interval issues ``updates_per_interval`` random row updates (plus
+    optional idle dummy updates when the system has an agent) and then
+    lets any attached attacker observe.  The byte-to-block translation
+    is the workload's job — callers never do block math.
+    """
+
+    rows: int = 500
+    intervals: int = 8
+    updates_per_interval: int = 3
+    idle_dummy_updates: int = 0
+    path: str = "/db/sal_table"
+    seed: str = "table"
+
+
+Workload = Union[Retrieval, Updates, TableUpdates]
+
+
+# -- attacker probes ---------------------------------------------------------------
+
+
+class UpdateAnalysisProbe:
+    """Snapshot-diffing attacker attached to a scenario (Section 4.1.4).
+
+    Takes a snapshot before the workload and after every interval, then
+    renders an :class:`~repro.attacks.update_analysis.UpdateAnalysisAttacker`
+    verdict.
+    """
+
+    name = "update-analysis"
+
+    def __init__(self) -> None:
+        self._observer: SnapshotObserver | None = None
+
+    def start(self, system: SystemUnderTest) -> None:
+        self._observer = SnapshotObserver(system.storage)
+        self._observer.observe()
+
+    def interval(self, system: SystemUnderTest) -> None:
+        assert self._observer is not None
+        self._observer.observe()
+
+    def finish(self, system: SystemUnderTest) -> Any:
+        assert self._observer is not None
+        attacker = UpdateAnalysisAttacker(num_blocks=system.storage.geometry.num_blocks)
+        return attacker.analyse(self._observer.changed_blocks_per_interval())
+
+
+class TrafficAnalysisProbe:
+    """Request-trace attacker attached to a scenario (Section 3.2.2)."""
+
+    name = "traffic-analysis"
+
+    def __init__(self) -> None:
+        self._observer: TraceObserver | None = None
+
+    def start(self, system: SystemUnderTest) -> None:
+        self._observer = TraceObserver(system.storage)
+        self._observer.start()
+
+    def interval(self, system: SystemUnderTest) -> None:
+        return None
+
+    def finish(self, system: SystemUnderTest) -> Any:
+        assert self._observer is not None
+        attacker = TrafficAnalysisAttacker(num_blocks=system.storage.geometry.num_blocks)
+        return attacker.analyse(self._observer.capture())
+
+
+_PROBES = {
+    UpdateAnalysisProbe.name: UpdateAnalysisProbe,
+    TrafficAnalysisProbe.name: TrafficAnalysisProbe,
+}
+
+
+def _make_probes(specs: tuple) -> list:
+    probes = []
+    for spec in specs:
+        if isinstance(spec, str):
+            try:
+                probes.append(_PROBES[spec]())
+            except KeyError:
+                raise WorkloadError(
+                    f"unknown attacker {spec!r}; expected one of {sorted(_PROBES)}"
+                ) from None
+        else:
+            probes.append(spec)
+    return probes
+
+
+# -- the scenario and its result ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declaratively specified experiment.
+
+    Attributes
+    ----------
+    system:
+        A Table-3 label (``repro.sim.builders.SYSTEM_LABELS``).
+    files:
+        Files created at build time; empty means the builder's default.
+    utilisation:
+        Target space utilisation for the steganographic systems.
+    users:
+        A single user count (measured directly) or a tuple of counts (a
+        concurrency sweep through the round-robin simulator).
+    workload:
+        A :class:`Retrieval`, :class:`Updates` or :class:`TableUpdates`.
+    attackers:
+        Probe names (``"update-analysis"``, ``"traffic-analysis"``) or
+        probe instances observing the run.
+    """
+
+    system: str
+    volume_mib: int = 32
+    block_size: int = 4096
+    files: tuple[FileSpec, ...] = ()
+    utilisation: float | None = None
+    seed: int = 0
+    users: int | tuple[int, ...] = 1
+    workload: Workload | None = None
+    attackers: tuple = ()
+    latency: DiskLatencyModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.system not in SYSTEM_LABELS:
+            raise ValueError(
+                f"unknown system label {self.system!r}; expected one of {SYSTEM_LABELS}"
+            )
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one scenario run produced.
+
+    ``measurements`` maps point labels (a target path, ``"users=N"`` or
+    ``"range=N"``) to simulated milliseconds; ``verdicts`` maps attacker
+    names to their verdict objects; ``simulations`` keeps the raw
+    round-robin results of a concurrency sweep.
+    """
+
+    scenario: Scenario
+    system: SystemUnderTest
+    measurements: dict[str, float] = field(default_factory=dict)
+    verdicts: dict[str, Any] = field(default_factory=dict)
+    simulations: dict[int, SimulationResult] = field(default_factory=dict)
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean over all measurement points (the value of a one-point run)."""
+        if not self.measurements:
+            return 0.0
+        return sum(self.measurements.values()) / len(self.measurements)
+
+    def series(self, keys: list) -> list[float]:
+        """Measurements for ``keys``, in order (for sweep tables)."""
+        return [self.measurements[str(key)] for key in keys]
+
+    def verdict(self, name: str) -> Any:
+        """The verdict of one attached attacker."""
+        return self.verdicts[name]
+
+
+# -- the runner --------------------------------------------------------------------
+
+
+def _user_levels(users: int | tuple[int, ...]) -> tuple[tuple[int, ...], bool]:
+    """Normalise the ``users`` field; the bool says whether to simulate."""
+    if isinstance(users, tuple):
+        return users, True
+    if users != 1:
+        return (users,), True
+    return (1,), False
+
+
+def _per_user_targets(
+    system: SystemUnderTest, targets: tuple[str, ...] | None, needed: int
+) -> list[str]:
+    names = list(targets) if targets is not None else list(system.handles)
+    if len(names) < needed:
+        raise WorkloadError(
+            f"{needed} users need {needed} target files but only {len(names)} are available"
+        )
+    return names
+
+
+def _run_retrieval(
+    scenario: Scenario,
+    system: SystemUnderTest,
+    workload: Retrieval,
+    result: ExperimentResult,
+    probes,
+) -> None:
+    levels, simulate = _user_levels(scenario.users)
+    if not simulate:
+        targets = workload.targets or tuple(system.handles)
+        for target in targets:
+            elapsed = measure_file_read(system.adapter, system.handle(target))
+            result.measurements[target] = elapsed
+            for probe in probes:
+                probe.interval(system)
+        return
+    names = _per_user_targets(system, workload.targets, max(levels))
+    for level in levels:
+        system.storage.reset_counters()
+        jobs = [
+            ClientJob(
+                f"user{i}",
+                file_read_job(system.adapter, system.handle(names[i]), f"user{i}"),
+            )
+            for i in range(level)
+        ]
+        sim = RoundRobinSimulator(system.storage).run(jobs)
+        result.simulations[level] = sim
+        result.measurements[f"users={level}"] = sim.mean_elapsed_ms
+        for probe in probes:
+            probe.interval(system)
+
+
+def _run_updates(
+    scenario: Scenario, system: SystemUnderTest, workload: Updates, result: ExperimentResult, probes
+) -> None:
+    levels, simulate = _user_levels(scenario.users)
+    label = scenario.system
+    if not simulate:
+        ranges = (
+            workload.range_blocks
+            if isinstance(workload.range_blocks, tuple)
+            else (workload.range_blocks,)
+        )
+        sweep_ranges = len(ranges) > 1
+        targets = workload.targets or (next(iter(system.handles)),)
+        for target in targets:
+            handle = system.handle(target)
+            for range_blocks in ranges:
+                prng = Sha256Prng(f"{workload.seed}:{label}:{target}:{range_blocks}")
+                starts = random_update_requests(handle, workload.count, prng, range_blocks)
+                total = 0.0
+                for request_index, start in enumerate(starts):
+                    total += measure_range_update(
+                        system.adapter, handle, start, range_blocks, seed=request_index
+                    )
+                if not sweep_ranges:
+                    key = target
+                elif len(targets) > 1:
+                    key = f"{target}|range={range_blocks}"
+                else:
+                    key = f"range={range_blocks}"
+                result.measurements[key] = total / max(1, workload.count)
+                for probe in probes:
+                    probe.interval(system)
+        return
+    if isinstance(workload.range_blocks, tuple):
+        raise WorkloadError("a concurrency sweep needs a single update range per scenario")
+    range_blocks = workload.range_blocks
+    names = _per_user_targets(system, workload.targets, max(levels))
+    for level in levels:
+        system.storage.reset_counters()
+        jobs = []
+        for user in range(level):
+            handle = system.handle(names[user])
+            upper = handle.num_blocks - range_blocks + 1
+            if upper <= 0:
+                raise WorkloadError(
+                    f"file {names[user]!r} too small for a {range_blocks}-block update"
+                )
+            start = Sha256Prng(f"{workload.seed}:{label}:{level}:{user}").randrange(upper)
+            jobs.append(
+                ClientJob(
+                    f"user{user}",
+                    block_update_job(
+                        system.adapter,
+                        handle,
+                        start,
+                        range_blocks,
+                        seed=user,
+                        stream=f"user{user}",
+                    ),
+                )
+            )
+        sim = RoundRobinSimulator(system.storage).run(jobs)
+        result.simulations[level] = sim
+        result.measurements[f"users={level}"] = sim.mean_elapsed_ms
+        for probe in probes:
+            probe.interval(system)
+
+
+def _run_table_updates(
+    scenario: Scenario,
+    system: SystemUnderTest,
+    workload: TableUpdates,
+    result: ExperimentResult,
+    probes,
+) -> None:
+    prng = Sha256Prng(f"{workload.seed}:{scenario.system}")
+    table = SalaryTable.generate(workload.rows, prng.spawn("rows"))
+    runner = TableUpdateWorkload(system.adapter, table, name=workload.path)
+    # Attackers observe steady-state update activity, not the initial load.
+    for probe in probes:
+        probe.start(system)
+    update_prng = prng.spawn("updates")
+    touched = 0
+    for _ in range(workload.intervals):
+        touched += len(runner.run_random_updates(workload.updates_per_interval, update_prng))
+        if workload.idle_dummy_updates and system.agent is not None:
+            system.agent.idle(workload.idle_dummy_updates)
+        for probe in probes:
+            probe.interval(system)
+    result.measurements["blocks-touched"] = float(touched)
+
+
+def run_experiment(scenario: Scenario) -> ExperimentResult:
+    """Build the system, run the workload, collect measurements and verdicts."""
+    system = build_system(
+        scenario.system,
+        volume_mib=scenario.volume_mib,
+        block_size=scenario.block_size,
+        file_specs=list(scenario.files) if scenario.files else None,
+        target_utilisation=scenario.utilisation,
+        seed=scenario.seed,
+        latency=scenario.latency,
+    )
+    result = ExperimentResult(scenario=scenario, system=system)
+    probes = _make_probes(scenario.attackers)
+    workload = scenario.workload
+
+    # TableUpdates manages its own probe start (after the table is loaded).
+    if not isinstance(workload, TableUpdates):
+        for probe in probes:
+            probe.start(system)
+
+    if workload is None:
+        pass
+    elif isinstance(workload, Retrieval):
+        _run_retrieval(scenario, system, workload, result, probes)
+    elif isinstance(workload, Updates):
+        _run_updates(scenario, system, workload, result, probes)
+    elif isinstance(workload, TableUpdates):
+        _run_table_updates(scenario, system, workload, result, probes)
+    else:
+        raise WorkloadError(f"unsupported workload type {type(workload).__name__}")
+
+    for probe in probes:
+        result.verdicts[probe.name] = probe.finish(system)
+    return result

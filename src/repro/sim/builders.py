@@ -55,6 +55,7 @@ class SystemUnderTest:
     volume: StegFsVolume | None = None
     prng: Sha256Prng | None = None
     keyring: KeyRing | None = None
+    service: "HiddenVolumeService | None" = None
 
     def handle(self, name: str) -> BaselineFile:
         """The handle of a file created at build time."""
@@ -65,7 +66,9 @@ class SystemUnderTest:
         return next(iter(self.handles.values()))
 
 
-def _make_storage(volume_mib: int, block_size: int, seed: int, latency: DiskLatencyModel | None) -> RawStorage:
+def _make_storage(
+    volume_mib: int, block_size: int, seed: int, latency: DiskLatencyModel | None
+) -> RawStorage:
     geometry = StorageGeometry.from_capacity(volume_mib * MIB, block_size)
     storage = RawStorage(geometry, latency=latency)
     storage.fill_random(seed)
@@ -163,6 +166,15 @@ def build_system(
     if label == "StegHide" and isinstance(agent, VolatileAgent) and volume is not None:
         keyring = _disclose_dummy_space(agent, volume, adapter, prng)
 
+    service = None
+    if agent is not None and volume is not None:
+        # Wrapping existing parts performs no I/O and consumes no PRNG
+        # state, so attaching the facade leaves the device trace of the
+        # build untouched.
+        from repro.service.facade import HiddenVolumeService
+
+        service = HiddenVolumeService(storage, volume, agent, prng)
+
     return SystemUnderTest(
         label=label,
         storage=storage,
@@ -172,6 +184,7 @@ def build_system(
         volume=volume,
         prng=prng,
         keyring=keyring,
+        service=service,
     )
 
 
@@ -191,7 +204,7 @@ def _disclose_dummy_space(
     """
     keyring = KeyRing(owner="benchmark-user")
     if isinstance(adapter, StegHideAdapter):
-        for name, fak in adapter._faks.items():
+        for name, fak in adapter.iter_faks():
             if not fak.is_dummy:
                 keyring.add_hidden(name, fak)
     index = 0

@@ -46,7 +46,9 @@ def create_dummy_file(
     """
     if fak is None:
         fak = FileAccessKey.generate(prng.spawn(f"dummy-fak:{path}"), is_dummy=True)
-    content = build_dummy_content(prng.spawn(f"dummy-content:{path}"), num_blocks, volume.data_field_bytes)
+    content = build_dummy_content(
+        prng.spawn(f"dummy-content:{path}"), num_blocks, volume.data_field_bytes
+    )
     handle = volume.create_file(
         fak,
         path,

@@ -215,11 +215,14 @@ class StegFsVolume:
 
     def _place_root_header(self, fak: FileAccessKey, path: str) -> int:
         """Choose and allocate the root header slot from the FAK probe sequence."""
-        for candidate in fak.header_probe_sequence(path, self.num_blocks, self.config.header_probe_limit):
+        for candidate in fak.header_probe_sequence(
+            path, self.num_blocks, self.config.header_probe_limit
+        ):
             if self.allocator.allocate_specific(candidate):
                 return candidate
         raise VolumeFullError(
-            f"no free slot in the {self.config.header_probe_limit}-entry probe sequence for {path!r}"
+            f"no free slot in the {self.config.header_probe_limit}-entry "
+            f"probe sequence for {path!r}"
         )
 
     def _locate_root_header(
@@ -232,7 +235,9 @@ class StegFsVolume:
         a sibling opened with the same master key) is skipped, not returned.
         """
         expected_digest = path_digest(path)
-        for candidate in fak.header_probe_sequence(path, self.num_blocks, self.config.header_probe_limit):
+        for candidate in fak.header_probe_sequence(
+            path, self.num_blocks, self.config.header_probe_limit
+        ):
             try:
                 payload = self.read_payload(candidate, header_key, stream)
                 chunk = FileHeader.parse_chunk(payload)
@@ -360,7 +365,9 @@ class StegFsVolume:
             self.allocator.free(surplus)
         payloads = header.serialise(self.data_field_bytes)
         count = min(len(header.header_blocks), len(payloads))
-        self.write_payloads(header.header_blocks[:count], handle.header_key, payloads[:count], stream)
+        self.write_payloads(
+            header.header_blocks[:count], handle.header_key, payloads[:count], stream
+        )
         handle.dirty = False
 
     def read_block(self, handle: HiddenFile, logical_index: int, stream: str = "default") -> bytes:

@@ -162,7 +162,9 @@ class FileHeader:
         )
 
     @classmethod
-    def from_chunks(cls, path: str, chunks: list["HeaderChunk"], header_blocks: list[int]) -> "FileHeader":
+    def from_chunks(
+        cls, path: str, chunks: list["HeaderChunk"], header_blocks: list[int]
+    ) -> "FileHeader":
         """Rebuild a header from a parsed chain of chunks."""
         if not chunks:
             raise IntegrityError("empty header chain")

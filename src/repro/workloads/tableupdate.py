@@ -56,6 +56,15 @@ class SalaryTable:
                 rows.append((name, salary))
         return cls(rows=rows)
 
+    def row_bytes(self, name: str) -> bytes:
+        """The 64-byte on-file representation of one row.
+
+        Together with :meth:`row_offset` this is all a byte-granular
+        writer needs to push a single row update — no block math.
+        """
+        offset = self.row_offset(name)
+        return self.serialise()[offset : offset + ROW_SIZE]
+
     def row_offset(self, name: str) -> int:
         """Byte offset of the row for ``name``."""
         for index, (row_name, _) in enumerate(self.rows):

@@ -69,7 +69,10 @@ class TestCleanDisk:
         storage.reset_counters()
         fs.read_file(handle)
         # 100 blocks: one seek plus ~99 sequential transfers.
-        assert storage.clock_ms < 2 * storage.latency.random_access_ms + 100 * storage.latency.sequential_access_ms
+        assert (
+            storage.clock_ms
+            < 2 * storage.latency.random_access_ms + 100 * storage.latency.sequential_access_ms
+        )
 
 
 class TestFragDisk:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import build_nonvolatile_system, build_steghide_system
+from repro import HiddenVolumeService, build_nonvolatile_system, build_steghide_system
 from repro.attacks.observer import SnapshotObserver, TraceObserver
 from repro.attacks.traffic_analysis import TrafficAnalysisAttacker
 from repro.attacks.update_analysis import UpdateAnalysisAttacker
@@ -19,10 +19,9 @@ from repro.baselines.cleandisk import CleanDiskFileSystem
 from repro.core.nonvolatile import NonVolatileAgent
 from repro.core.oblivious.reader import ObliviousReader
 from repro.core.oblivious.store import ObliviousStore, ObliviousStoreConfig
-from repro.crypto.keys import FileAccessKey, KeyRing
+from repro.crypto.keys import FileAccessKey
 from repro.crypto.prng import Sha256Prng
 from repro.errors import FileNotFoundError_
-from repro.stegfs.dummy import create_dummy_file
 from repro.stegfs.filesystem import StegFsVolume
 from repro.storage.device import RawDevice, split_volume
 from repro.storage.trace import IoTrace
@@ -88,24 +87,24 @@ class TestUpdateAnalysisEndToEnd:
 
     def test_dummy_only_intervals_look_like_busy_intervals(self):
         """Idle periods with dummy updates are indistinguishable from busy periods."""
-        system = build_nonvolatile_system(volume_mib=4, seed=11)
-        fak = system.new_fak()
-        handle = system.agent.create_file(fak, "/f", b"d" * system.volume.data_field_bytes * 8)
-        observer = SnapshotObserver(system.storage)
+        service = HiddenVolumeService.create("nonvolatile", volume_mib=4, seed=11)
+        session = service.login(service.new_keyring("dba"))
+        session.create("/f", b"d" * service.volume.data_field_bytes * 8)
+        observer = SnapshotObserver(service.storage)
 
         busy_counts, idle_counts = [], []
         observer.observe()
         for interval in range(8):
             if interval % 2 == 0:
-                system.agent.update_block(handle, 0, b"real update")
-                system.agent.idle(3)
+                session.write("/f", b"real update", at=0)
+                service.idle(3)
             else:
-                system.agent.idle(4)
+                service.idle(4)
             observer.observe()
             diff = observer.diffs()[-1]
             (busy_counts if interval % 2 == 0 else idle_counts).append(diff.change_count)
 
-        attacker = UpdateAnalysisAttacker(num_blocks=system.storage.geometry.num_blocks)
+        attacker = UpdateAnalysisAttacker(num_blocks=service.storage.geometry.num_blocks)
         assert attacker.activity_correlation(busy_counts, idle_counts) < 0.2
 
 
@@ -172,53 +171,51 @@ class TestTrafficAnalysisEndToEnd:
 
 class TestPlausibleDeniability:
     def test_disclosed_dummy_view_cannot_open_real_file_content(self):
-        system = build_steghide_system(volume_mib=4, seed=21)
-        prng = system.prng
-        keyring = KeyRing(owner="alice")
-        fak = FileAccessKey.generate(prng.spawn("hidden"))
+        service = HiddenVolumeService.create("volatile", volume_mib=4, seed=21)
         secret_content = b"the real secret" * 100
-        handle = system.agent.create_file(fak, "/alice/secret", secret_content)
-        system.agent.close_file(handle)
-        keyring.add_hidden("/alice/secret", fak)
-        dummy_fak, _ = create_dummy_file(system.volume, "/alice/decoy", 8, prng.spawn("dummy"))
-        keyring.add_dummy("/alice/decoy", dummy_fak)
+        alice = service.login(service.new_keyring("alice"))
+        alice.create("/alice/secret", secret_content)
+        alice.create_decoy("/alice/decoy", size_bytes=len(secret_content))
+        keyring = alice.keyring
 
-        # Under coercion Alice reveals only the deniable view.
-        disclosed = keyring.deniable_view()
-        assert all(k.content_key is None for k in disclosed.values())
+        # Under coercion Alice reveals only the deniable view and walks away.
+        disclosed = alice.deniable_view()
+        assert all(k.content_key is None for k in disclosed.all_keys().values())
+        alice.logout()
 
-        # The coercer can open the files as dummies but never sees the plaintext.
-        coercer_volume = system.volume
-        opened = coercer_volume.open_file(
-            disclosed["/alice/secret"], "/alice/secret",
-            header_key=disclosed["/alice/secret"].header_key,
-            content_key=disclosed["/alice/secret"].header_key,
-        )
-        leaked = coercer_volume.read_file(opened)
+        # The coercer can log in and open the files as dummies but never
+        # sees the plaintext.
+        coercer = service.login(disclosed)
+        leaked = coercer.read("/alice/secret")
         assert secret_content not in leaked
+        coercer.logout()
 
-        # Alice herself can still recover everything with the true FAK.
-        real = coercer_volume.open_file(fak, "/alice/secret")
-        assert coercer_volume.read_file(real) == secret_content
+        # Alice herself can still recover everything with the true keys.
+        alice = service.login(keyring)
+        assert alice.read("/alice/secret") == secret_content
 
     def test_without_any_key_files_are_undiscoverable(self):
-        system = build_steghide_system(volume_mib=4, seed=22)
-        fak = system.new_fak()
-        system.agent.create_file(fak, "/alice/secret", b"hidden")
-        stranger_key = system.new_fak()
+        service = HiddenVolumeService.create("volatile", volume_mib=4, seed=22)
+        session = service.login(service.new_keyring("alice"))
+        session.create("/alice/secret", b"hidden")
+        stranger_key = FileAccessKey.generate(service.prng.spawn("stranger"))
         with pytest.raises(FileNotFoundError_):
-            system.volume.open_file(stranger_key, "/alice/secret")
+            service.volume.open_file(stranger_key, "/alice/secret")
 
 
-class TestPublicApiQuickstart:
+class TestDeprecatedBuilderShims:
+    """The pre-2.0 builders still work, but warn and route through the facade."""
+
     def test_build_steghide_system_flow(self):
-        system = build_steghide_system(volume_mib=4, seed=7)
+        with pytest.deprecated_call():
+            system = build_steghide_system(volume_mib=4, seed=7)
         fak = system.new_fak()
         handle = system.agent.create_file(fak, "/secret/report.txt", b"top secret")
         assert system.agent.read_file(handle) == b"top secret"
 
     def test_build_nonvolatile_system_flow(self):
-        system = build_nonvolatile_system(volume_mib=4, seed=8)
+        with pytest.deprecated_call():
+            system = build_nonvolatile_system(volume_mib=4, seed=8)
         fak = system.new_fak()
         handle = system.agent.create_file(fak, "/secret/report.txt", b"top secret")
         system.agent.update_block(handle, 0, b"revised secret")
