@@ -42,6 +42,7 @@ from repro.core.oblivious import (
 )
 from repro.core.volatile import VolatileAgent
 from repro.crypto import AES, CbcCipher, FastFieldCipher, FileAccessKey, KeyRing, Sha256Prng
+from repro.errors import HiddenFileExistsError, HiddenFileNotFoundError
 from repro.service import (
     ExperimentResult,
     FileStat,
@@ -58,8 +59,11 @@ from repro.service import (
 )
 from repro.stegfs import StegFsVolume, VolumeConfig, create_dummy_file
 from repro.storage import (
+    BlockBackend,
     DiskLatencyModel,
     IoTrace,
+    MemoryBackend,
+    MmapFileBackend,
     Partition,
     RawDevice,
     RawStorage,
@@ -111,6 +115,11 @@ __all__ = [
     "RawStorage",
     "RawDevice",
     "Partition",
+    "BlockBackend",
+    "MemoryBackend",
+    "MmapFileBackend",
+    "HiddenFileNotFoundError",
+    "HiddenFileExistsError",
     "StorageGeometry",
     "DiskLatencyModel",
     "ZeroLatencyModel",

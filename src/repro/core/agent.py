@@ -56,11 +56,25 @@ class UpdateResult:
 
 
 class StegAgent(ABC):
-    """Base class for the update-hiding agents (Constructions 1 and 2)."""
+    """Base class for the update-hiding agents (Constructions 1 and 2).
 
-    def __init__(self, volume: StegFsVolume, prng: Sha256Prng):
+    ``selection_prng``, when given, replaces the source of the agent's
+    *stochastic* stream (dummy/Figure-6 block draws) while ``prng``
+    keeps feeding any persistent key derivation a construction does.
+    A service reopening a durable volume uses this split: keys must
+    re-derive from the original seed, draws must not replay the
+    create-session's stream.
+    """
+
+    def __init__(
+        self,
+        volume: StegFsVolume,
+        prng: Sha256Prng,
+        selection_prng: Sha256Prng | None = None,
+    ):
         self.volume = volume
-        self._prng = prng.spawn("agent")
+        source = selection_prng if selection_prng is not None else prng
+        self._prng = source.spawn("agent")
         # physical block index -> (owning handle, role) for every block the
         # agent currently knows about; role is "data" or "header".
         self._block_owner: dict[int, tuple[HiddenFile, str]] = {}
@@ -178,6 +192,17 @@ class StegAgent(ABC):
         if handle.dirty:
             self.save_file(handle, stream)
         self._unregister_handle(handle)
+
+    def delete_file(self, handle: HiddenFile, stream: str = "default") -> None:
+        """Delete an open file: free its blocks and drop it from the selection space.
+
+        Deletion performs **no device I/O** — the freed blocks keep
+        their now-meaningless ciphertext, so an attacker comparing
+        snapshots cannot tell a deletion happened.  The handle is left
+        empty and must not be used afterwards.
+        """
+        self._unregister_handle(handle)
+        self.volume.delete_file(handle, stream)
 
     # -- the hiding primitives --------------------------------------------------------
 

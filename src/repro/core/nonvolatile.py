@@ -38,8 +38,9 @@ class NonVolatileAgent(StegAgent):
         volume: StegFsVolume,
         prng: Sha256Prng,
         master_key: bytes | None = None,
+        selection_prng: Sha256Prng | None = None,
     ):
-        super().__init__(volume, prng)
+        super().__init__(volume, prng, selection_prng)
         key_prng = prng.spawn("nonvolatile-keys")
         self.master_key = master_key if master_key is not None else key_prng.random_bytes(KEY_SIZE)
         # The single dummy file covering every dummy block.  Its FAK is a

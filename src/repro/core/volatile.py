@@ -80,8 +80,13 @@ class _Session:
 class VolatileAgent(StegAgent):
     """The volatile agent of Construction 2."""
 
-    def __init__(self, volume: StegFsVolume, prng: Sha256Prng):
-        super().__init__(volume, prng)
+    def __init__(
+        self,
+        volume: StegFsVolume,
+        prng: Sha256Prng,
+        selection_prng: Sha256Prng | None = None,
+    ):
+        super().__init__(volume, prng, selection_prng)
         self._sessions: dict[str, _Session] = {}
         self._selection = _IndexedSet()
         self._dummy_data_blocks = _IndexedSet()

@@ -14,6 +14,7 @@ FAK and lets the owner of the volume deny that any further files exist.
 from __future__ import annotations
 
 import hashlib
+import json
 from dataclasses import dataclass, field
 
 from repro.errors import InvalidKeyError
@@ -140,6 +141,26 @@ class FileAccessKey:
         digest = hashlib.sha256(self.secret + self.header_key).hexdigest()
         return digest[:12]
 
+    def to_dict(self) -> dict:
+        """Plain-dict form (hex-encoded keys) for key-ring serialisation."""
+        return {
+            "secret": self.secret.hex(),
+            "header_key": self.header_key.hex(),
+            "content_key": self.content_key.hex() if self.content_key is not None else None,
+            "is_dummy": self.is_dummy,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FileAccessKey":
+        """Rebuild a FAK from :meth:`to_dict` output."""
+        content_key = payload.get("content_key")
+        return cls(
+            secret=bytes.fromhex(payload["secret"]),
+            header_key=bytes.fromhex(payload["header_key"]),
+            content_key=bytes.fromhex(content_key) if content_key is not None else None,
+            is_dummy=bool(payload.get("is_dummy", False)),
+        )
+
 
 @dataclass
 class KeyRing:
@@ -164,6 +185,17 @@ class KeyRing:
         """Register the FAK of a dummy file."""
         self.dummy[path] = fak
 
+    def remove(self, path: str) -> FileAccessKey | None:
+        """Drop (and return) the FAK registered at ``path``, if any.
+
+        Without the FAK the file at that path can never be located
+        again — this is the key-side half of deleting a file.
+        """
+        fak = self.hidden.pop(path, None)
+        if fak is None:
+            fak = self.dummy.pop(path, None)
+        return fak
+
     def all_keys(self) -> dict[str, FileAccessKey]:
         """All FAKs (hidden and dummy) keyed by path."""
         merged = dict(self.dummy)
@@ -180,3 +212,33 @@ class KeyRing:
         for path, fak in self.hidden.items():
             view[path] = fak.as_disclosed_dummy()
         return view
+
+    # -- durable credentials ----------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialise the ring for safekeeping across service restarts.
+
+        The JSON contains every secret in the ring — it is the
+        credential that recovers the hidden files from a reopened
+        volume, so it must be stored *off* the volume (a hardware token,
+        an encrypted vault); anything written to the volume file itself
+        would break the deniability story.
+        """
+        return json.dumps(
+            {
+                "owner": self.owner,
+                "hidden": {path: fak.to_dict() for path, fak in self.hidden.items()},
+                "dummy": {path: fak.to_dict() for path, fak in self.dummy.items()},
+            }
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "KeyRing":
+        """Rebuild a ring serialised with :meth:`to_json`."""
+        decoded = json.loads(payload)
+        ring = cls(owner=decoded["owner"])
+        for path, fak in decoded.get("hidden", {}).items():
+            ring.hidden[path] = FileAccessKey.from_dict(fak)
+        for path, fak in decoded.get("dummy", {}).items():
+            ring.dummy[path] = FileAccessKey.from_dict(fak)
+        return ring

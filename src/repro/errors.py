@@ -7,6 +7,8 @@ still being able to distinguish the individual failure modes.
 
 from __future__ import annotations
 
+import warnings
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
@@ -44,6 +46,14 @@ class SnapshotMismatchError(StorageError):
     """Two snapshots being compared come from different volumes."""
 
 
+class BackendClosedError(StorageError):
+    """A block backend was accessed after :meth:`close`."""
+
+
+class VolumeFileError(StorageError):
+    """A file opened as a durable volume does not have a volume's shape."""
+
+
 class FileSystemError(ReproError):
     """Base class for errors in the file-system layers."""
 
@@ -52,11 +62,11 @@ class VolumeFullError(FileSystemError):
     """No free block could be allocated."""
 
 
-class FileNotFoundError_(FileSystemError):
+class HiddenFileNotFoundError(FileSystemError):
     """A hidden file could not be located from the supplied FAK/path."""
 
 
-class FileExistsError_(FileSystemError):
+class HiddenFileExistsError(FileSystemError):
     """A hidden file already exists at the target path."""
 
 
@@ -96,6 +106,10 @@ class ServiceError(ReproError):
     """Base class for errors raised by the service facade."""
 
 
+class ServiceClosedError(ServiceError):
+    """An operation was issued on a service after :meth:`close`."""
+
+
 class SessionClosedError(ServiceError):
     """An operation was issued on a session after it logged out."""
 
@@ -114,3 +128,27 @@ class WorkloadError(ReproError):
 
 class SimulationError(ReproError):
     """Base class for errors in the simulation engine."""
+
+
+# -- deprecated aliases -------------------------------------------------------------
+#
+# The trailing-underscore names predate the ``Hidden*`` spelling; they
+# resolve to the same classes (so existing ``except`` clauses keep
+# working) but warn on import/attribute access.
+
+_DEPRECATED_ALIASES = {
+    "FileNotFoundError_": HiddenFileNotFoundError,
+    "FileExistsError_": HiddenFileExistsError,
+}
+
+
+def __getattr__(name: str):
+    replacement = _DEPRECATED_ALIASES.get(name)
+    if replacement is not None:
+        warnings.warn(
+            f"repro.errors.{name} is deprecated; use repro.errors.{replacement.__name__}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return replacement
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -26,6 +26,7 @@ Quickstart::
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.core.agent import StegAgent, UpdateResult
@@ -37,12 +38,14 @@ from repro.crypto.keys import FileAccessKey, KeyRing
 from repro.crypto.prng import Sha256Prng
 from repro.errors import (
     ByteRangeError,
+    ServiceClosedError,
     ServiceError,
     SessionClosedError,
     SessionConflictError,
 )
 from repro.stegfs.file import HiddenFile
 from repro.stegfs.filesystem import StegFsVolume
+from repro.storage.backend import MmapFileBackend
 from repro.storage.device import RawDevice, split_volume
 from repro.storage.disk import MIB, RawStorage, StorageGeometry
 from repro.storage.latency import DiskLatencyModel
@@ -180,6 +183,22 @@ class Session:
         self._attach(path, handle)
         return self.stat(path)
 
+    def delete(self, path: str) -> None:
+        """Delete a file (real or decoy): free its blocks, drop its key.
+
+        Deletion routes to
+        :meth:`~repro.stegfs.filesystem.StegFsVolume.delete_file`: every
+        block returns to the dummy pool with its ciphertext intact, so
+        — exactly as the paper requires — deleting leaves **no device
+        I/O** and no on-disk trace distinguishable from dummy data.  The
+        path's FAK is removed from the session's key ring; without it
+        the file is unrecoverable.
+        """
+        handle = self._handle(path)
+        self._service.agent.delete_file(handle, self.stream)
+        del self._handles[path]
+        self.keyring.remove(path)
+
     def logout(self) -> None:
         """Save dirty headers, close every file and forget the keys.
 
@@ -192,6 +211,13 @@ class Session:
         self._handles.clear()
         self._closed = True
         self._service._forget_session(self)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if not self._closed:
+            self.logout()
 
     # -- byte-granular data path -----------------------------------------------------
 
@@ -354,6 +380,7 @@ class HiddenVolumeService:
         prng: Sha256Prng,
         oblivious_store: ObliviousStore | None = None,
         oblivious_reader: ObliviousReader | None = None,
+        fak_entropy: bytes | None = None,
     ):
         self.storage = storage
         self.volume = volume
@@ -361,9 +388,16 @@ class HiddenVolumeService:
         self.prng = prng
         self.oblivious_store = oblivious_store
         self.oblivious_reader = oblivious_reader
-        self._fak_prng = prng.spawn("service-faks")
+        # By default new-file FAKs derive deterministically from the
+        # service PRNG — reproducible, but it makes the create seed a
+        # master secret (anyone knowing seed+owner+path can re-derive
+        # the keys).  Deployments pass ``fak_entropy`` (e.g.
+        # ``os.urandom(32)``) to root key generation in real entropy.
+        fak_root = prng if fak_entropy is None else Sha256Prng(fak_entropy)
+        self._fak_prng = fak_root.spawn("service-faks")
         self._decoy_prng = prng.spawn("service-decoys")
         self._sessions: dict[str, Session] = {}
+        self._service_closed = False
 
     # -- construction ----------------------------------------------------------------
 
@@ -376,6 +410,8 @@ class HiddenVolumeService:
         block_size: int = 4096,
         latency: DiskLatencyModel | None = None,
         oblivious: ObliviousConfig | None = None,
+        path: str | os.PathLike | None = None,
+        fak_entropy: bytes | None = None,
     ) -> "HiddenVolumeService":
         """Build a ready-to-serve hidden volume.
 
@@ -386,6 +422,23 @@ class HiddenVolumeService:
         the legacy ``build_steghide_system`` helpers, so a service built
         here produces bit-identical device traces to the old hand-wired
         path.
+
+        With ``path`` the volume is formatted onto a durable
+        memory-mapped file instead of process memory: the file receives
+        the same random fill and thereafter every encrypted block, and
+        nothing else — no geometry, no bitmaps, no directory — so a
+        seized file is indistinguishable from random bytes.  Reopen it
+        later with :meth:`open` (same ``block_size`` and, for the
+        non-volatile construction, the same ``seed``).
+
+        **Treat the seed as a secret.**  Under the default derivation
+        the FAK of every file a session creates is a deterministic
+        function of ``(seed, owner, path)``, so anyone holding the seed
+        can re-derive the keys of guessable paths — and re-creating a
+        deleted path mints the same FAK again.  Pass ``fak_entropy``
+        (e.g. ``os.urandom(32)``, kept with the key rings) to root key
+        generation in real entropy instead; reproduce a session's keys
+        by passing the same entropy to :meth:`open`.
         """
         if construction not in CONSTRUCTIONS:
             raise ValueError(
@@ -393,8 +446,96 @@ class HiddenVolumeService:
             )
         prng = Sha256Prng(seed)
         geometry = StorageGeometry.from_capacity(volume_mib * MIB, block_size)
-        storage = RawStorage(geometry, latency=latency)
+        backend = None
+        if path is not None:
+            backend = MmapFileBackend.create(path, geometry.block_size, geometry.num_blocks)
+        storage = RawStorage(geometry, latency=latency, backend=backend)
         storage.fill_random(seed)
+        return cls._wire(storage, construction, prng, oblivious, fak_entropy=fak_entropy)
+
+    @classmethod
+    def open(
+        cls,
+        path: str | os.PathLike,
+        construction: str = "volatile",
+        seed: int = 0,
+        block_size: int = 4096,
+        latency: DiskLatencyModel | None = None,
+        oblivious: ObliviousConfig | None = None,
+        session_nonce: int | str = 0,
+        fak_entropy: bytes | None = None,
+    ) -> "HiddenVolumeService":
+        """Reopen a durable volume file in a fresh process.
+
+        The volume file carries no plaintext metadata, so everything
+        needed to serve it again is supplied by the owner: the
+        ``block_size`` it was formatted with (the block count is
+        inferred from the file size), the ``construction``, and — for
+        the non-volatile agent — the original ``seed``, from which the
+        agent's master key and dummy-file FAK re-derive.  Directory
+        state and the allocation bitmap are *reconstructed from the
+        on-disk headers* as users :meth:`login`: each key ring's FAKs
+        re-locate their header chains through the Section-4.1.2 probe
+        sequences, and every opened file re-registers its blocks with
+        the allocator.  A wrong key ring locates nothing.
+
+        Consequently, log every known key ring in **before** creating
+        new files: a fresh allocator cannot know about blocks whose keys
+        it has not yet seen, so creating files first may overwrite
+        hidden data of key rings not yet disclosed — the same trade-off
+        the paper's StegFS substrate makes.
+
+        ``session_nonce`` salts this serving session's IV, allocation
+        and dummy-selection streams so a reopened service does not
+        replay the create-session's draws (IV reuse); pass a value you
+        have not used before when serving the same volume repeatedly
+        (the nonce's type is part of the salt, so ``0`` and ``"0"``
+        are distinct).  ``fak_entropy`` has the same meaning as in
+        :meth:`create` and governs the keys of files created *in this
+        session* — pass fresh entropy unless you need to re-derive a
+        previous session's keys.
+        """
+        if construction not in CONSTRUCTIONS:
+            raise ValueError(
+                f"unknown construction {construction!r}; expected one of {CONSTRUCTIONS}"
+            )
+        backend = MmapFileBackend.open(path, block_size)
+        geometry = StorageGeometry(block_size=block_size, num_blocks=backend.num_blocks)
+        storage = RawStorage(geometry, latency=latency, backend=backend)
+        prng = Sha256Prng(seed)
+        # The salt embeds the nonce's type: int 0 and str "0" stringify
+        # identically but must not yield the same serving-session stream.
+        salt = f"reopen:{type(session_nonce).__name__}:{session_nonce}"
+        return cls._wire(
+            storage,
+            construction,
+            prng,
+            oblivious,
+            wiring_prng=prng.spawn(salt),
+            fak_entropy=fak_entropy,
+        )
+
+    @classmethod
+    def _wire(
+        cls,
+        storage: RawStorage,
+        construction: str,
+        prng: Sha256Prng,
+        oblivious: ObliviousConfig | None,
+        wiring_prng: Sha256Prng | None = None,
+        fak_entropy: bytes | None = None,
+    ) -> "HiddenVolumeService":
+        """Assemble volume, agent and oblivious path over prepared storage.
+
+        ``wiring_prng`` (reopen only) feeds the streams that must *not*
+        replay the create-session's draws — IVs, allocation, dummy
+        selection — while the construction keys (the non-volatile
+        master key) keep deriving from the root ``prng`` so that a
+        reopened agent can decrypt what the original wrote.
+        """
+        fresh = wiring_prng is None
+        wiring = prng if fresh else wiring_prng
+        geometry = storage.geometry
 
         store = reader = None
         if oblivious is not None:
@@ -410,12 +551,16 @@ class HiddenVolumeService:
         else:
             device = RawDevice(storage)
 
-        volume = StegFsVolume(device, prng.spawn("volume"))
+        volume = StegFsVolume(device, wiring.spawn("volume"))
+        # On reopen the construction keys (the non-volatile master key)
+        # must re-derive from the original seed, but the selection
+        # stream must be fresh per serving session.
+        selection = None if fresh else wiring.spawn("agent")
         agent: StegAgent
         if construction == "volatile":
-            agent = VolatileAgent(volume, prng.spawn("agent"))
+            agent = VolatileAgent(volume, prng.spawn("agent"), selection_prng=selection)
         else:
-            agent = NonVolatileAgent(volume, prng.spawn("agent"))
+            agent = NonVolatileAgent(volume, prng.spawn("agent"), selection_prng=selection)
 
         if oblivious is not None:
             store = ObliviousStore(
@@ -424,10 +569,10 @@ class HiddenVolumeService:
                     buffer_blocks=oblivious.buffer_blocks,
                     last_level_blocks=oblivious.last_level_blocks,
                 ),
-                prng.spawn("store"),
+                wiring.spawn("store"),
             )
-            reader = ObliviousReader(volume, store, prng.spawn("reader"))
-        return cls(storage, volume, agent, prng, store, reader)
+            reader = ObliviousReader(volume, store, wiring.spawn("reader"))
+        return cls(storage, volume, agent, prng, store, reader, fak_entropy=fak_entropy)
 
     # -- key management --------------------------------------------------------------
 
@@ -457,8 +602,12 @@ class HiddenVolumeService:
 
         Opening the files is what teaches the agent which physical
         blocks it may touch; for the volatile agent every login widens
-        the dummy-selection space and every logout shrinks it.
+        the dummy-selection space and every logout shrinks it.  On a
+        reopened durable volume this is also what reconstructs the
+        allocation bitmap: every file located through the ring's FAKs
+        re-registers its blocks.
         """
+        self._check_service_open()
         if keyring.owner in self._sessions:
             raise SessionConflictError(f"user {keyring.owner!r} is already logged in")
         session = Session(self, keyring, stream)
@@ -486,6 +635,51 @@ class HiddenVolumeService:
         this between request bursts (Section 4.1.3).
         """
         self.agent.idle(num_dummy_updates)
+
+    # -- durability lifecycle ----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has shut this service down."""
+        return self._service_closed
+
+    def _check_service_open(self) -> None:
+        if self._service_closed:
+            raise ServiceClosedError("this HiddenVolumeService has been closed")
+
+    def flush(self) -> None:
+        """Persist all state: save dirty headers, push bytes to the backend.
+
+        After a flush the volume file (for a file-backed service) holds
+        everything needed to :meth:`open` it again — the process can die
+        without losing hidden files, even while sessions stay logged in.
+        """
+        self._check_service_open()
+        for session in self._sessions.values():
+            for handle in session._handles.values():
+                if handle.dirty:
+                    self.agent.save_file(handle, session.stream)
+        self.storage.flush()
+
+    def close(self) -> None:
+        """Log every session out (saving dirty headers) and close the backend.
+
+        Idempotent.  After close the service accepts no logins and the
+        storage raises on block access; counters and the recorded trace
+        stay readable for analysis.
+        """
+        if self._service_closed:
+            return
+        for user in list(self._sessions):
+            self._sessions[user].logout()
+        self.storage.close()
+        self._service_closed = True
+
+    def __enter__(self) -> "HiddenVolumeService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- oblivious read path ---------------------------------------------------------
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.crypto.keys import KEY_SIZE, FileAccessKey
-from repro.errors import FileNotFoundError_
+from repro.errors import HiddenFileNotFoundError
 from repro.stegfs.file import HiddenFile
 from repro.stegfs.filesystem import StegFsVolume
 
@@ -100,7 +100,7 @@ def serialise_directory(entries: list[DirectoryEntry]) -> bytes:
 def deserialise_directory(content: bytes) -> list[DirectoryEntry]:
     """Unpack a directory's hidden-file content."""
     if content[:4] != _MAGIC:
-        raise FileNotFoundError_("content is not a hidden directory")
+        raise HiddenFileNotFoundError("content is not a hidden directory")
     count = int.from_bytes(content[4:8], "big")
     entries = []
     offset = 8
@@ -158,7 +158,7 @@ class HiddenDirectory:
     def entry(self, name: str) -> DirectoryEntry:
         """The entry for ``name``."""
         if name not in self._entries:
-            raise FileNotFoundError_(f"{name!r} is not in directory {self.path!r}")
+            raise HiddenFileNotFoundError(f"{name!r} is not in directory {self.path!r}")
         return self._entries[name]
 
     def __contains__(self, name: str) -> bool:
@@ -186,7 +186,7 @@ class HiddenDirectory:
     def remove(self, name: str) -> None:
         """Forget a child (the child's own blocks are untouched)."""
         if name not in self._entries:
-            raise FileNotFoundError_(f"{name!r} is not in directory {self.path!r}")
+            raise HiddenFileNotFoundError(f"{name!r} is not in directory {self.path!r}")
         del self._entries[name]
         self._rewrite()
 
@@ -196,21 +196,21 @@ class HiddenDirectory:
         """Open a child directory recorded in this one."""
         entry = self.entry(name)
         if not entry.is_directory:
-            raise FileNotFoundError_(f"{name!r} is a file, not a directory")
+            raise HiddenFileNotFoundError(f"{name!r} is a file, not a directory")
         return HiddenDirectory.open(self.volume, entry.fak, entry.path)
 
     def open_file(self, name: str) -> HiddenFile:
         """Open a child file recorded in this directory."""
         entry = self.entry(name)
         if entry.is_directory:
-            raise FileNotFoundError_(f"{name!r} is a directory, not a file")
+            raise HiddenFileNotFoundError(f"{name!r} is a directory, not a file")
         return self.volume.open_file(entry.fak, entry.path)
 
     def resolve(self, relative_path: str) -> DirectoryEntry:
         """Resolve a multi-component path like ``"projects/2004/budget"``."""
         parts = [part for part in relative_path.split("/") if part]
         if not parts:
-            raise FileNotFoundError_("empty path")
+            raise HiddenFileNotFoundError("empty path")
         current = self
         for part in parts[:-1]:
             current = current.open_subdirectory(part)

@@ -25,7 +25,7 @@ from repro.crypto.cipher import FastFieldCipher, FieldCipher
 from repro.crypto.keys import FileAccessKey
 from repro.crypto.prng import Sha256Prng
 from repro.errors import (
-    FileNotFoundError_,
+    HiddenFileNotFoundError,
     IntegrityError,
     VolumeFullError,
 )
@@ -246,7 +246,7 @@ class StegFsVolume:
             if chunk.path_digest != expected_digest:
                 continue
             return candidate, chunk
-        raise FileNotFoundError_(f"no header found for {path!r} with the supplied key")
+        raise HiddenFileNotFoundError(f"no header found for {path!r} with the supplied key")
 
     # -- file operations ------------------------------------------------------------------
 

@@ -12,12 +12,18 @@ subpackage provides a simulated block device:
   advantage on sequential workloads.
 * :class:`~repro.storage.disk.RawStorage` — the block device itself,
   with I/O accounting and pluggable latency.
+* :class:`~repro.storage.backend.BlockBackend` — pluggable owner of the
+  volume's bytes: :class:`~repro.storage.backend.MemoryBackend`
+  (default, volatile) or
+  :class:`~repro.storage.backend.MmapFileBackend` (a durable
+  memory-mapped volume file — the literal "seized disk").
 * :class:`~repro.storage.snapshot.Snapshot` — what the update-analysis
   attacker sees (a full copy of the raw bytes), plus diffing.
 * :class:`~repro.storage.trace.IoTrace` — what the traffic-analysis
   attacker sees (the sequence of I/O requests between agent and storage).
 """
 
+from repro.storage.backend import BlockBackend, MemoryBackend, MmapFileBackend
 from repro.storage.bitmap import Bitmap
 from repro.storage.block import BLOCK_IV_SIZE, StoredBlock, data_field_size
 from repro.storage.device import BlockDevice, Partition, RawDevice, split_volume
@@ -28,6 +34,9 @@ from repro.storage.trace import OP_READ, OP_WRITE, IoEvent, IoTrace
 
 __all__ = [
     "Bitmap",
+    "BlockBackend",
+    "MemoryBackend",
+    "MmapFileBackend",
     "BLOCK_IV_SIZE",
     "StoredBlock",
     "data_field_size",

@@ -1,0 +1,277 @@
+"""Pluggable block backends: who owns the volume's bytes.
+
+:class:`~repro.storage.disk.RawStorage` is split into two halves.  The
+*accounting* half (latency model, I/O counters, columnar trace) stays in
+``RawStorage``; the *bytes* live behind the :class:`BlockBackend`
+protocol defined here, with two implementations:
+
+* :class:`MemoryBackend` — the historical behaviour: a numpy-viewed
+  ``bytearray`` that dies with the process.  This is the default and is
+  bit-identical to the pre-split ``RawStorage`` (same data movement,
+  same ``fill_random`` stream).
+* :class:`MmapFileBackend` — a single flat file of
+  ``num_blocks * block_size`` bytes, memory-mapped.  This makes the
+  paper's threat model literal: the volume file *is* the seized disk
+  (nothing but encrypted blocks and random bytes is ever written to it),
+  and it survives process restarts so an owner can come back later and
+  recover the hidden files from a keyring
+  (:meth:`repro.service.HiddenVolumeService.open`).
+
+The backend is deliberately dumb: no latency, no counters, no trace.
+Every accounted access still goes through ``RawStorage``; the backend
+only moves bytes.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.errors import BackendClosedError, VolumeFileError
+
+if TYPE_CHECKING:
+    from repro.storage.disk import StorageGeometry
+
+
+@runtime_checkable
+class BlockBackend(Protocol):
+    """Minimal byte-owner interface ``RawStorage`` accounts on top of.
+
+    Implementations hold exactly ``num_blocks * block_size`` bytes and
+    move them without charging latency or recording traces — that is the
+    storage layer's job.  ``read_many``/``write_many`` must be
+    observationally identical to loops of ``read``/``write`` (last
+    writer wins on duplicate indices).
+    """
+
+    @property
+    def block_size(self) -> int:
+        """Bytes per block."""
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of addressable blocks."""
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+
+    def read(self, index: int) -> bytes:
+        """Raw bytes of one block."""
+
+    def write(self, index: int, data: bytes) -> None:
+        """Overwrite one block."""
+
+    def read_many(self, indices: np.ndarray) -> list[bytes]:
+        """Raw bytes of many blocks, in order."""
+
+    def write_many(self, indices: np.ndarray, datas: Sequence[bytes]) -> None:
+        """Overwrite many blocks (duplicate indices: last writer wins)."""
+
+    def fill_random(self, seed: int = 0) -> None:
+        """Fill the whole volume with pseudo-random bytes (formatting)."""
+
+    def raw_bytes(self) -> bytes:
+        """An independent copy of the whole volume."""
+
+    def flush(self) -> None:
+        """Push pending bytes to durable storage (no-op for memory)."""
+
+    def close(self) -> None:
+        """Release the bytes; every later access raises ``BackendClosedError``."""
+
+
+class _ArrayBackend:
+    """Shared numpy data movement for backends exposing a (blocks, bytes) view.
+
+    Subclasses set ``self._view`` to a writable ``(num_blocks,
+    block_size)`` uint8 array; the movement code here is lifted verbatim
+    from the pre-split ``RawStorage`` so the bytes produced (including
+    the ``fill_random`` stream) are bit-identical.
+    """
+
+    _view: np.ndarray | None
+
+    def __init__(self, block_size: int, num_blocks: int):
+        if block_size <= 0 or num_blocks <= 0:
+            raise ValueError("block_size and num_blocks must be positive")
+        self._block_size = block_size
+        self._num_blocks = num_blocks
+        self._view = None
+
+    @property
+    def block_size(self) -> int:
+        return self._block_size
+
+    @property
+    def num_blocks(self) -> int:
+        return self._num_blocks
+
+    @property
+    def closed(self) -> bool:
+        return self._view is None
+
+    def _blocks(self) -> np.ndarray:
+        if self._view is None:
+            raise BackendClosedError(f"{type(self).__name__} is closed")
+        return self._view
+
+    def read(self, index: int) -> bytes:
+        return self._blocks()[index].tobytes()
+
+    def write(self, index: int, data: bytes) -> None:
+        self._blocks()[index] = np.frombuffer(data, dtype=np.uint8)
+
+    def read_many(self, indices: np.ndarray) -> list[bytes]:
+        block_size = self._block_size
+        flat = self._blocks()[indices].tobytes()
+        return [flat[i * block_size : (i + 1) * block_size] for i in range(indices.size)]
+
+    def write_many(self, indices: np.ndarray, datas: Sequence[bytes]) -> None:
+        view = self._blocks()
+        rows = np.frombuffer(b"".join(datas), dtype=np.uint8).reshape(
+            indices.size, self._block_size
+        )
+        if np.unique(indices).size == indices.size:
+            view[indices] = rows
+        else:
+            # Duplicate targets: apply in order so the last writer wins,
+            # exactly as the single-block loop would.
+            for row, index in enumerate(indices.tolist()):
+                view[index] = rows[row]
+
+    def fill_random(self, seed: int = 0) -> None:
+        rng = np.random.default_rng(seed)
+        flat = self._blocks().reshape(-1)
+        flat[:] = rng.integers(0, 256, size=flat.size, dtype=np.uint8)
+
+    def raw_bytes(self) -> bytes:
+        return self._blocks().tobytes()
+
+    def flush(self) -> None:
+        self._blocks()
+
+    def close(self) -> None:
+        self._view = None
+
+
+class MemoryBackend(_ArrayBackend):
+    """The historical in-memory volume: fast, volatile, default."""
+
+    def __init__(self, block_size: int, num_blocks: int):
+        super().__init__(block_size, num_blocks)
+        self._view = np.zeros((num_blocks, block_size), dtype=np.uint8)
+
+    @classmethod
+    def for_geometry(cls, geometry: "StorageGeometry") -> "MemoryBackend":
+        """Build a backend matching a :class:`~repro.storage.disk.StorageGeometry`."""
+        return cls(geometry.block_size, geometry.num_blocks)
+
+
+class MmapFileBackend(_ArrayBackend):
+    """A durable volume: one flat memory-mapped file of raw blocks.
+
+    The file contains *only* the ``num_blocks * block_size`` block bytes
+    — no magic, no superblock, no allocation table.  Geometry, the
+    service seed and the users' key rings are credentials the owner
+    keeps elsewhere; an adversary seizing the file sees nothing but
+    random-looking bytes (``tests/test_seized_disk.py`` pins this).
+
+    Use :meth:`create` to format a new volume file and :meth:`open` to
+    map an existing one; :meth:`flush` forces the dirty pages out and
+    :meth:`close` unmaps (flushing first).
+    """
+
+    def __init__(self, path: str | os.PathLike, block_size: int, num_blocks: int, *, _fd: int):
+        super().__init__(block_size, num_blocks)
+        self._path = os.fspath(path)
+        try:
+            self._file = os.fdopen(_fd, "r+b")
+        except BaseException:
+            os.close(_fd)
+            raise
+        try:
+            self._mmap = mmap.mmap(self._file.fileno(), block_size * num_blocks)
+        except BaseException:
+            self._file.close()
+            raise
+        self._view = np.frombuffer(self._mmap, dtype=np.uint8).reshape(num_blocks, block_size)
+
+    @property
+    def path(self) -> str:
+        """Filesystem location of the volume file."""
+        return self._path
+
+    @classmethod
+    def create(
+        cls, path: str | os.PathLike, block_size: int, num_blocks: int
+    ) -> "MmapFileBackend":
+        """Format a new volume file of exactly ``num_blocks * block_size`` bytes.
+
+        Refuses to clobber an existing file (``FileExistsError``): a
+        volume file is indistinguishable from random bytes, so silently
+        truncating one would destroy hidden data without any way to
+        notice.  The fresh file is zero-filled; formatting it to random
+        bytes is the caller's job (``RawStorage.fill_random``, which the
+        service's create path always performs).
+        """
+        if block_size <= 0 or num_blocks <= 0:
+            raise ValueError("block_size and num_blocks must be positive")
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_RDWR, 0o600)
+        try:
+            os.ftruncate(fd, block_size * num_blocks)
+        except BaseException:
+            os.close(fd)
+            os.unlink(path)
+            raise
+        try:
+            # The constructor owns (and on failure closes) the fd from
+            # here on; a half-formatted file must not survive, or a
+            # retry would hit the clobber guard above for a file that
+            # holds no volume.
+            return cls(path, block_size, num_blocks, _fd=fd)
+        except BaseException:
+            os.unlink(path)
+            raise
+
+    @classmethod
+    def open(cls, path: str | os.PathLike, block_size: int = 4096) -> "MmapFileBackend":
+        """Map an existing volume file, inferring the block count from its size.
+
+        The file carries no metadata, so the block size is part of the
+        owner's credentials; a file whose size is not a positive
+        multiple of ``block_size`` cannot be a volume formatted with it
+        (:class:`~repro.errors.VolumeFileError`).
+        """
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        fd = os.open(path, os.O_RDWR)
+        try:
+            size = os.fstat(fd).st_size
+            if size == 0 or size % block_size != 0:
+                raise VolumeFileError(
+                    f"{os.fspath(path)!r} is {size} bytes, not a positive multiple "
+                    f"of the {block_size}-byte block size"
+                )
+        except BaseException:
+            os.close(fd)
+            raise
+        return cls(path, block_size, size // block_size, _fd=fd)
+
+    def flush(self) -> None:
+        if self._view is None:
+            raise BackendClosedError("MmapFileBackend is closed")
+        self._mmap.flush()
+
+    def close(self) -> None:
+        if self._view is None:
+            return
+        self._mmap.flush()
+        # The numpy view exports the mmap's buffer; drop it first or
+        # mmap.close() raises BufferError.
+        self._view = None
+        self._mmap.close()
+        self._file.close()

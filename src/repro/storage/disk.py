@@ -1,11 +1,15 @@
 """The simulated raw block device.
 
 This is the substitute for the paper's physical disk (Table 1).  It
-stores raw block bytes in memory, charges access latency through a
-pluggable :class:`~repro.storage.latency.DiskLatencyModel`, counts I/O
-operations, and records every request into an
+charges access latency through a pluggable
+:class:`~repro.storage.latency.DiskLatencyModel`, counts I/O operations,
+and records every request into an
 :class:`~repro.storage.trace.IoTrace` so that attackers can observe the
-same things they could observe against the real system.
+same things they could observe against the real system.  The block bytes
+themselves live behind a pluggable
+:class:`~repro.storage.backend.BlockBackend`: in memory by default, or a
+durable memory-mapped volume file
+(:class:`~repro.storage.backend.MmapFileBackend`).
 """
 
 from __future__ import annotations
@@ -15,7 +19,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.errors import BlockOutOfRangeError, BlockSizeMismatchError
+from repro.errors import BlockOutOfRangeError, BlockSizeMismatchError, VolumeFileError
+from repro.storage.backend import BlockBackend, MemoryBackend
 from repro.storage.latency import DiskLatencyModel
 from repro.storage.trace import OP_READ, OP_WRITE, IoTrace
 
@@ -115,6 +120,10 @@ class RawStorage:
     trace:
         Optional trace to record requests into; a fresh one is created
         when omitted.
+    backend:
+        Block backend owning the bytes; defaults to a fresh
+        :class:`~repro.storage.backend.MemoryBackend` (the historical,
+        volatile behaviour).  Must match ``geometry``.
     """
 
     def __init__(
@@ -122,18 +131,25 @@ class RawStorage:
         geometry: StorageGeometry,
         latency: DiskLatencyModel | None = None,
         trace: IoTrace | None = None,
+        backend: BlockBackend | None = None,
     ):
         self.geometry = geometry
         self.latency = latency if latency is not None else DiskLatencyModel()
         self.trace = trace if trace is not None else IoTrace()
         self.counters = IoCounters()
         self.clock_ms = 0.0
-        self._data = bytearray(geometry.capacity_bytes)
-        # (num_blocks, block_size) uint8 view over the same buffer; the
-        # batched operations move data through it in single numpy calls.
-        self._blocks_view = np.frombuffer(self._data, dtype=np.uint8).reshape(
-            geometry.num_blocks, geometry.block_size
-        )
+        if backend is None:
+            backend = MemoryBackend(geometry.block_size, geometry.num_blocks)
+        elif (
+            backend.block_size != geometry.block_size
+            or backend.num_blocks != geometry.num_blocks
+        ):
+            raise VolumeFileError(
+                f"backend of {backend.num_blocks} x {backend.block_size}-byte blocks "
+                f"does not match geometry of {geometry.num_blocks} x "
+                f"{geometry.block_size}-byte blocks"
+            )
+        self.backend = backend
         # The disk has a single head: sequentiality is judged against the
         # last accessed block regardless of which request stream touched it.
         # This is what makes interleaved multi-user workloads lose the
@@ -150,8 +166,7 @@ class RawStorage:
         data blocks are indistinguishable.  A numpy generator is used
         because the volume can be hundreds of megabytes.
         """
-        rng = np.random.default_rng(seed)
-        self._data[:] = rng.integers(0, 256, size=len(self._data), dtype=np.uint8).tobytes()
+        self.backend.fill_random(seed)
 
     # -- block access ----------------------------------------------------------
 
@@ -174,8 +189,7 @@ class RawStorage:
         self.counters.reads += 1
         self.counters.read_time_ms += cost
         self.trace.record("read", index, self.clock_ms, stream)
-        offset = index * self.geometry.block_size
-        return bytes(self._data[offset : offset + self.geometry.block_size])
+        return self.backend.read(index)
 
     def write_block(self, index: int, data: bytes, stream: str = "default") -> None:
         """Write one block, charging latency and recording the request."""
@@ -188,8 +202,7 @@ class RawStorage:
         self.counters.writes += 1
         self.counters.write_time_ms += cost
         self.trace.record("write", index, self.clock_ms, stream)
-        offset = index * self.geometry.block_size
-        self._data[offset : offset + self.geometry.block_size] = data
+        self.backend.write(index, data)
 
     # -- batched block access ---------------------------------------------------
     #
@@ -233,23 +246,6 @@ class RawStorage:
         self._head_position = int(indices[-1])
         return costs, times
 
-    def _gather(self, indices: np.ndarray) -> list[bytes]:
-        block_size = self.geometry.block_size
-        flat = self._blocks_view[indices].tobytes()
-        return [flat[i * block_size : (i + 1) * block_size] for i in range(indices.size)]
-
-    def _scatter(self, indices: np.ndarray, datas: Sequence[bytes]) -> None:
-        rows = np.frombuffer(b"".join(datas), dtype=np.uint8).reshape(
-            indices.size, self.geometry.block_size
-        )
-        if np.unique(indices).size == indices.size:
-            self._blocks_view[indices] = rows
-        else:
-            # Duplicate targets: apply in order so the last writer wins,
-            # exactly as the single-block loop would.
-            for row, index in enumerate(indices.tolist()):
-                self._blocks_view[index] = rows[row]
-
     def read_blocks(self, indices: Iterable[int], stream: str = "default") -> list[bytes]:
         """Read many blocks in one call; equivalent to a loop of :meth:`read_block`."""
         indices = _index_array(indices)
@@ -260,7 +256,7 @@ class RawStorage:
         self.counters.reads += indices.size
         self.counters.read_time_ms = _sequential_sum(self.counters.read_time_ms, costs)
         self.trace.record_many("read", indices, times, stream)
-        return self._gather(indices)
+        return self.backend.read_many(indices)
 
     def write_blocks(
         self, indices: Iterable[int], datas: Sequence[bytes], stream: str = "default"
@@ -275,7 +271,7 @@ class RawStorage:
         self.counters.writes += indices.size
         self.counters.write_time_ms = _sequential_sum(self.counters.write_time_ms, costs)
         self.trace.record_many("write", indices, times, stream)
-        self._scatter(indices, datas)
+        self.backend.write_many(indices, datas)
 
     def read_write_blocks(
         self,
@@ -314,7 +310,7 @@ class RawStorage:
         op_codes = np.tile(np.array([OP_READ, OP_WRITE], dtype=np.uint8), indices.size)
         self.trace.record_many(op_codes, accesses, times, stream)
         if datas is not None:
-            self._scatter(indices, datas)
+            self.backend.write_many(indices, datas)
 
     def peek_block(self, index: int) -> bytes:
         """Read block bytes *without* charging latency or recording a request.
@@ -324,12 +320,38 @@ class RawStorage:
         file-system code paths must use :meth:`read_block`.
         """
         self._check_index(index)
-        offset = index * self.geometry.block_size
-        return bytes(self._data[offset : offset + self.geometry.block_size])
+        return self.backend.read(index)
 
     def raw_bytes(self) -> bytes:
         """A copy of the whole volume (used by snapshots)."""
-        return bytes(self._data)
+        return self.backend.raw_bytes()
+
+    # -- durability --------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether the backend has been closed."""
+        return self.backend.closed
+
+    def flush(self) -> None:
+        """Push pending bytes to durable storage (a no-op for memory backends)."""
+        self.backend.flush()
+
+    def close(self) -> None:
+        """Close the backend; later block access raises ``BackendClosedError``.
+
+        Closing is idempotent.  The accounting half (counters, clock,
+        trace) stays readable — an experiment can analyse its trace
+        after the volume is closed.
+        """
+        if not self.backend.closed:
+            self.backend.close()
+
+    def __enter__(self) -> "RawStorage":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- bookkeeping ------------------------------------------------------------
 

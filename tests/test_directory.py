@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.crypto.keys import FileAccessKey
-from repro.errors import FileNotFoundError_
+from repro.errors import HiddenFileNotFoundError
 from repro.stegfs.directory import (
     DirectoryEntry,
     HiddenDirectory,
@@ -37,7 +37,7 @@ class TestDirectorySerialisation:
         assert deserialise_directory(serialise_directory([])) == []
 
     def test_garbage_rejected(self):
-        with pytest.raises(FileNotFoundError_):
+        with pytest.raises(HiddenFileNotFoundError):
             deserialise_directory(b"not a directory at all")
 
 
@@ -78,7 +78,7 @@ class TestHiddenDirectory:
         root.add_file("tmp", fak, "/root/tmp")
         root.remove("tmp")
         assert len(root) == 0
-        with pytest.raises(FileNotFoundError_):
+        with pytest.raises(HiddenFileNotFoundError):
             root.remove("tmp")
 
     def test_missing_entry_and_wrong_kind(self, volume, prng):
@@ -86,14 +86,14 @@ class TestHiddenDirectory:
         fak = FileAccessKey.generate(prng.spawn("f"))
         volume.create_file(fak, "/root/file", b"x")
         root.add_file("file", fak, "/root/file")
-        with pytest.raises(FileNotFoundError_):
+        with pytest.raises(HiddenFileNotFoundError):
             root.entry("missing")
-        with pytest.raises(FileNotFoundError_):
+        with pytest.raises(HiddenFileNotFoundError):
             root.open_subdirectory("file")
-        with pytest.raises(FileNotFoundError_):
+        with pytest.raises(HiddenFileNotFoundError):
             root.resolve("")
 
     def test_directory_is_undiscoverable_without_key(self, volume, prng):
         HiddenDirectory.create(volume, FileAccessKey.generate(prng.spawn("r")), "/root")
-        with pytest.raises(FileNotFoundError_):
+        with pytest.raises(HiddenFileNotFoundError):
             HiddenDirectory.open(volume, FileAccessKey.generate(prng.spawn("other")), "/root")

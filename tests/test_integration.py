@@ -21,7 +21,7 @@ from repro.core.oblivious.reader import ObliviousReader
 from repro.core.oblivious.store import ObliviousStore, ObliviousStoreConfig
 from repro.crypto.keys import FileAccessKey
 from repro.crypto.prng import Sha256Prng
-from repro.errors import FileNotFoundError_
+from repro.errors import HiddenFileNotFoundError
 from repro.stegfs.filesystem import StegFsVolume
 from repro.storage.device import RawDevice, split_volume
 from repro.storage.trace import IoTrace
@@ -199,7 +199,7 @@ class TestPlausibleDeniability:
         session = service.login(service.new_keyring("alice"))
         session.create("/alice/secret", b"hidden")
         stranger_key = FileAccessKey.generate(service.prng.spawn("stranger"))
-        with pytest.raises(FileNotFoundError_):
+        with pytest.raises(HiddenFileNotFoundError):
             service.volume.open_file(stranger_key, "/alice/secret")
 
 

@@ -23,6 +23,7 @@ REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 EXPECTED_TOP_LEVEL = [
     "AES",
+    "BlockBackend",
     "CbcCipher",
     "DiskLatencyModel",
     "ExperimentResult",
@@ -30,9 +31,13 @@ EXPECTED_TOP_LEVEL = [
     "FileAccessKey",
     "FileSpec",
     "FileStat",
+    "HiddenFileExistsError",
+    "HiddenFileNotFoundError",
     "HiddenVolumeService",
     "IoTrace",
     "KeyRing",
+    "MemoryBackend",
+    "MmapFileBackend",
     "NonVolatileAgent",
     "ObliviousConfig",
     "ObliviousCostModel",
@@ -123,11 +128,38 @@ class TestDeprecatedShims:
             assert legacy.storage.read_block(index) == service.storage.read_block(index)
 
 
+class TestDeprecatedErrorAliases:
+    def test_old_names_warn_and_resolve_to_new_classes(self):
+        import repro.errors
+
+        with pytest.deprecated_call():
+            alias = repro.errors.FileNotFoundError_
+        assert alias is repro.errors.HiddenFileNotFoundError
+        with pytest.deprecated_call():
+            alias = repro.errors.FileExistsError_
+        assert alias is repro.errors.HiddenFileExistsError
+
+    def test_old_names_still_catch_new_raises(self):
+        import repro.errors
+
+        with pytest.deprecated_call():
+            legacy = repro.errors.FileNotFoundError_
+        with pytest.raises(legacy):
+            raise repro.errors.HiddenFileNotFoundError("same class, old name")
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.errors
+
+        with pytest.raises(AttributeError):
+            repro.errors.NoSuchError  # noqa: B018
+
+
 # The examples and the Figure-10/11 benchmarks must speak the public
 # session/scenario API only.
 BANNED_TOKENS = ("_faks", "data_field_bytes", "FileAccessKey")
 CLEAN_FILES = [
     "examples/quickstart.py",
+    "examples/durable_volume.py",
     "examples/multiuser_agent.py",
     "examples/oblivious_reads.py",
     "examples/salary_database.py",

@@ -113,6 +113,67 @@ class TestSessionLifecycle:
         assert service.disclosed_block_count() == 0
 
 
+class TestDelete:
+    def test_delete_frees_bitmap_blocks_without_device_io(self):
+        service = make_service()
+        session = enrolled_session(service)
+        stat = session.stat("/alice/secret")
+        allocator = service.volume.allocator
+        occupied = allocator.used_blocks
+        trace_before = len(service.storage.trace)
+        counters_before = service.storage.counters.snapshot()
+
+        session.delete("/alice/secret")
+
+        # Freed: every data block plus the header chain (>= 1 block).
+        freed = occupied - allocator.used_blocks
+        assert freed >= stat.num_blocks + 1
+        # The paper's guarantee: deletion is invisible on the device —
+        # zero I/O events, zero counter movement.
+        assert len(service.storage.trace) == trace_before
+        assert service.storage.counters.delta(counters_before).total_ops == 0
+
+    def test_delete_removes_path_and_key(self):
+        service = make_service()
+        session = enrolled_session(service)
+        session.delete("/alice/secret")
+        assert session.paths == ["/alice/decoy"]
+        assert "/alice/secret" not in session.keyring.all_keys()
+        with pytest.raises(ServiceError):
+            session.read("/alice/secret")
+        # The ring no longer locates the file after a fresh login either.
+        keyring = session.keyring
+        session.logout()
+        again = service.login(keyring)
+        assert again.paths == ["/alice/decoy"]
+
+    def test_delete_decoy_shrinks_dummy_selection_space(self):
+        service = make_service()
+        session = enrolled_session(service)
+        dummies_before = service.disclosed_dummy_block_count()
+        assert dummies_before > 0
+        session.delete("/alice/decoy")
+        assert service.disclosed_dummy_block_count() < dummies_before
+        assert "/alice/decoy" not in session.keyring.all_keys()
+
+    def test_deleted_blocks_are_reusable(self):
+        service = make_service()
+        session = service.login(service.new_keyring("alice"))
+        session.create("/alice/a", SECRET)
+        free_before_delete = service.volume.allocator.free_blocks
+        session.delete("/alice/a")
+        assert service.volume.allocator.free_blocks > free_before_delete
+        # The freed space accommodates a new file of the same size.
+        session.create("/alice/b", SECRET)
+        assert session.read("/alice/b") == SECRET
+
+    def test_delete_unknown_path_raises(self):
+        service = make_service()
+        session = enrolled_session(service)
+        with pytest.raises(ServiceError):
+            session.delete("/alice/never-created")
+
+
 class TestByteGranularIo:
     def test_write_and_read_roundtrip_across_blocks(self):
         service = make_service()

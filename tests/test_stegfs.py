@@ -8,7 +8,7 @@ from repro.crypto.cbc import CbcCipher
 from repro.crypto.keys import FileAccessKey
 from repro.crypto.prng import Sha256Prng
 from repro.errors import (
-    FileNotFoundError_,
+    HiddenFileNotFoundError,
     IntegrityError,
     VolumeFullError,
 )
@@ -174,12 +174,12 @@ class TestStegFsVolume:
     def test_wrong_key_cannot_open(self, volume, fak, prng):
         volume.create_file(fak, "/f", b"data")
         wrong = FileAccessKey.generate(prng.spawn("wrong"))
-        with pytest.raises(FileNotFoundError_):
+        with pytest.raises(HiddenFileNotFoundError):
             volume.open_file(wrong, "/f")
 
     def test_wrong_path_cannot_open(self, volume, fak):
         volume.create_file(fak, "/f", b"data")
-        with pytest.raises(FileNotFoundError_):
+        with pytest.raises(HiddenFileNotFoundError):
             volume.open_file(fak, "/g")
 
     def test_blocks_are_scattered_not_contiguous(self, volume, fak):
