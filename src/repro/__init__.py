@@ -44,6 +44,10 @@ from repro.core.volatile import VolatileAgent
 from repro.crypto import AES, CbcCipher, FastFieldCipher, FileAccessKey, KeyRing, Sha256Prng
 from repro.errors import HiddenFileExistsError, HiddenFileNotFoundError
 from repro.service import (
+    ConcurrencyScenario,
+    ConcurrentSession,
+    ConcurrentVolumeService,
+    EngineStats,
     ExperimentResult,
     FileStat,
     HiddenVolumeService,
@@ -82,8 +86,13 @@ __all__ = [
     "Session",
     "FileStat",
     "ObliviousConfig",
+    # -- concurrent serving engine
+    "ConcurrentVolumeService",
+    "ConcurrentSession",
+    "EngineStats",
     # -- declarative experiments
     "Scenario",
+    "ConcurrencyScenario",
     "Retrieval",
     "Updates",
     "TableUpdates",

@@ -19,19 +19,35 @@ constructions hide data updates the same way (Section 4.1.3–4.1.4):
 
 The two constructions differ only in key custody and in which blocks the
 agent may touch; those policy decisions are the abstract methods here.
+
+Locking contract
+----------------
+Agents (and everything below them: volume, allocator, PRNG streams,
+raw storage) are **deliberately single-threaded**.  Every public method
+mutates shared state non-atomically — the Figure-6 loop interleaves
+PRNG draws, allocator transfers, header relocation and device I/O — so
+two overlapping calls would corrupt the bitmap and the selection space.
+Callers must serialize *all* agent entry points behind one lock;
+:class:`repro.service.ConcurrentVolumeService` is the engine that does
+this for multi-threaded serving.  The mutating primitives carry a cheap
+re-entrancy tripwire (:meth:`StegAgent._exclusive`) that raises
+:class:`~repro.errors.ConcurrentAccessError` instead of corrupting
+state when the contract is violated.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Iterable, Iterator
 
 from repro.crypto.keys import FileAccessKey
 from repro.crypto.prng import Sha256Prng
-from repro.errors import UnknownFileError
+from repro.errors import ConcurrentAccessError, UnknownFileError
 from repro.stegfs.file import HiddenFile
 from repro.stegfs.filesystem import StegFsVolume
-from repro.storage.block import StoredBlock
+from repro.storage.block import BLOCK_IV_SIZE, StoredBlock
 
 
 @dataclass(frozen=True)
@@ -78,6 +94,31 @@ class StegAgent(ABC):
         # physical block index -> (owning handle, role) for every block the
         # agent currently knows about; role is "data" or "header".
         self._block_owner: dict[int, tuple[HiddenFile, str]] = {}
+        # Name of the mutating primitive currently executing; the
+        # re-entrancy tripwire of the locking contract (module docstring).
+        self._active_op: str | None = None
+
+    @contextmanager
+    def _exclusive(self, operation: str) -> Iterator[None]:
+        """Tripwire enforcing the single-threaded locking contract.
+
+        Mutating primitives run inside this guard; entering it while
+        another primitive is mid-flight (re-entrant callback or an
+        unsynchronized second thread) raises
+        :class:`~repro.errors.ConcurrentAccessError` instead of letting
+        the interleaved PRNG draws and bitmap mutations corrupt state.
+        """
+        if self._active_op is not None:
+            raise ConcurrentAccessError(
+                f"agent entered {operation!r} while {self._active_op!r} is still in "
+                "progress; serialize agent calls (see repro.core.agent locking contract) "
+                "or serve through ConcurrentVolumeService"
+            )
+        self._active_op = operation
+        try:
+            yield
+        finally:
+            self._active_op = None
 
     # -- policy hooks implemented by the constructions -------------------------
 
@@ -182,6 +223,19 @@ class StegAgent(ABC):
         """Read one logical block of a hidden file."""
         return self.volume.read_block(handle, logical_index, stream)
 
+    def read_blocks(
+        self, handle: HiddenFile, logical_indices: Iterable[int], stream: str = "default"
+    ) -> list[bytes]:
+        """Read a run of logical blocks through the batched device path.
+
+        Trace-identical to a loop of :meth:`read_block` over
+        ``logical_indices`` — the device sees the same block requests in
+        the same order — but the data and crypto move through the PR-1
+        batched pipeline in one call.
+        """
+        physicals = [handle.header.physical_block(logical) for logical in logical_indices]
+        return self.volume.read_payloads(physicals, handle.content_key, stream)
+
     def save_file(self, handle: HiddenFile, stream: str = "default") -> None:
         """Flush the cached header chain of an open file to the device."""
         self.volume.save_header(handle, stream)
@@ -212,9 +266,52 @@ class StegAgent(ABC):
         Returns the index of the block touched.  Cost: one read and one
         write, exactly like each iteration of a real update.
         """
-        index = self.select_random_block()
-        self.volume.rewrite_with_new_iv(index, self.key_for_block(index), stream)
-        return index
+        with self._exclusive("dummy_update"):
+            index = self.select_random_block()
+            self.volume.rewrite_with_new_iv(index, self.key_for_block(index), stream)
+            return index
+
+    def dummy_update_batch(self, count: int, stream: str = "dummy") -> list[int]:
+        """Run ``count`` dummy updates coalesced through the batched device paths.
+
+        The block draws and the IV draws consume exactly the streams a
+        loop of :meth:`dummy_update` would (selection and IV PRNGs are
+        independent streams), and the final device bytes are identical.
+        Only the I/O *schedule* differs: the batch issues ``count`` reads
+        followed by ``count`` writes instead of read/write pairs, so the
+        per-request Python overhead collapses into two batched device
+        calls.  Snapshot-level observables (which blocks changed, to
+        what ciphertext) are unchanged; the request trace shows the same
+        multiset of operations in a locally reordered schedule.
+        """
+        if count <= 0:
+            return []
+        with self._exclusive("dummy_update_batch"):
+            volume = self.volume
+            indices = [self.select_random_block() for _ in range(count)]
+            keys = [self.key_for_block(index) for index in indices]
+            new_ivs = volume.fresh_ivs(count)
+            raws = volume.device.read_blocks(indices, stream)
+            # Reseal per key group through the vectorized cipher calls,
+            # slicing the raw iv||ciphertext layout directly.  Duplicate
+            # draws are safe: resealing preserves the plaintext, so
+            # writing both reseals in draw order leaves the same bytes
+            # as resealing the reseal (the loop's behaviour).
+            positions_by_key: dict[bytes, list[int]] = {}
+            for position, key in enumerate(keys):
+                positions_by_key.setdefault(key, []).append(position)
+            datas: list[bytes | None] = [None] * count
+            for key, positions in positions_by_key.items():
+                cipher = volume.cipher_for(key)
+                plaintexts = cipher.decrypt_many(
+                    [raws[p][:BLOCK_IV_SIZE] for p in positions],
+                    [raws[p][BLOCK_IV_SIZE:] for p in positions],
+                )
+                ciphertexts = cipher.encrypt_many([new_ivs[p] for p in positions], plaintexts)
+                for p, ciphertext in zip(positions, ciphertexts):
+                    datas[p] = new_ivs[p] + ciphertext
+            volume.device.write_blocks(indices, datas, stream)
+            return indices
 
     def update_block(
         self,
@@ -224,6 +321,16 @@ class StegAgent(ABC):
         stream: str = "default",
     ) -> UpdateResult:
         """Update one logical block of a file using the Figure-6 algorithm."""
+        with self._exclusive("update_block"):
+            return self._update_block(handle, logical_index, payload, stream)
+
+    def _update_block(
+        self,
+        handle: HiddenFile,
+        logical_index: int,
+        payload: bytes,
+        stream: str,
+    ) -> UpdateResult:
         if self.owner_of(handle.header.physical_block(logical_index)) is None:
             raise UnknownFileError(
                 "the agent does not hold keys for the file being updated"
@@ -291,6 +398,16 @@ class StegAgent(ABC):
         it would change the trace and the simulated head movement that
         the update-analysis experiments observe.
         """
+        with self._exclusive("update_range"):
+            return self._update_range(handle, start_logical, payloads, stream)
+
+    def _update_range(
+        self,
+        handle: HiddenFile,
+        start_logical: int,
+        payloads: list[bytes],
+        stream: str,
+    ) -> list[UpdateResult]:
         device = self.volume.device
         results: list[UpdateResult] = []
         for offset, payload in enumerate(payloads):
@@ -362,19 +479,27 @@ class StegAgent(ABC):
         :meth:`repro.service.Session.append` is the byte-granular public
         path that does this bookkeeping.
         """
-        if (
-            payloads
-            and handle.num_blocks > 0
-            and self.owner_of(handle.header.physical_block(0)) is None
-        ):
-            raise UnknownFileError("the agent does not hold keys for the file being appended to")
-        logicals: list[int] = []
-        for payload in payloads:
-            logical = self.volume.append_block(handle, payload, stream)
-            self._track_block(handle.header.physical_block(logical), handle, "data")
-            logicals.append(logical)
-        return logicals
+        with self._exclusive("append_blocks"):
+            if (
+                payloads
+                and handle.num_blocks > 0
+                and self.owner_of(handle.header.physical_block(0)) is None
+            ):
+                raise UnknownFileError(
+                    "the agent does not hold keys for the file being appended to"
+                )
+            logicals: list[int] = []
+            for payload in payloads:
+                logical = self.volume.append_block(handle, payload, stream)
+                self._track_block(handle.header.physical_block(logical), handle, "data")
+                logicals.append(logical)
+            return logicals
 
     def idle(self, num_dummy_updates: int, stream: str = "dummy") -> list[int]:
-        """Run a burst of dummy updates, as the agent does when no requests arrive."""
+        """Run a burst of dummy updates, as the agent does when no requests arrive.
+
+        Each update runs through the single-block :meth:`dummy_update`
+        (read/write pairs, one per update); the concurrent engine uses
+        :meth:`dummy_update_batch` for its coalesced bursts instead.
+        """
         return [self.dummy_update(stream) for _ in range(num_dummy_updates)]

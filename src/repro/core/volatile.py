@@ -17,6 +17,17 @@ Consequences implemented here:
 * logging a user out drops their keys and shrinks the selection space;
 * a user under coercion can produce a deniable key ring
   (:meth:`repro.crypto.keys.KeyRing.deniable_view`).
+
+Locking contract (see :mod:`repro.core.agent`): this agent is
+single-threaded.  ``_IndexedSet`` trades thread-safety for O(1) uniform
+sampling — ``add``/``discard`` leave the positions map briefly
+inconsistent mid-call — and ``login``/``logout``/``claim_dummy_block``
+mutate the selection space across several steps.  All entry points,
+including login and logout, must be serialized by the caller; the
+concurrent serving engine (:class:`repro.service.ConcurrentVolumeService`)
+runs every operation on its scheduler thread-of-the-moment while holding
+the engine lock, and the mutating primitives inherit the
+:meth:`~repro.core.agent.StegAgent._exclusive` tripwire.
 """
 
 from __future__ import annotations

@@ -90,6 +90,16 @@ class UnknownFileError(AgentError):
     """The agent was asked to operate on a file it has no key for."""
 
 
+class ConcurrentAccessError(AgentError):
+    """Two agent operations overlapped without external serialization.
+
+    The agents are deliberately single-threaded (see the locking
+    contract in :mod:`repro.core.agent`); concurrent callers must go
+    through :class:`repro.service.ConcurrentVolumeService`, which
+    serializes every operation behind its scheduler.
+    """
+
+
 class ObliviousStorageError(ReproError):
     """Base class for errors in the oblivious storage."""
 

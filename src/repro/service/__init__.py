@@ -8,6 +8,11 @@ multi-user service), and :func:`run_experiment` executes declarative
 workloads, the round-robin simulator and the attackers.
 """
 
+from repro.service.concurrent import (
+    ConcurrentSession,
+    ConcurrentVolumeService,
+    EngineStats,
+)
 from repro.service.facade import (
     CONSTRUCTIONS,
     FileStat,
@@ -25,6 +30,7 @@ from repro.service.scenario import (
     Updates,
     run_experiment,
 )
+from repro.sim.engine import ConcurrencyScenario
 
 __all__ = [
     "CONSTRUCTIONS",
@@ -32,7 +38,11 @@ __all__ = [
     "Session",
     "FileStat",
     "ObliviousConfig",
+    "ConcurrentVolumeService",
+    "ConcurrentSession",
+    "EngineStats",
     "Scenario",
+    "ConcurrencyScenario",
     "Retrieval",
     "Updates",
     "TableUpdates",

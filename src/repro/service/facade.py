@@ -252,7 +252,16 @@ class Session:
             return self._read_range(handle, at, end, reader.read_block)
         if at == 0 and end == handle.size_bytes:
             return self._service.agent.read_file(handle, self.stream)
-        return self._read_range(handle, at, end, self._service.agent.read_block)
+        # Multi-block ranges go through the batched agent read: the device
+        # sees the same per-block requests in the same (ascending logical)
+        # order as a read_block loop — trace-identical — without the
+        # per-block Python round trips.
+        payload_bytes = self._service.volume.data_field_bytes
+        first = at // payload_bytes
+        last = (end - 1) // payload_bytes
+        pieces = self._service.agent.read_blocks(handle, range(first, last + 1), self.stream)
+        joined = b"".join(pieces)
+        return joined[at - first * payload_bytes : end - first * payload_bytes]
 
     def _read_range(self, handle: HiddenFile, at: int, end: int, read_block) -> bytes:
         payload_bytes = self._service.volume.data_field_bytes
@@ -634,7 +643,28 @@ class HiddenVolumeService:
         invisible; services representing a live deployment should call
         this between request bursts (Section 4.1.3).
         """
+        self._check_service_open()
         self.agent.idle(num_dummy_updates)
+
+    def concurrent(
+        self, dummy_to_real_ratio: float = 1.0, quantum: int = 16
+    ) -> "ConcurrentVolumeService":
+        """Wrap this service in the thread-safe concurrent serving engine.
+
+        The facade itself is single-threaded (the whole core is — see
+        the locking contract in :mod:`repro.core.agent`); the returned
+        :class:`~repro.service.concurrent.ConcurrentVolumeService`
+        accepts per-session operations from any number of worker
+        threads, serializes them through a fair scheduler, interleaves
+        the agent's dummy stream at ``dummy_to_real_ratio`` and batches
+        adjacent block I/O per scheduling quantum.
+        """
+        self._check_service_open()
+        from repro.service.concurrent import ConcurrentVolumeService
+
+        return ConcurrentVolumeService(
+            self, dummy_to_real_ratio=dummy_to_real_ratio, quantum=quantum
+        )
 
     # -- durability lifecycle ----------------------------------------------------------
 
@@ -693,6 +723,7 @@ class HiddenVolumeService:
 
     def dummy_oblivious_read(self, stream: str = "dummy") -> None:
         """Issue one dummy read against the oblivious hierarchy."""
+        self._check_service_open()
         self._require_oblivious().dummy_oblivious_read(stream)
 
     # -- observability ---------------------------------------------------------------

@@ -26,6 +26,8 @@ assertions on the returned measurements.
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Union
 
@@ -35,7 +37,7 @@ from repro.attacks.update_analysis import UpdateAnalysisAttacker
 from repro.crypto.prng import Sha256Prng
 from repro.errors import WorkloadError
 from repro.sim.builders import SYSTEM_LABELS, SystemUnderTest, build_system
-from repro.sim.engine import ClientJob, RoundRobinSimulator, SimulationResult
+from repro.sim.engine import ClientJob, ConcurrencyScenario, RoundRobinSimulator, SimulationResult
 from repro.storage.latency import DiskLatencyModel
 from repro.workloads.filegen import FileSpec
 from repro.workloads.retrieval import file_read_job, measure_file_read
@@ -224,11 +226,15 @@ class ExperimentResult:
     ``measurements`` maps point labels (a target path, ``"users=N"`` or
     ``"range=N"``) to simulated milliseconds; ``verdicts`` maps attacker
     names to their verdict objects; ``simulations`` keeps the raw
-    round-robin results of a concurrency sweep.
+    round-robin results of a concurrency sweep.  For a
+    :class:`~repro.sim.engine.ConcurrencyScenario`, ``system`` is the
+    :class:`~repro.service.HiddenVolumeService` that served the run and
+    the measurements are wall-clock (``ops``, ``ops_per_sec``,
+    ``dummy_updates``).
     """
 
-    scenario: Scenario
-    system: SystemUnderTest
+    scenario: Scenario | ConcurrencyScenario
+    system: SystemUnderTest | Any
     measurements: dict[str, float] = field(default_factory=dict)
     verdicts: dict[str, Any] = field(default_factory=dict)
     simulations: dict[int, SimulationResult] = field(default_factory=dict)
@@ -397,8 +403,128 @@ def _run_table_updates(
     result.measurements["blocks-touched"] = float(touched)
 
 
-def run_experiment(scenario: Scenario) -> ExperimentResult:
+def _concurrency_ops(
+    scenario: ConcurrencyScenario, user: str, file_size: int
+) -> list[tuple[str, int, int]]:
+    """The deterministic mixed op stream of one user: (kind, at, size)."""
+    prng = Sha256Prng(f"concurrency:{scenario.seed}:{user}")
+    ops: list[tuple[str, int, int]] = []
+    for _ in range(scenario.ops_per_user):
+        size = 1 + prng.randrange(max(1, min(file_size, 3 * scenario.block_size)))
+        at = prng.randrange(max(1, file_size - size + 1))
+        kind = "read" if prng.random() < scenario.read_fraction else "write"
+        ops.append((kind, at, size))
+    return ops
+
+
+def _run_concurrency_scenario(scenario: ConcurrencyScenario) -> ExperimentResult:
+    """Drive the thread-safe serving engine with real worker threads.
+
+    Lives here (not in :mod:`repro.sim.engine`) because it needs the
+    service facade; the declarative shape stays with the simulation
+    layer.  Latency defaults to the facade's paper-era disk model; the
+    reported ``ops_per_sec`` is wall-clock engine throughput, not
+    simulated milliseconds.
+    """
+    from repro.service.facade import HiddenVolumeService
+
+    service = HiddenVolumeService.create(
+        scenario.construction,
+        volume_mib=scenario.volume_mib,
+        seed=scenario.seed,
+        block_size=scenario.block_size,
+        latency=scenario.latency,
+    )
+    engine = service.concurrent(
+        dummy_to_real_ratio=scenario.dummy_to_real_ratio, quantum=scenario.quantum
+    )
+    result = ExperimentResult(scenario=scenario, system=service)
+    probes = _make_probes(scenario.attackers)
+
+    content_prng = Sha256Prng(f"concurrency-content:{scenario.seed}")
+    file_size = scenario.file_blocks * service.volume.data_field_bytes
+    sessions = []
+    streams: dict[str, list[tuple[str, int, int]]] = {}
+    for index in range(scenario.users):
+        user = f"user{index}"
+        session = engine.login(service.new_keyring(user))
+        session.create(f"/{user}/data", content_prng.spawn(user).random_bytes(file_size))
+        session.create_decoy(f"/{user}/decoy", size_bytes=file_size)
+        sessions.append(session)
+        streams[user] = _concurrency_ops(scenario, user, file_size)
+
+    # Attackers observe steady-state serving, not the enrolment burst.
+    engine.idle(0)  # quiesce the enrolment ops' trailing dummy bursts
+    for probe in probes:
+        probe.start(service)
+
+    write_prng = Sha256Prng(f"concurrency-writes:{scenario.seed}")
+    errors: list[BaseException] = []
+    executed = 0
+    elapsed = 0.0
+    try:
+        per_interval = -(-scenario.ops_per_user // scenario.intervals)
+        for interval in range(scenario.intervals):
+            lo = interval * per_interval
+            hi = min(scenario.ops_per_user, lo + per_interval)
+            tasks = [
+                (session, streams[session.user][position])
+                for position in range(lo, hi)
+                for session in sessions
+            ]
+            task_iter = iter(tasks)
+            task_lock = threading.Lock()
+
+            def worker() -> None:
+                while True:
+                    with task_lock:
+                        try:
+                            session, (kind, at, size) = next(task_iter)
+                        except StopIteration:
+                            return
+                    try:
+                        if kind == "read":
+                            session.read(f"/{session.user}/data", at=at, size=size)
+                        else:
+                            payload = write_prng.spawn(f"{session.user}:{at}").random_bytes(size)
+                            session.write(f"/{session.user}/data", payload, at=at)
+                    except BaseException as error:  # pragma: no cover - surfaced below
+                        errors.append(error)
+                        return
+
+            threads = [threading.Thread(target=worker) for _ in range(scenario.workers)]
+            began = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed += time.perf_counter() - began
+            executed += len(tasks)
+            if errors:
+                raise errors[0]
+            # Quiesce before observing: an op's dummy burst runs after
+            # its fulfilment, so without this barrier a snapshot could
+            # race the scheduler's trailing device writes.
+            engine.idle(0)
+            for probe in probes:
+                probe.interval(service)
+
+        result.measurements["ops"] = float(executed)
+        result.measurements["ops_per_sec"] = executed / elapsed if elapsed > 0 else float("inf")
+        result.measurements["dummy_updates"] = float(engine.stats.dummy_updates)
+        for probe in probes:
+            result.verdicts[probe.name] = probe.finish(service)
+        return result
+    finally:
+        # The engine owns a scheduler thread; never leak it (the trace
+        # and counters stay readable on the closed service).
+        engine.close()
+
+
+def run_experiment(scenario: Scenario | ConcurrencyScenario) -> ExperimentResult:
     """Build the system, run the workload, collect measurements and verdicts."""
+    if isinstance(scenario, ConcurrencyScenario):
+        return _run_concurrency_scenario(scenario)
     system = build_system(
         scenario.system,
         volume_mib=scenario.volume_mib,

@@ -1,4 +1,4 @@
-"""Round-robin multi-user simulation.
+"""Round-robin multi-user simulation and the concurrent-serving scenario.
 
 The paper's concurrency experiments run 1–32 users against one disk.
 The essential effect is that the disk head services one block request
@@ -9,6 +9,13 @@ user count is non-trivial.
 Jobs are generators that perform one block operation per ``next()``.
 The simulator advances them round-robin and records, per job, the
 simulated time between its first and last operation.
+
+:class:`ConcurrencyScenario` is the declarative description of the
+*threaded* analogue: real OS worker threads driving the serving engine
+(:class:`repro.service.ConcurrentVolumeService`) instead of generator
+jobs driving the disk model.  It lives here (not in ``repro.service``)
+so that the simulation layer owns every experiment-shape declaration;
+``repro.service.run_experiment`` executes it.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from typing import Iterator
 
 from repro.errors import SimulationError
 from repro.storage.disk import RawStorage
+from repro.storage.latency import DiskLatencyModel
 
 
 @dataclass
@@ -61,6 +69,78 @@ class SimulationResult:
         if not self.jobs:
             return 0.0
         return max(job.elapsed_ms for job in self.jobs)
+
+
+@dataclass(frozen=True)
+class ConcurrencyScenario:
+    """One declaratively specified concurrent-serving experiment.
+
+    Where :class:`repro.service.Scenario` replays the paper's figures on
+    the round-robin disk simulator, a ``ConcurrencyScenario`` drives the
+    thread-safe serving engine with real worker threads:  ``users``
+    sessions are enrolled (one hidden file plus one decoy each),
+    ``workers`` threads submit each user's mixed read/write traffic, and
+    the engine interleaves the agent's dummy stream at
+    ``dummy_to_real_ratio`` dummies per real operation while batching
+    adjacent block I/O per scheduling quantum.
+    ``repro.service.run_experiment`` accepts it exactly like a
+    :class:`~repro.service.Scenario` and reports wall-clock ``ops``,
+    ``ops_per_sec`` and ``dummy_updates`` measurements plus any attacker
+    verdicts.
+
+    Attributes
+    ----------
+    construction:
+        ``"volatile"`` or ``"nonvolatile"`` (Constructions 2 and 1).
+    workers:
+        Number of OS threads submitting operations concurrently.
+    users:
+        Number of enrolled sessions whose traffic the workers carry.
+    ops_per_user:
+        Real operations issued per user across the whole run.
+    file_blocks:
+        Size of each user's hidden file (and decoy), in data blocks.
+    read_fraction:
+        Probability that one operation is a byte-range read; the rest
+        are byte-range writes through the Figure-6 path.
+    dummy_to_real_ratio:
+        The engine's dummy-to-real interleave ratio (Section 4.1.3).
+    quantum:
+        The engine's scheduling quantum (max requests per drain round).
+    intervals:
+        Number of equal slices the run is cut into; attached attacker
+        probes observe after each slice (snapshot intervals).
+    attackers:
+        Probe names or instances, as in :class:`~repro.service.Scenario`.
+    """
+
+    construction: str = "nonvolatile"
+    volume_mib: int = 8
+    block_size: int = 4096
+    seed: int = 0
+    workers: int = 4
+    users: int = 4
+    ops_per_user: int = 32
+    file_blocks: int = 16
+    read_fraction: float = 0.7
+    dummy_to_real_ratio: float = 1.0
+    quantum: int = 16
+    intervals: int = 4
+    attackers: tuple = ()
+    latency: DiskLatencyModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.construction not in ("volatile", "nonvolatile"):
+            raise ValueError(
+                f"unknown construction {self.construction!r}; "
+                "expected 'volatile' or 'nonvolatile'"
+            )
+        if self.workers < 1 or self.users < 1:
+            raise ValueError("workers and users must both be at least 1")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must lie in [0, 1]")
+        if self.intervals < 1:
+            raise ValueError("intervals must be at least 1")
 
 
 class RoundRobinSimulator:

@@ -112,6 +112,17 @@ class StegFsVolume:
         """Draw a fresh per-block IV."""
         return self._iv_prng.random_bytes(BLOCK_IV_SIZE)
 
+    def fresh_ivs(self, count: int) -> list[bytes]:
+        """Draw ``count`` fresh IVs in one call.
+
+        The PRNG is a buffered counter-mode stream, so one draw of
+        ``count * BLOCK_IV_SIZE`` bytes consumes exactly the bytes that
+        ``count`` :meth:`fresh_iv` calls would — the IVs are
+        bit-identical, only the per-call overhead collapses.
+        """
+        stream = self._iv_prng.random_bytes(BLOCK_IV_SIZE * count)
+        return [stream[i : i + BLOCK_IV_SIZE] for i in range(0, len(stream), BLOCK_IV_SIZE)]
+
     def _pad_payload(self, payload: bytes) -> bytes:
         if len(payload) > self.data_field_bytes:
             raise ValueError(

@@ -39,11 +39,16 @@ class BlockDevice(Protocol):
     def write_block(self, index: int, data: bytes, stream: str = "default") -> None:
         """Write one block (charges I/O)."""
 
-    def read_blocks(self, indices: Iterable[int], stream: str = "default") -> list[bytes]:
+    def read_blocks(
+        self, indices: Iterable[int], stream: str | Sequence[str] = "default"
+    ) -> list[bytes]:
         """Read many blocks; observationally identical to a loop of reads."""
 
     def write_blocks(
-        self, indices: Iterable[int], datas: Sequence[bytes], stream: str = "default"
+        self,
+        indices: Iterable[int],
+        datas: Sequence[bytes],
+        stream: str | Sequence[str] = "default",
     ) -> None:
         """Write many blocks; observationally identical to a loop of writes."""
 
@@ -79,11 +84,16 @@ class RawDevice:
     def write_block(self, index: int, data: bytes, stream: str = "default") -> None:
         self.storage.write_block(index, data, stream)
 
-    def read_blocks(self, indices: Iterable[int], stream: str = "default") -> list[bytes]:
+    def read_blocks(
+        self, indices: Iterable[int], stream: str | Sequence[str] = "default"
+    ) -> list[bytes]:
         return self.storage.read_blocks(indices, stream)
 
     def write_blocks(
-        self, indices: Iterable[int], datas: Sequence[bytes], stream: str = "default"
+        self,
+        indices: Iterable[int],
+        datas: Sequence[bytes],
+        stream: str | Sequence[str] = "default",
     ) -> None:
         self.storage.write_blocks(indices, datas, stream)
 
@@ -146,11 +156,16 @@ class Partition:
     def write_block(self, index: int, data: bytes, stream: str = "default") -> None:
         self.storage.write_block(self._translate(index), data, stream)
 
-    def read_blocks(self, indices: Iterable[int], stream: str = "default") -> list[bytes]:
+    def read_blocks(
+        self, indices: Iterable[int], stream: str | Sequence[str] = "default"
+    ) -> list[bytes]:
         return self.storage.read_blocks(self._translate_many(indices), stream)
 
     def write_blocks(
-        self, indices: Iterable[int], datas: Sequence[bytes], stream: str = "default"
+        self,
+        indices: Iterable[int],
+        datas: Sequence[bytes],
+        stream: str | Sequence[str] = "default",
     ) -> None:
         self.storage.write_blocks(self._translate_many(indices), datas, stream)
 

@@ -71,9 +71,12 @@ class StorageGeometry:
 
         A capacity that is not a multiple of the block size rounds *up*
         to the next whole block, so the volume always honours the
-        "at least" contract.
+        "at least" contract.  A non-positive capacity is a caller bug
+        (it used to be silently clamped to one block) and raises.
         """
-        num_blocks = max(1, -(-capacity_bytes // block_size))
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity_bytes must be positive, got {capacity_bytes}")
+        num_blocks = -(-capacity_bytes // block_size)
         return cls(block_size=block_size, num_blocks=num_blocks)
 
 
@@ -216,8 +219,20 @@ class RawStorage:
     # Python-level copy per block.  Unlike the single-block loop, all
     # indices (and data sizes) are validated up-front, so a failed batched
     # call leaves no partial side effects behind.
+    #
+    # ``stream`` may be a single name shared by the whole batch or a
+    # sequence of per-block names: the concurrent serving engine coalesces
+    # adjacent requests of *different* sessions into one batched call while
+    # keeping per-session trace attribution intact.
 
-    def _check_batch(self, indices: np.ndarray, datas: Sequence[bytes] | None) -> None:
+    def _check_batch(
+        self,
+        indices: np.ndarray,
+        datas: Sequence[bytes] | None,
+        streams: str | Sequence[str] = "",
+    ) -> None:
+        if not isinstance(streams, str) and len(streams) != indices.size:
+            raise ValueError(f"{indices.size} indices but {len(streams)} streams")
         if indices.size:
             bad = (indices < 0) | (indices >= self.geometry.num_blocks)
             if bad.any():
@@ -246,10 +261,12 @@ class RawStorage:
         self._head_position = int(indices[-1])
         return costs, times
 
-    def read_blocks(self, indices: Iterable[int], stream: str = "default") -> list[bytes]:
+    def read_blocks(
+        self, indices: Iterable[int], stream: str | Sequence[str] = "default"
+    ) -> list[bytes]:
         """Read many blocks in one call; equivalent to a loop of :meth:`read_block`."""
         indices = _index_array(indices)
-        self._check_batch(indices, None)
+        self._check_batch(indices, None, stream)
         if indices.size == 0:
             return []
         costs, times = self._charge_many(indices)
@@ -259,12 +276,15 @@ class RawStorage:
         return self.backend.read_many(indices)
 
     def write_blocks(
-        self, indices: Iterable[int], datas: Sequence[bytes], stream: str = "default"
+        self,
+        indices: Iterable[int],
+        datas: Sequence[bytes],
+        stream: str | Sequence[str] = "default",
     ) -> None:
         """Write many blocks in one call; equivalent to a loop of :meth:`write_block`."""
         indices = _index_array(indices)
         datas = list(datas)
-        self._check_batch(indices, datas)
+        self._check_batch(indices, datas, stream)
         if indices.size == 0:
             return
         costs, times = self._charge_many(indices)

@@ -23,11 +23,16 @@ Invariants (see EXPERIMENTS.md "Observability contract"):
   clock never runs backwards), which lets ``between`` binary-search;
   hand-built traces may be unordered and fall back to a mask scan with
   identical results;
-* single-block and batched device paths append identical events.
+* single-block and batched device paths append identical events;
+* appends are serialized behind an internal lock and publish the new
+  size *after* the rows are written, so an observer capturing from
+  another thread (``TraceObserver`` under the concurrent engine) sees
+  a consistent prefix of the trace — never a torn row.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Literal, Sequence
@@ -96,6 +101,12 @@ class IoTrace:
         self._stream_ids: dict[str, int] = {}
         self._stream_names: list[str] = []
         self._time_sorted = True
+        # Serializes mutators.  Readers deliberately take no lock: they
+        # snapshot ``_size`` first and then slice the columns, and every
+        # append writes its rows before publishing the grown size, so a
+        # concurrent reader sees a consistent (possibly slightly stale)
+        # prefix.
+        self._append_lock = threading.Lock()
         if events is not None:
             self.extend(events)
 
@@ -129,30 +140,34 @@ class IoTrace:
             setattr(self, name, grown)
 
     def record(self, op: Operation, index: int, time_ms: float, stream: str = "default") -> None:
-        """Append one event (amortized O(1))."""
-        n = self._size
-        self._ensure_capacity(n + 1)
-        self._ops[n] = _OP_CODES[op]
-        self._indices[n] = index
-        self._times[n] = time_ms
-        self._streams[n] = self._intern(stream)
-        if self._time_sorted and n and time_ms < self._times[n - 1]:
-            self._time_sorted = False
-        self._size = n + 1
+        """Append one event (amortized O(1), thread-safe)."""
+        with self._append_lock:
+            n = self._size
+            self._ensure_capacity(n + 1)
+            self._ops[n] = _OP_CODES[op]
+            self._indices[n] = index
+            self._times[n] = time_ms
+            self._streams[n] = self._intern(stream)
+            if self._time_sorted and n and time_ms < self._times[n - 1]:
+                self._time_sorted = False
+            self._size = n + 1
 
     def record_many(
         self,
         op: Operation | Sequence[Operation] | np.ndarray,
         indices: Sequence[int] | np.ndarray,
         times_ms: Sequence[float] | np.ndarray,
-        stream: str = "default",
+        stream: str | Sequence[str] = "default",
     ) -> None:
-        """Append a batch of events in one columnar write.
+        """Append a batch of events in one columnar write (thread-safe).
 
         ``op`` is either one operation name shared by the whole batch, a
         sequence of names, or a ready-made array of ``OP_READ``/``OP_WRITE``
-        codes.  All events share one ``stream``.  Equivalent to a loop of
-        :meth:`record` over the batch, only faster.
+        codes.  ``stream`` is one name shared by the whole batch or a
+        sequence of per-event names (the concurrent engine batches
+        adjacent requests of different sessions into one device call
+        while keeping per-session trace attribution).  Equivalent to a
+        loop of :meth:`record` over the batch, only faster.
         """
         index_column = np.asarray(indices, dtype=np.int64)
         time_column = np.asarray(times_ms, dtype=np.float64)
@@ -166,30 +181,34 @@ class IoTrace:
                 op_column = op
                 if not np.issubdtype(op_column.dtype, np.integer):
                     raise ValueError("op codes must be an integer array")
-                if op_column.size and not (
-                    (op_column >= OP_READ) & (op_column <= OP_WRITE)
-                ).all():
+                if op_column.size and not ((op_column >= OP_READ) & (op_column <= OP_WRITE)).all():
                     raise ValueError("op codes must be OP_READ or OP_WRITE")
             else:
-                op_column = np.fromiter(
-                    (_OP_CODES[o] for o in op), dtype=np.uint8, count=len(op)
-                )
+                op_column = np.fromiter((_OP_CODES[o] for o in op), dtype=np.uint8, count=len(op))
             if op_column.size != count:
                 raise ValueError(f"{count} indices but {op_column.size} operations")
+        if not isinstance(stream, str) and len(stream) != count:
+            raise ValueError(f"{count} indices but {len(stream)} streams")
         if count == 0:
             return
-        n = self._size
-        self._ensure_capacity(n + count)
-        self._ops[n : n + count] = op_column
-        self._indices[n : n + count] = index_column
-        self._times[n : n + count] = time_column
-        self._streams[n : n + count] = self._intern(stream)
-        if self._time_sorted and (
-            (n and time_column[0] < self._times[n - 1])
-            or (count > 1 and np.any(np.diff(time_column) < 0))
-        ):
-            self._time_sorted = False
-        self._size = n + count
+        with self._append_lock:
+            n = self._size
+            self._ensure_capacity(n + count)
+            self._ops[n : n + count] = op_column
+            self._indices[n : n + count] = index_column
+            self._times[n : n + count] = time_column
+            if isinstance(stream, str):
+                self._streams[n : n + count] = self._intern(stream)
+            else:
+                self._streams[n : n + count] = np.fromiter(
+                    (self._intern(name) for name in stream), dtype=np.int32, count=count
+                )
+            if self._time_sorted and (
+                (n and time_column[0] < self._times[n - 1])
+                or (count > 1 and np.any(np.diff(time_column) < 0))
+            ):
+                self._time_sorted = False
+            self._size = n + count
 
     def extend(self, other: "IoTrace" | Iterable[IoEvent]) -> None:
         """Append events from another trace (column-wise when possible)."""
@@ -197,23 +216,24 @@ class IoTrace:
             count = other._size
             if count == 0:
                 return
-            n = self._size
-            self._ensure_capacity(n + count)
-            self._ops[n : n + count] = other._ops[:count]
-            self._indices[n : n + count] = other._indices[:count]
-            self._times[n : n + count] = other._times[:count]
-            if other._stream_names:
-                remap = np.fromiter(
-                    (self._intern(name) for name in other._stream_names),
-                    dtype=np.int32,
-                    count=len(other._stream_names),
-                )
-                self._streams[n : n + count] = remap[other._streams[:count]]
-            if self._time_sorted and (
-                not other._time_sorted or (n and other._times[0] < self._times[n - 1])
-            ):
-                self._time_sorted = False
-            self._size = n + count
+            with self._append_lock:
+                n = self._size
+                self._ensure_capacity(n + count)
+                self._ops[n : n + count] = other._ops[:count]
+                self._indices[n : n + count] = other._indices[:count]
+                self._times[n : n + count] = other._times[:count]
+                if other._stream_names:
+                    remap = np.fromiter(
+                        (self._intern(name) for name in other._stream_names),
+                        dtype=np.int32,
+                        count=len(other._stream_names),
+                    )
+                    self._streams[n : n + count] = remap[other._streams[:count]]
+                if self._time_sorted and (
+                    not other._time_sorted or (n and other._times[0] < self._times[n - 1])
+                ):
+                    self._time_sorted = False
+                self._size = n + count
             return
         for event in other:
             self.record(event.op, event.index, event.time_ms, event.stream)
@@ -225,9 +245,10 @@ class IoTrace:
         view handed out before the clear keeps its (frozen) contents
         instead of silently changing under the caller.
         """
-        self._allocate_columns(0)
-        self._size = 0
-        self._time_sorted = True
+        with self._append_lock:
+            self._allocate_columns(0)
+            self._size = 0
+            self._time_sorted = True
 
     # -- event (row) views --------------------------------------------------------
 
@@ -267,33 +288,41 @@ class IoTrace:
     def _op_mask(self, op: Operation | None) -> np.ndarray | slice:
         if op is None:
             return slice(None)
-        return self._ops[: self._size] == _OP_CODES[op]
+        # Snapshot the size before touching the column: appends publish
+        # the grown size last, so the column read afterwards is
+        # guaranteed to hold at least that many committed rows.
+        n = self._size
+        return self._ops[:n] == _OP_CODES[op]
 
     def op_column(self) -> np.ndarray:
         """Operation codes (``OP_READ``/``OP_WRITE``) in arrival order."""
-        return self._readonly(self._ops)
+        return self._readonly("_ops")
 
     def index_column(self, op: Operation | None = None) -> np.ndarray:
         """Block indices in arrival order, optionally filtered by operation."""
         if op is None:
-            return self._readonly(self._indices)
-        return self._indices[: self._size][self._op_mask(op)]
+            return self._readonly("_indices")
+        n = self._size
+        mask = self._ops[:n] == _OP_CODES[op]
+        return self._indices[:n][mask]
 
     def time_column(self) -> np.ndarray:
         """Timestamps (ms) in arrival order."""
-        return self._readonly(self._times)
+        return self._readonly("_times")
 
     def stream_codes(self) -> np.ndarray:
         """Interned stream ids in arrival order (see :meth:`stream_names`)."""
-        return self._readonly(self._streams)
+        return self._readonly("_streams")
 
     @property
     def stream_names(self) -> list[str]:
         """Stream-id table: ``stream_names[code]`` is the stream string."""
         return list(self._stream_names)
 
-    def _readonly(self, column: np.ndarray) -> np.ndarray:
-        view = column[: self._size]
+    def _readonly(self, column_name: str) -> np.ndarray:
+        # Size first, column second (see _op_mask for why).
+        n = self._size
+        view = getattr(self, column_name)[:n]
         view.flags.writeable = False
         return view
 
@@ -322,8 +351,12 @@ class IoTrace:
         trace._time_sorted = count < 2 or bool(np.all(np.diff(times) >= 0))
         return trace
 
-    def _select(self, selection: np.ndarray | slice) -> "IoTrace":
-        n = self._size
+    def _select(self, selection: np.ndarray | slice, n: int | None = None) -> "IoTrace":
+        # ``n`` pins the prefix a boolean mask was built against; without
+        # it, a concurrent append between building the mask and slicing
+        # would make the lengths disagree.
+        if n is None:
+            n = self._size
         return IoTrace._from_columns(
             self._ops[:n][selection],
             self._indices[:n][selection],
@@ -370,16 +403,18 @@ class IoTrace:
         code = self._stream_ids.get(stream)
         if code is None:
             return IoTrace()
-        return self._select(self._streams[: self._size] == code)
+        n = self._size
+        return self._select(self._streams[:n] == code, n)
 
     def between(self, start_ms: float, end_ms: float) -> "IoTrace":
         """Events with timestamps in [start_ms, end_ms)."""
-        times = self._times[: self._size]
+        n = self._size
+        times = self._times[:n]
         if self._time_sorted:
             lo = int(np.searchsorted(times, start_ms, side="left"))
             hi = int(np.searchsorted(times, end_ms, side="left"))
-            return self._select(slice(lo, max(lo, hi)))
-        return self._select((times >= start_ms) & (times < end_ms))
+            return self._select(slice(lo, max(lo, hi)), n)
+        return self._select((times >= start_ms) & (times < end_ms), n)
 
     def since(self, mark: int) -> "IoTrace":
         """Events recorded at positions ``mark`` onwards (observer windows)."""

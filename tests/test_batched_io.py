@@ -158,6 +158,14 @@ class TestGeometryFromCapacity:
     def test_tiny_capacity_still_one_block(self):
         assert StorageGeometry.from_capacity(1, 4096).num_blocks == 1
 
+    def test_non_positive_capacity_raises(self):
+        # Regression: these used to be silently clamped to a 1-block
+        # geometry, hiding sizing bugs at the caller.
+        with pytest.raises(ValueError):
+            StorageGeometry.from_capacity(0, 4096)
+        with pytest.raises(ValueError):
+            StorageGeometry.from_capacity(-4096, 4096)
+
     def test_never_smaller_than_requested(self):
         for capacity in [1, 511, 512, 513, 4095, 4096, 4097, 1_000_000]:
             geometry = StorageGeometry.from_capacity(capacity, 512)

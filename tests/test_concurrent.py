@@ -1,0 +1,530 @@
+"""Tests for the thread-safe concurrent serving engine and its bugfix satellites.
+
+Covers four things:
+
+* the :class:`~repro.service.ConcurrentVolumeService` engine — session
+  operations from many threads, fairness bookkeeping, dummy interleave,
+  error relay and lifecycle;
+* a stress test (threads x sessions x mixed ops) asserting no lost
+  updates, no bitmap double-allocation and a chi-square-clean write
+  distribution under interleaving;
+* equivalence of the batched primitives (``dummy_update_batch``,
+  ``fresh_ivs``, the batched ``Session`` range read) with their
+  sequential counterparts;
+* the service-lifecycle regressions: ``idle()``/``dummy_oblivious_read``
+  on a closed service, and the agents' re-entrancy tripwire.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.security import uniformity_chi_square
+from repro.crypto.prng import Sha256Prng
+from repro.errors import (
+    ByteRangeError,
+    ConcurrentAccessError,
+    ServiceClosedError,
+    ServiceError,
+)
+from repro.service import ConcurrencyScenario, HiddenVolumeService, run_experiment
+from repro.storage.latency import ZeroLatencyModel
+
+
+def make_service(
+    construction: str = "nonvolatile", seed: int = 7, volume_mib: int = 1
+) -> HiddenVolumeService:
+    return HiddenVolumeService.create(
+        construction, volume_mib=volume_mib, seed=seed, block_size=512, latency=ZeroLatencyModel()
+    )
+
+
+def enroll(engine, service, user: str, blocks: int = 16):
+    session = engine.login(service.new_keyring(user))
+    payload = service.volume.data_field_bytes
+    content = Sha256Prng(f"content:{user}").random_bytes(blocks * payload)
+    session.create(f"/{user}/data", content)
+    session.create_decoy(f"/{user}/decoy", size_bytes=blocks * payload)
+    return session, bytearray(content)
+
+
+class TestEngineBasics:
+    def test_read_write_append_delete_roundtrip(self):
+        service = make_service()
+        engine = service.concurrent(dummy_to_real_ratio=1.0, quantum=8)
+        session, model = enroll(engine, service, "alice")
+        assert session.read("/alice/data") == bytes(model)
+        session.write("/alice/data", b"PATCH", at=100)
+        model[100:105] = b"PATCH"
+        assert session.read("/alice/data", at=90, size=30) == bytes(model[90:120])
+        session.append("/alice/data", b"tail" * 200)
+        model += b"tail" * 200
+        assert session.read("/alice/data") == bytes(model)
+        assert session.stat("/alice/data").size_bytes == len(model)
+        session.delete("/alice/data")
+        with pytest.raises(ServiceError):
+            session.read("/alice/data")
+        session.logout()
+        assert not session.active
+        engine.close()
+
+    def test_errors_are_relayed_to_the_submitting_thread(self):
+        service = make_service()
+        engine = service.concurrent()
+        session, _ = enroll(engine, service, "alice")
+        with pytest.raises(ByteRangeError):
+            session.read("/alice/data", at=-1)
+        with pytest.raises(ByteRangeError):
+            session.read("/alice/data", at=0, size=10**9)
+        with pytest.raises(ByteRangeError):
+            session.write("/alice/data", b"x", at=10**9)
+        with pytest.raises(ServiceError):
+            session.read("/alice/nope")
+        # The engine survives relayed errors and keeps serving.
+        assert session.read("/alice/data", at=0, size=4) is not None
+        engine.close()
+
+    def test_zero_byte_read(self):
+        service = make_service()
+        engine = service.concurrent()
+        session, _ = enroll(engine, service, "alice")
+        assert session.read("/alice/data", at=10, size=0) == b""
+        engine.close()
+
+    def test_close_is_idempotent_and_rejects_new_work(self):
+        service = make_service()
+        engine = service.concurrent()
+        session, _ = enroll(engine, service, "alice")
+        engine.close()
+        assert engine.closed and service.closed
+        engine.close()
+        with pytest.raises(ServiceClosedError):
+            session.read("/alice/data")
+        with pytest.raises(ServiceClosedError):
+            engine.login(service.new_keyring("bob"))
+
+    def test_context_managers(self):
+        service = make_service()
+        with service.concurrent() as engine:
+            with engine.login(service.new_keyring("alice")) as session:
+                session.create("/alice/f", b"hello")
+                assert session.read("/alice/f") == b"hello"
+            assert not session.active
+        assert engine.closed and service.closed
+
+    def test_dummy_ratio_is_honoured(self):
+        service = make_service()
+        engine = service.concurrent(dummy_to_real_ratio=2.0, quantum=8)
+        session, _ = enroll(engine, service, "alice")
+        before = engine.stats.snapshot()
+        for i in range(10):
+            session.read("/alice/data", at=i * 7, size=64)
+        delta_real = engine.stats.real_ops - before.real_ops
+        delta_dummy = engine.stats.dummy_updates - before.dummy_updates
+        assert delta_real == 10
+        # Credit accrues exactly; at most one dummy of credit is still pending.
+        assert abs(delta_dummy - 2.0 * delta_real) <= 2
+        engine.close()
+
+    def test_fractional_ratio_accrues(self):
+        service = make_service()
+        engine = service.concurrent(dummy_to_real_ratio=0.5)
+        session, _ = enroll(engine, service, "alice")
+        before = engine.stats.dummy_updates
+        for i in range(8):
+            session.read("/alice/data", at=i, size=8)
+        assert engine.stats.dummy_updates - before == pytest.approx(4, abs=1)
+        engine.close()
+
+    def test_engine_idle_runs_batched_dummies(self):
+        service = make_service()
+        engine = service.concurrent()
+        enroll(engine, service, "alice")
+        # An op's dummy burst runs after its fulfilment; a zero-dummy
+        # idle request is a scheduler barrier that quiesces it.
+        engine.idle(0)
+        before = service.storage.counters.snapshot()
+        engine.idle(16)
+        delta = service.storage.counters.delta(before)
+        assert delta.reads == 16 and delta.writes == 16
+        engine.close()
+
+    def test_oblivious_reads_pass_through(self):
+        from repro.service import ObliviousConfig
+
+        service = HiddenVolumeService.create(
+            "nonvolatile",
+            volume_mib=1,
+            seed=3,
+            block_size=512,
+            latency=ZeroLatencyModel(),
+            oblivious=ObliviousConfig(buffer_blocks=4, last_level_blocks=64),
+        )
+        engine = service.concurrent()
+        session = engine.login(service.new_keyring("alice"))
+        session.create("/alice/f", b"s3cret" * 100)
+        assert session.read("/alice/f", oblivious=True) == b"s3cret" * 100
+        engine.close()
+
+    def test_per_user_trace_streams(self):
+        service = make_service()
+        engine = service.concurrent()
+        alice, _ = enroll(engine, service, "alice")
+        bob, _ = enroll(engine, service, "bob")
+        alice.read("/alice/data", at=0, size=32)
+        bob.read("/bob/data", at=0, size=32)
+        trace = service.storage.trace
+        assert len(trace.slice_by_stream("alice")) > 0
+        assert len(trace.slice_by_stream("bob")) > 0
+        engine.close()
+
+
+class TestConcurrentStress:
+    """Threads x sessions x mixed ops: the satellite stress test."""
+
+    USERS = 6
+    THREADS = 3
+    OPS_PER_USER = 25
+    FILE_BLOCKS = 12
+
+    def _run_stress(self, construction: str, seed: int):
+        service = make_service(construction, seed=seed, volume_mib=1)
+        engine = service.concurrent(dummy_to_real_ratio=1.5, quantum=8)
+        payload = service.volume.data_field_bytes
+        sessions = {}
+        models = {}
+        for i in range(self.USERS):
+            user = f"user{i}"
+            session, model = enroll(engine, service, user, blocks=self.FILE_BLOCKS)
+            sessions[user] = session
+            models[user] = model
+
+        errors: list[BaseException] = []
+
+        def drive(users: list[str]) -> None:
+            # Each session is driven by exactly one thread, so per-session
+            # program order (and read-your-writes) must hold even though
+            # the engine interleaves everyone's operations.
+            try:
+                for user in users:
+                    prng = Sha256Prng(f"stress:{seed}:{user}")
+                    session, model = sessions[user], models[user]
+                    path = f"/{user}/data"
+                    for opno in range(self.OPS_PER_USER):
+                        choice = prng.random()
+                        if choice < 0.45:
+                            size = 1 + prng.randrange(2 * payload)
+                            at = prng.randrange(max(1, len(model) - size))
+                            got = session.read(path, at=at, size=size)
+                            assert got == bytes(model[at : at + size]), (
+                                f"lost update visible to {user} at op {opno}"
+                            )
+                        elif choice < 0.8:
+                            size = 1 + prng.randrange(2 * payload)
+                            at = prng.randrange(max(1, len(model) - size))
+                            data = prng.random_bytes(size)
+                            session.write(path, data, at=at)
+                            model[at : at + size] = data
+                        elif choice < 0.92:
+                            data = prng.random_bytes(1 + prng.randrange(payload))
+                            session.append(path, data)
+                            model += data
+                        else:
+                            scratch = f"/{user}/scratch{opno}"
+                            session.create(scratch, b"temp" * 8)
+                            assert session.read(scratch) == b"temp" * 8
+                            session.delete(scratch)
+            except BaseException as error:  # surfaced after join
+                errors.append(error)
+
+        assignments = {t: [] for t in range(self.THREADS)}
+        for i in range(self.USERS):
+            assignments[i % self.THREADS].append(f"user{i}")
+        threads = [
+            threading.Thread(target=drive, args=(assignments[t],)) for t in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        engine.idle(0)  # barrier: settle the last op's dummy burst
+
+        # No lost updates: every file reads back exactly as its model.
+        for user, session in sessions.items():
+            assert session.read(f"/{user}/data") == bytes(models[user])
+
+        # No bitmap double-allocation: sessions' files own disjoint
+        # physical blocks, and each owned block is marked allocated.
+        allocator = service.volume.allocator
+        seen: dict[int, str] = {}
+        for user, session in sessions.items():
+            for path in session.paths:
+                handle = session._session._handle(path)
+                for index in handle.header.all_blocks():
+                    assert index not in seen, (
+                        f"block {index} owned by both {seen[index]} and {user}:{path}"
+                    )
+                    seen[index] = f"{user}:{path}"
+                    assert allocator.is_allocated(index)
+        return service, engine
+
+    def test_volatile_stress_consistency(self):
+        service, engine = self._run_stress("volatile", seed=101)
+        engine.close()
+
+    def test_nonvolatile_stress_with_uniform_writes(self):
+        service, engine = self._run_stress("nonvolatile", seed=202)
+        # Under the non-volatile agent the selection space is the whole
+        # volume, so interleaved Figure-6 targets plus dummy updates must
+        # leave the write positions chi-square-indistinguishable from
+        # uniform over the volume.
+        writes = service.storage.trace.index_column("write")
+        assert writes.size > 400
+        _, p_value = uniformity_chi_square(writes, service.storage.geometry.num_blocks, bins=32)
+        assert p_value > 1e-4, f"interleaved writes distinguishable from uniform (p={p_value})"
+        engine.close()
+
+
+class TestBatchedEquivalence:
+    """The batched primitives must match their sequential counterparts."""
+
+    def test_dummy_update_batch_matches_sequential_loop(self):
+        twin_a = make_service(seed=99)
+        twin_b = make_service(seed=99)
+        for service in (twin_a, twin_b):
+            session = service.login(service.new_keyring("u"))
+            session.create("/u/f", b"x" * 3000)
+            session.create_decoy("/u/d", 3000)
+        batch_indices = twin_a.agent.dummy_update_batch(20)
+        loop_indices = [twin_b.agent.dummy_update() for _ in range(20)]
+        # Identical draws (selection and IV PRNGs are independent streams)
+        assert batch_indices == loop_indices
+        # ... identical final device bytes ...
+        assert twin_a.storage.raw_bytes() == twin_b.storage.raw_bytes()
+        # ... identical I/O totals (the batch schedules reads before
+        # writes instead of pairing them, but the multiset is the same).
+        assert twin_a.storage.counters.reads == twin_b.storage.counters.reads
+        assert twin_a.storage.counters.writes == twin_b.storage.counters.writes
+
+    def test_fresh_ivs_is_stream_identical(self):
+        twin_a = make_service(seed=5)
+        twin_b = make_service(seed=5)
+        batched = twin_a.volume.fresh_ivs(7)
+        sequential = [twin_b.volume.fresh_iv() for _ in range(7)]
+        assert batched == sequential
+
+    def test_session_range_read_is_trace_identical_to_block_loop(self):
+        """The satellite fix: multi-block range reads go through one
+        batched agent read with a device trace identical to the old
+        per-block loop."""
+        twin_a = make_service(seed=31)
+        twin_b = make_service(seed=31)
+        content = Sha256Prng("range").random_bytes(9 * twin_a.volume.data_field_bytes + 17)
+        session_a = twin_a.login(twin_a.new_keyring("u"))
+        session_a.create("/u/f", content)
+        session_b = twin_b.login(twin_b.new_keyring("u"))
+        session_b.create("/u/f", content)
+
+        payload = twin_a.volume.data_field_bytes
+        mark_a = len(twin_a.storage.trace)
+        mark_b = len(twin_b.storage.trace)
+        got = session_a.read("/u/f", at=payload // 2, size=5 * payload)
+
+        # Twin B performs the pre-fix per-block loop by hand.
+        handle = session_b._handle("/u/f")
+        at, end = payload // 2, payload // 2 + 5 * payload
+        first, last = at // payload, (end - 1) // payload
+        pieces = [
+            twin_b.agent.read_block(handle, logical, session_b.stream)
+            for logical in range(first, last + 1)
+        ]
+        expected = b"".join(pieces)[at - first * payload : end - first * payload]
+
+        assert got == expected == content[at:end]
+        assert twin_a.storage.trace.since(mark_a) == twin_b.storage.trace.since(mark_b)
+
+
+class TestLifecycleRegressions:
+    """Satellite: closed-service guards on idle() and dummy_oblivious_read()."""
+
+    def test_idle_on_closed_service_raises_service_closed(self):
+        service = make_service()
+        session = service.login(service.new_keyring("u"))
+        session.create("/u/f", b"data")
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.idle(3)
+
+    def test_dummy_oblivious_read_on_closed_service_raises_service_closed(self):
+        from repro.service import ObliviousConfig
+
+        service = HiddenVolumeService.create(
+            "nonvolatile",
+            volume_mib=1,
+            seed=3,
+            block_size=512,
+            latency=ZeroLatencyModel(),
+            oblivious=ObliviousConfig(buffer_blocks=4, last_level_blocks=64),
+        )
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.dummy_oblivious_read()
+
+    def test_closed_guard_fires_before_prng_mutation(self):
+        """The buggy path mutated agent PRNG state before failing."""
+        service = make_service()
+        session = service.login(service.new_keyring("u"))
+        session.create("/u/f", b"data")
+        service.close()
+        state_before = (service.agent._prng._counter, bytes(service.agent._prng._buffer))
+        with pytest.raises(ServiceClosedError):
+            service.idle(5)
+        assert (service.agent._prng._counter, bytes(service.agent._prng._buffer)) == state_before
+
+    def test_concurrent_hook_on_closed_service_raises(self):
+        service = make_service()
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.concurrent()
+
+
+class TestReentrancyTripwire:
+    """The locking-contract tripwire on the agents' mutating primitives."""
+
+    def test_reentrant_agent_call_raises_instead_of_corrupting(self, monkeypatch):
+        service = make_service()
+        session = service.login(service.new_keyring("u"))
+        session.create("/u/f", b"x" * 2000)
+        session.create_decoy("/u/d", 2000)
+        agent = service.agent
+        original = type(agent).select_random_block
+
+        def reentrant(self_agent):
+            # A callback sneaking a second mutating operation into the
+            # middle of a running one must trip the guard.
+            self_agent.dummy_update()
+            return original(self_agent)
+
+        monkeypatch.setattr(type(agent), "select_random_block", reentrant)
+        with pytest.raises(ConcurrentAccessError):
+            agent.dummy_update()
+
+    def test_cross_thread_overlap_raises(self):
+        service = make_service()
+        session = service.login(service.new_keyring("u"))
+        session.create("/u/f", b"x" * 2000)
+        session.create_decoy("/u/d", 2000)
+        agent = service.agent
+        started = threading.Event()
+        release = threading.Event()
+        original = type(agent).select_random_block
+
+        def stalling(self_agent):
+            started.set()
+            release.wait(timeout=5)
+            return original(self_agent)
+
+        failures: list[BaseException] = []
+
+        def background():
+            try:
+                type(agent).select_random_block = stalling
+                agent.dummy_update()
+            except BaseException as error:  # pragma: no cover - not expected
+                failures.append(error)
+
+        thread = threading.Thread(target=background)
+        thread.start()
+        try:
+            assert started.wait(timeout=5)
+            type(agent).select_random_block = original
+            with pytest.raises(ConcurrentAccessError):
+                agent.dummy_update()
+        finally:
+            release.set()
+            thread.join()
+            type(agent).select_random_block = original
+        assert not failures
+
+
+class TestConcurrencyScenario:
+    def test_scenario_runs_and_reports(self):
+        result = run_experiment(
+            ConcurrencyScenario(
+                construction="nonvolatile",
+                volume_mib=1,
+                block_size=512,
+                users=3,
+                workers=3,
+                ops_per_user=8,
+                file_blocks=8,
+                intervals=2,
+                latency=ZeroLatencyModel(),
+                attackers=("update-analysis",),
+            )
+        )
+        assert result.measurements["ops"] == 24.0
+        assert result.measurements["ops_per_sec"] > 0
+        assert result.measurements["dummy_updates"] > 0
+        verdict = result.verdict("update-analysis")
+        assert verdict.suspects_hidden_activity is False
+
+    def test_scenario_validation(self):
+        with pytest.raises(ValueError):
+            ConcurrencyScenario(construction="bogus")
+        with pytest.raises(ValueError):
+            ConcurrencyScenario(workers=0)
+        with pytest.raises(ValueError):
+            ConcurrencyScenario(read_fraction=1.5)
+        with pytest.raises(ValueError):
+            ConcurrencyScenario(intervals=0)
+
+
+class TestTraceConcurrency:
+    """Appends stay consistent while an observer captures concurrently."""
+
+    def test_concurrent_record_and_capture(self):
+        from repro.storage.trace import IoTrace
+
+        trace = IoTrace()
+        stop = threading.Event()
+        failures: list[BaseException] = []
+
+        def writer():
+            try:
+                i = 0
+                while not stop.is_set():
+                    trace.record("read", i % 100, float(i))
+                    trace.record_many("write", [i % 100, (i + 1) % 100], [float(i), float(i)])
+                    i += 1
+            except BaseException as error:
+                failures.append(error)
+
+        def reader():
+            try:
+                last = 0
+                while not stop.is_set():
+                    n = len(trace)
+                    assert n >= last, "trace shrank under a reader"
+                    last = n
+                    column = trace.index_column()
+                    assert column.size <= len(trace)
+                    trace.between(0.0, 50.0)
+                    trace.index_histogram()
+            except BaseException as error:
+                failures.append(error)
+
+        threads = [threading.Thread(target=writer), threading.Thread(target=reader)]
+        for thread in threads:
+            thread.start()
+        stop_timer = threading.Timer(0.5, stop.set)
+        stop_timer.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        stop_timer.cancel()
+        stop.set()
+        assert not failures

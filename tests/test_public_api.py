@@ -25,7 +25,11 @@ EXPECTED_TOP_LEVEL = [
     "AES",
     "BlockBackend",
     "CbcCipher",
+    "ConcurrencyScenario",
+    "ConcurrentSession",
+    "ConcurrentVolumeService",
     "DiskLatencyModel",
+    "EngineStats",
     "ExperimentResult",
     "FastFieldCipher",
     "FileAccessKey",
@@ -75,6 +79,10 @@ EXPECTED_TOP_LEVEL = [
 
 EXPECTED_SERVICE = [
     "CONSTRUCTIONS",
+    "ConcurrencyScenario",
+    "ConcurrentSession",
+    "ConcurrentVolumeService",
+    "EngineStats",
     "ExperimentResult",
     "FileStat",
     "HiddenVolumeService",
@@ -163,6 +171,8 @@ CLEAN_FILES = [
     "examples/multiuser_agent.py",
     "examples/oblivious_reads.py",
     "examples/salary_database.py",
+    "examples/concurrent_server.py",
+    "benchmarks/test_concurrent_throughput.py",
     "benchmarks/test_fig10a_retrieval_filesize.py",
     "benchmarks/test_fig10b_retrieval_concurrency.py",
     "benchmarks/test_fig11a_update_utilisation.py",
