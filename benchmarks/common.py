@@ -14,6 +14,7 @@ comparison for every experiment.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 from repro.analysis.series import SeriesTable, SweepResult
@@ -36,6 +37,21 @@ def save_result(name: str, rendered: str) -> pathlib.Path:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(rendered + "\n", encoding="utf-8")
     print(f"\n{rendered}\n[saved to {path}]")
+    return path
+
+
+def write_bench_json(name: str, payload: dict) -> pathlib.Path:
+    """Write a machine-readable result to benchmarks/results/<name>.json.
+
+    The JSON twins the rendered ``.txt`` tables so CI can enforce
+    numeric floors (see ``check_bench_floor.py``) without parsing prose.
+    Keys are sorted and the file ends in a newline so regenerated
+    results diff cleanly.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"[saved to {path}]")
     return path
 
 
@@ -67,6 +83,7 @@ __all__ = [
     "SweepResult",
     "SeriesTable",
     "save_result",
+    "write_bench_json",
     "run_once",
     "assert_monotone_increasing",
     "assert_monotone_decreasing",

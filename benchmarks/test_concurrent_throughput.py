@@ -28,13 +28,14 @@ be "indistinguishable" — interleaving must not leak.
 
 from __future__ import annotations
 
+import json
 import os
 import threading
 import time
 
 import pytest
 
-from common import SeriesTable, run_once, save_result
+from common import MIB, RESULTS_DIR, SeriesTable, run_once, save_result, write_bench_json
 from repro import ConcurrencyScenario, HiddenVolumeService, run_experiment
 from repro.crypto.prng import Sha256Prng
 from repro.storage.latency import ZeroLatencyModel
@@ -69,10 +70,11 @@ def _user_ops(user: str, file_bytes: int) -> list[tuple[str, int, int, bytes | N
     return ops
 
 
-def _measure(workers: int) -> tuple[float, float]:
+def _measure(workers: int) -> tuple[float, dict]:
     """Ops/s of the engine serving the mixed workload with N workers.
 
-    Returns ``(ops_per_sec, largest_read_batch)``.
+    Returns ``(ops_per_sec, stats)`` where ``stats`` carries the engine
+    batching/fusion counters plus the workload's MB/s.
     """
     service = HiddenVolumeService.create(
         "nonvolatile", volume_mib=1, seed=11, block_size=BLOCK_SIZE, latency=ZeroLatencyModel()
@@ -115,9 +117,17 @@ def _measure(workers: int) -> tuple[float, float]:
     if errors:
         raise errors[0]
     ops_per_sec = USERS * OPS_PER_USER / elapsed
-    largest = float(engine.stats.largest_read_batch)
+    bytes_moved = sum(size for ops in streams.values() for _, _, size, _ in ops)
+    stats = {
+        "ops_per_sec": ops_per_sec,
+        "mb_per_sec": bytes_moved / elapsed / MIB,
+        "largest_read_batch": engine.stats.largest_read_batch,
+        "write_fusions": engine.stats.write_fusions,
+        "fused_write_steps": engine.stats.fused_write_steps,
+        "largest_write_fusion": engine.stats.largest_write_fusion,
+    }
     engine.close()
-    return ops_per_sec, largest
+    return ops_per_sec, stats
 
 
 def run_throughput_sweep() -> tuple[SeriesTable, dict[int, float]]:
@@ -129,26 +139,52 @@ def run_throughput_sweep() -> tuple[SeriesTable, dict[int, float]]:
     shared host.
     """
     best: dict[int, float] = {workers: 0.0 for workers in WORKER_SWEEP}
-    widest: dict[int, float] = {workers: 0.0 for workers in WORKER_SWEEP}
+    peak_stats: dict[int, dict] = {workers: {} for workers in WORKER_SWEEP}
     for _ in range(ROUNDS):
         for workers in WORKER_SWEEP:
-            ops_per_sec, largest = _measure(workers)
-            best[workers] = max(best[workers], ops_per_sec)
-            widest[workers] = max(widest[workers], largest)
+            ops_per_sec, stats = _measure(workers)
+            if ops_per_sec > best[workers]:
+                best[workers] = ops_per_sec
+                peak_stats[workers] = stats
     table = SeriesTable(
         name=(
             "Concurrent serving engine: mixed 90/10 read/write, 8 users, "
             f"dummy ratio {DUMMY_RATIO} (peak of {ROUNDS} rounds)"
         ),
-        columns=["workers", "ops/s", "speedup", "largest read batch"],
+        columns=["workers", "ops/s", "speedup", "largest read batch", "write fusions"],
     )
     for workers in WORKER_SWEEP:
         table.add_row(
             workers,
             round(best[workers]),
             round(best[workers] / best[1], 2),
-            int(widest[workers]),
+            int(peak_stats[workers]["largest_read_batch"]),
+            int(peak_stats[workers]["write_fusions"]),
         )
+    write_bench_json(
+        "BENCH_plan_kernel",
+        {
+            "benchmark": "plan-kernel concurrent throughput",
+            "block_size": BLOCK_SIZE,
+            "users": USERS,
+            "ops_per_user": OPS_PER_USER,
+            "read_fraction": READ_FRACTION,
+            "dummy_to_real_ratio": DUMMY_RATIO,
+            "rounds": ROUNDS,
+            "series": {
+                str(workers): {
+                    "ops_per_sec": round(best[workers], 1),
+                    "mb_per_sec": round(peak_stats[workers]["mb_per_sec"], 3),
+                    "speedup": round(best[workers] / best[1], 3),
+                    "largest_read_batch": peak_stats[workers]["largest_read_batch"],
+                    "write_fusions": peak_stats[workers]["write_fusions"],
+                    "fused_write_steps": peak_stats[workers]["fused_write_steps"],
+                    "largest_write_fusion": peak_stats[workers]["largest_write_fusion"],
+                }
+                for workers in WORKER_SWEEP
+            },
+        },
+    )
     return table, best
 
 
@@ -169,6 +205,13 @@ def test_concurrent_throughput_scaling(benchmark):
         assert speedup[4] >= MIN_PEAK_SPEEDUP, (
             f"4 workers below {MIN_PEAK_SPEEDUP}x on a {os.cpu_count()}-core host: {speedup}"
         )
+    # The plan kernel must actually fuse cross-session writes somewhere
+    # in the multi-worker sweep (the JSON carries the per-config counts).
+    payload = json.loads((RESULTS_DIR / "BENCH_plan_kernel.json").read_text())
+    multi_worker_fusions = sum(
+        row["write_fusions"] for workers, row in payload["series"].items() if workers != "1"
+    )
+    assert multi_worker_fusions > 0, "no cross-session write fusion observed in the sweep"
 
 
 @pytest.mark.benchmark(group="concurrency")

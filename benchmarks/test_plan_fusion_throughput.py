@@ -1,0 +1,186 @@
+"""Plan-kernel write fusion — fused engine vs read-only-coalescing baseline.
+
+The plan kernel lets one scheduler quantum fuse adjacent *write* and
+*read-write-cycle* steps across sessions into single batched device
+calls; before it, only reads coalesced.  This benchmark sweeps the
+session count under a mixed 50/50 read/write workload (one thread per
+session, so the gather window actually sees concurrent writers) and
+compares the fused engine against the same engine with
+``fuse_writes=False`` — the pre-plan-kernel behaviour, where every write
+flushes the buffer and executes alone.
+
+Reported per session count: wall-clock ops/s for both engines, the
+cross-session write-fusion rate (fused write/cycle steps as a fraction
+of all planned write requests), and the widest fusion observed.  The
+assertions pin the qualitative claim: with more than one session the
+fused engine observes actual cross-session fusion (count > 0), the
+baseline observes none, and fused throughput does not collapse relative
+to the baseline.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from common import SeriesTable, run_once, save_result, write_bench_json
+from repro import HiddenVolumeService
+from repro.crypto.prng import Sha256Prng
+from repro.storage.latency import ZeroLatencyModel
+
+SESSION_SWEEP = (1, 2, 4, 8)
+OPS_PER_SESSION = 120
+FILE_BYTES = 12_000
+BLOCK_SIZE = 512
+READ_FRACTION = 0.5
+DUMMY_RATIO = 1.0
+QUANTUM = 32
+#: The fused engine keeps scheduler overhead, so tiny workloads can pay
+#: a modest tax; it must never collapse below this fraction of baseline.
+MIN_RELATIVE_THROUGHPUT = 0.5
+
+
+def _session_ops(user: str) -> list[tuple[str, int, int, bytes | None]]:
+    prng = Sha256Prng(f"fusion:{user}")
+    ops: list[tuple[str, int, int, bytes | None]] = []
+    for _ in range(OPS_PER_SESSION):
+        size = 1 + prng.randrange(2 * BLOCK_SIZE)
+        at = prng.randrange(FILE_BYTES - size)
+        if prng.random() < READ_FRACTION:
+            ops.append(("read", at, size, None))
+        else:
+            ops.append(("write", at, size, prng.random_bytes(size)))
+    return ops
+
+
+def _measure(sessions: int, fuse_writes: bool) -> dict:
+    """One thread per session; returns ops/s plus the fusion counters."""
+    service = HiddenVolumeService.create(
+        "nonvolatile", volume_mib=1, seed=23, block_size=BLOCK_SIZE, latency=ZeroLatencyModel()
+    )
+    engine = service.concurrent(
+        dummy_to_real_ratio=DUMMY_RATIO, quantum=QUANTUM, fuse_writes=fuse_writes
+    )
+    handles = []
+    for index in range(sessions):
+        user = f"user{index}"
+        session = engine.login(service.new_keyring(user))
+        session.create(f"/{user}/data", Sha256Prng(f"content:{user}").random_bytes(FILE_BYTES))
+        handles.append(session)
+    streams = {session.user: _session_ops(session.user) for session in handles}
+    errors: list[BaseException] = []
+
+    def drive(session) -> None:
+        try:
+            for kind, at, size, data in streams[session.user]:
+                if kind == "read":
+                    session.read(f"/{session.user}/data", at=at, size=size)
+                else:
+                    session.write(f"/{session.user}/data", data, at=at)
+        except BaseException as error:  # pragma: no cover - surfaced below
+            errors.append(error)
+
+    threads = [threading.Thread(target=drive, args=(session,)) for session in handles]
+    began = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - began
+    if errors:
+        raise errors[0]
+    write_requests = sum(
+        1 for ops in streams.values() for kind, _, _, _ in ops if kind == "write"
+    )
+    stats = engine.stats
+    engine.close()
+    return {
+        "ops_per_sec": sessions * OPS_PER_SESSION / elapsed,
+        "write_fusions": stats.write_fusions,
+        "fused_write_steps": stats.fused_write_steps,
+        "largest_write_fusion": stats.largest_write_fusion,
+        "fusion_rate": stats.fused_write_steps / max(1, write_requests),
+    }
+
+
+def run_fusion_sweep() -> dict[int, dict[str, dict]]:
+    results: dict[int, dict[str, dict]] = {}
+    for sessions in SESSION_SWEEP:
+        results[sessions] = {
+            "fused": _measure(sessions, fuse_writes=True),
+            "baseline": _measure(sessions, fuse_writes=False),
+        }
+    return results
+
+
+@pytest.mark.benchmark(group="concurrency")
+def test_plan_fusion_throughput(benchmark):
+    results = run_once(benchmark, run_fusion_sweep)
+    table = SeriesTable(
+        name=(
+            "Plan-kernel write fusion: mixed 50/50 read/write, one thread per "
+            f"session, dummy ratio {DUMMY_RATIO}"
+        ),
+        columns=[
+            "sessions",
+            "fused ops/s",
+            "baseline ops/s",
+            "relative",
+            "fusion rate",
+            "largest fusion",
+        ],
+    )
+    for sessions in SESSION_SWEEP:
+        fused = results[sessions]["fused"]
+        baseline = results[sessions]["baseline"]
+        table.add_row(
+            sessions,
+            round(fused["ops_per_sec"]),
+            round(baseline["ops_per_sec"]),
+            round(fused["ops_per_sec"] / baseline["ops_per_sec"], 2),
+            round(fused["fusion_rate"], 3),
+            fused["largest_write_fusion"],
+        )
+    save_result("plan_fusion_throughput", table.render())
+    write_bench_json(
+        "BENCH_plan_fusion",
+        {
+            "benchmark": "plan-kernel write fusion vs read-only coalescing",
+            "block_size": BLOCK_SIZE,
+            "ops_per_session": OPS_PER_SESSION,
+            "read_fraction": READ_FRACTION,
+            "dummy_to_real_ratio": DUMMY_RATIO,
+            "quantum": QUANTUM,
+            "series": {
+                str(sessions): {
+                    mode: {
+                        "ops_per_sec": round(row["ops_per_sec"], 1),
+                        "write_fusions": row["write_fusions"],
+                        "fused_write_steps": row["fused_write_steps"],
+                        "largest_write_fusion": row["largest_write_fusion"],
+                        "fusion_rate": round(row["fusion_rate"], 4),
+                    }
+                    for mode, row in results[sessions].items()
+                }
+                for sessions in SESSION_SWEEP
+            },
+        },
+    )
+
+    multi = [results[sessions] for sessions in SESSION_SWEEP if sessions > 1]
+    assert sum(pair["fused"]["write_fusions"] for pair in multi) > 0, (
+        "fused engine observed no cross-session write fusion"
+    )
+    for sessions in SESSION_SWEEP:
+        assert results[sessions]["baseline"]["write_fusions"] == 0, (
+            "fuse_writes=False must never fuse writes"
+        )
+        relative = (
+            results[sessions]["fused"]["ops_per_sec"]
+            / results[sessions]["baseline"]["ops_per_sec"]
+        )
+        assert relative >= MIN_RELATIVE_THROUGHPUT, (
+            f"fused engine collapsed to {relative:.2f}x baseline at {sessions} sessions"
+        )

@@ -40,6 +40,7 @@ from repro.core.oblivious import (
     oblivious_height,
     overhead_factor,
 )
+from repro.core.plan import IoPlan, PlanJournal, PlannedOp
 from repro.core.volatile import VolatileAgent
 from repro.crypto import AES, CbcCipher, FastFieldCipher, FileAccessKey, KeyRing, Sha256Prng
 from repro.errors import HiddenFileExistsError, HiddenFileNotFoundError
@@ -101,6 +102,10 @@ __all__ = [
     "ExperimentResult",
     "run_experiment",
     "FileSpec",
+    # -- declarative I/O-plan kernel (plan -> fuse -> execute)
+    "IoPlan",
+    "PlannedOp",
+    "PlanJournal",
     # -- constructions and substrate (advanced / internal-facing surface)
     "StegAgent",
     "UpdateResult",

@@ -20,6 +20,21 @@ constructions hide data updates the same way (Section 4.1.3–4.1.4):
 The two constructions differ only in key custody and in which blocks the
 agent may touch; those policy decisions are the abstract methods here.
 
+Plan → fuse → execute
+---------------------
+Every reading/mutating primitive is split into a pure *planner* (PRNG
+draws, allocator transfers, header relocation, sealing — no device I/O)
+emitting an :class:`~repro.core.plan.IoPlan`, and the generic executor
+of :mod:`repro.core.plan`, which fuses adjacent steps and replays them
+through the batched device paths.  Hoisting the draws is sound because
+the selection, IV and allocator PRNGs are independent spawned streams
+and no Figure-6 decision depends on device contents; the twin-trace
+suite (``tests/test_plan_kernel.py``) pins that every planned primitive
+is draw-, byte- and trace-identical to the loop it replaced.  Assign a
+:class:`~repro.core.plan.PlanJournal` to :attr:`StegAgent.plan_journal`
+to record each plan before its first device request (the intent-log
+seam).
+
 Locking contract
 ----------------
 Agents (and everything below them: volume, allocator, PRNG streams,
@@ -42,12 +57,20 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+from repro.core.plan import (
+    CycleStep,
+    IoPlan,
+    PlanJournal,
+    ReadStep,
+    ResealStep,
+    WriteStep,
+    execute_plan,
+)
 from repro.crypto.keys import FileAccessKey
 from repro.crypto.prng import Sha256Prng
 from repro.errors import ConcurrentAccessError, UnknownFileError
 from repro.stegfs.file import HiddenFile
 from repro.stegfs.filesystem import StegFsVolume
-from repro.storage.block import BLOCK_IV_SIZE, StoredBlock
 
 
 @dataclass(frozen=True)
@@ -97,6 +120,15 @@ class StegAgent(ABC):
         # Name of the mutating primitive currently executing; the
         # re-entrancy tripwire of the locking contract (module docstring).
         self._active_op: str | None = None
+        # Optional intent-log hook: when set, every plan is recorded
+        # here before its first device request executes.
+        self.plan_journal: PlanJournal | None = None
+
+    def _execute(self, plan: IoPlan) -> list[bytes]:
+        """Journal (if hooked) and execute one plan against the volume's device."""
+        return execute_plan(
+            plan, self.volume.device, self.volume.cipher_for, self.plan_journal
+        )
 
     @contextmanager
     def _exclusive(self, operation: str) -> Iterator[None]:
@@ -223,6 +255,19 @@ class StegAgent(ABC):
         """Read one logical block of a hidden file."""
         return self.volume.read_block(handle, logical_index, stream)
 
+    def plan_read_blocks(
+        self, handle: HiddenFile, logical_indices: Iterable[int], stream: str = "default"
+    ) -> IoPlan:
+        """Plan a run of logical-block reads (steps carry the content cipher)."""
+        cipher = self.volume.cipher_for(handle.content_key)
+        return IoPlan(
+            [
+                ReadStep(handle.header.physical_block(logical), stream, cipher=cipher)
+                for logical in logical_indices
+            ],
+            label="read_blocks",
+        )
+
     def read_blocks(
         self, handle: HiddenFile, logical_indices: Iterable[int], stream: str = "default"
     ) -> list[bytes]:
@@ -230,16 +275,23 @@ class StegAgent(ABC):
 
         Trace-identical to a loop of :meth:`read_block` over
         ``logical_indices`` — the device sees the same block requests in
-        the same order — but the data and crypto move through the PR-1
-        batched pipeline in one call.
+        the same order — planned as one read run and executed through
+        the batched pipeline in one call.
         """
-        physicals = [handle.header.physical_block(logical) for logical in logical_indices]
-        return self.volume.read_payloads(physicals, handle.content_key, stream)
+        return self._execute(self.plan_read_blocks(handle, logical_indices, stream))
+
+    def plan_save_file(self, handle: HiddenFile, stream: str = "default") -> IoPlan:
+        """Plan a header-chain save: allocator/IV draws and sealing, no device I/O."""
+        indices, datas = self.volume.plan_header_save(handle)
+        self._register_handle(handle)
+        return IoPlan(
+            [WriteStep(index, data, stream) for index, data in zip(indices, datas)],
+            label="save_file",
+        )
 
     def save_file(self, handle: HiddenFile, stream: str = "default") -> None:
         """Flush the cached header chain of an open file to the device."""
-        self.volume.save_header(handle, stream)
-        self._register_handle(handle)
+        self._execute(self.plan_save_file(handle, stream))
 
     def close_file(self, handle: HiddenFile, stream: str = "default") -> None:
         """Save (if dirty) and forget an open file."""
@@ -255,10 +307,20 @@ class StegAgent(ABC):
         snapshots cannot tell a deletion happened.  The handle is left
         empty and must not be used afterwards.
         """
+        if self.plan_journal is not None:
+            # Deletion is pure bookkeeping; its plan is deliberately
+            # empty, and journalling it keeps the intent log complete.
+            self.plan_journal.record(IoPlan([], label="delete_file"))
         self._unregister_handle(handle)
         self.volume.delete_file(handle, stream)
 
     # -- the hiding primitives --------------------------------------------------------
+
+    def plan_dummy_update(self, stream: str = "dummy") -> tuple[IoPlan, int]:
+        """Plan one dummy update: draw the block and its fresh IV, no device I/O."""
+        index = self.select_random_block()
+        step = ResealStep(index, self.key_for_block(index), self.volume.fresh_iv(), stream)
+        return IoPlan([step], label="dummy_update"), index
 
     def dummy_update(self, stream: str = "dummy") -> int:
         """Perform one dummy update on a uniformly random block.
@@ -267,9 +329,20 @@ class StegAgent(ABC):
         write, exactly like each iteration of a real update.
         """
         with self._exclusive("dummy_update"):
-            index = self.select_random_block()
-            self.volume.rewrite_with_new_iv(index, self.key_for_block(index), stream)
+            plan, index = self.plan_dummy_update(stream)
+            self._execute(plan)
             return index
+
+    def plan_dummy_update_batch(self, count: int, stream: str = "dummy") -> tuple[IoPlan, list[int]]:
+        """Plan ``count`` coalesced dummy updates (batched reseal schedule)."""
+        indices = [self.select_random_block() for _ in range(count)]
+        keys = [self.key_for_block(index) for index in indices]
+        new_ivs = self.volume.fresh_ivs(count)
+        steps = [
+            ResealStep(index, key, new_iv, stream, batched=True)
+            for index, key, new_iv in zip(indices, keys, new_ivs)
+        ]
+        return IoPlan(steps, label="dummy_update_batch"), indices
 
     def dummy_update_batch(self, count: int, stream: str = "dummy") -> list[int]:
         """Run ``count`` dummy updates coalesced through the batched device paths.
@@ -283,63 +356,40 @@ class StegAgent(ABC):
         calls.  Snapshot-level observables (which blocks changed, to
         what ciphertext) are unchanged; the request trace shows the same
         multiset of operations in a locally reordered schedule.
+        Duplicate draws are safe: resealing preserves the plaintext, so
+        the reads-then-writes schedule leaves the same bytes as
+        resealing the reseal (the loop's behaviour).
         """
         if count <= 0:
             return []
         with self._exclusive("dummy_update_batch"):
-            volume = self.volume
-            indices = [self.select_random_block() for _ in range(count)]
-            keys = [self.key_for_block(index) for index in indices]
-            new_ivs = volume.fresh_ivs(count)
-            raws = volume.device.read_blocks(indices, stream)
-            # Reseal per key group through the vectorized cipher calls,
-            # slicing the raw iv||ciphertext layout directly.  Duplicate
-            # draws are safe: resealing preserves the plaintext, so
-            # writing both reseals in draw order leaves the same bytes
-            # as resealing the reseal (the loop's behaviour).
-            positions_by_key: dict[bytes, list[int]] = {}
-            for position, key in enumerate(keys):
-                positions_by_key.setdefault(key, []).append(position)
-            datas: list[bytes | None] = [None] * count
-            for key, positions in positions_by_key.items():
-                cipher = volume.cipher_for(key)
-                plaintexts = cipher.decrypt_many(
-                    [raws[p][:BLOCK_IV_SIZE] for p in positions],
-                    [raws[p][BLOCK_IV_SIZE:] for p in positions],
-                )
-                ciphertexts = cipher.encrypt_many([new_ivs[p] for p in positions], plaintexts)
-                for p, ciphertext in zip(positions, ciphertexts):
-                    datas[p] = new_ivs[p] + ciphertext
-            volume.device.write_blocks(indices, datas, stream)
+            plan, indices = self.plan_dummy_update_batch(count, stream)
+            self._execute(plan)
             return indices
 
-    def update_block(
-        self,
-        handle: HiddenFile,
-        logical_index: int,
-        payload: bytes,
-        stream: str = "default",
-    ) -> UpdateResult:
-        """Update one logical block of a file using the Figure-6 algorithm."""
-        with self._exclusive("update_block"):
-            return self._update_block(handle, logical_index, payload, stream)
-
-    def _update_block(
+    def _plan_one_update(
         self,
         handle: HiddenFile,
         logical_index: int,
         payload: bytes,
         stream: str,
-    ) -> UpdateResult:
+    ) -> tuple[IoPlan, UpdateResult]:
+        """Plan one Figure-6 update: draws and bookkeeping, no device I/O.
+
+        Nothing mutates until the terminal iteration, so an error raised
+        while planning leaves the update untouched.  Hoisting the draws
+        off the device path is sound because no Figure-6 decision
+        depends on device contents.
+        """
         if self.owner_of(handle.header.physical_block(logical_index)) is None:
             raise UnknownFileError(
                 "the agent does not hold keys for the file being updated"
             )
         b1 = handle.header.physical_block(logical_index)
-        content_key = handle.content_key
         iterations = 0
         reads = 0
         writes = 0
+        steps: list[ResealStep | CycleStep] = []
 
         while True:
             iterations += 1
@@ -347,17 +397,18 @@ class StegAgent(ABC):
 
             if b2 == b1:
                 # Update in place: read-modify-write at the same location.
-                self.volume.device.read_block(b1, stream)
+                final_iv = self.volume.fresh_iv()
+                target = b1
                 reads += 1
-                self.volume.write_payload(b1, content_key, payload, stream)
                 writes += 1
-                return UpdateResult(iterations, reads, writes, moved_from=b1, moved_to=b1)
+                result = UpdateResult(iterations, reads, writes, moved_from=b1, moved_to=b1)
+                break
 
             if self.is_dummy_block(b2):
                 # Swap: the data moves to B2, B1 becomes a dummy block.
-                self.volume.device.read_block(b1, stream)
+                final_iv = self.volume.fresh_iv()
+                target = b2
                 reads += 1
-                self.volume.write_payload(b2, content_key, payload, stream)
                 writes += 1
                 handle.header.relocate(logical_index, b2)
                 handle.mark_dirty()
@@ -368,12 +419,30 @@ class StegAgent(ABC):
                 self._untrack_block(b1)
                 self.claim_dummy_block(new_data_block=b2, released_block=b1)
                 self._track_block(b2, handle, "data")
-                return UpdateResult(iterations, reads, writes, moved_from=b1, moved_to=b2)
+                result = UpdateResult(iterations, reads, writes, moved_from=b1, moved_to=b2)
+                break
 
-            # B2 is another data block: give it a dummy update and try again.
-            self.volume.rewrite_with_new_iv(b2, self.key_for_block(b2), stream)
+            # B2 is another data block: plan it a dummy update and try again.
+            steps.append(ResealStep(b2, self.key_for_block(b2), self.volume.fresh_iv(), stream))
             reads += 1
             writes += 1
+
+        [sealed] = self.volume.seal_payloads(handle.content_key, [payload], [final_iv])
+        steps.append(CycleStep(b1, target, sealed, stream))
+        return IoPlan(steps, label="update_block"), result
+
+    def update_block(
+        self,
+        handle: HiddenFile,
+        logical_index: int,
+        payload: bytes,
+        stream: str = "default",
+    ) -> UpdateResult:
+        """Update one logical block of a file using the Figure-6 algorithm."""
+        with self._exclusive("update_block"):
+            plan, result = self._plan_one_update(handle, logical_index, payload, stream)
+            self._execute(plan)
+            return result
 
     def update_range(
         self,
@@ -386,87 +455,55 @@ class StegAgent(ABC):
 
         Observationally this is exactly a loop of :meth:`update_block`:
         the Figure-6 draws, the IV draws and every device request happen
-        in the same order with the same bytes.  Internally each update
-        is first *planned* — the draws and the in-memory bookkeeping run
-        without device I/O, which is sound because no Figure-6 decision
-        depends on device contents — and then *executed* with its new
-        payload sealed through the batched crypto path.  Planning stays
-        per-update (not whole-range) so that an error while planning a
-        later update leaves every earlier update fully committed to the
-        device, just as the plain loop would.  The read/write
-        interleaving of the loop is preserved deliberately: re-ordering
-        it would change the trace and the simulated head movement that
-        the update-analysis experiments observe.
+        in the same order with the same bytes.  Each update is first
+        *planned* and then *executed*; planning stays per-update (not
+        whole-range) so that an error while planning a later update
+        leaves every earlier update fully committed to the device, just
+        as the plain loop would.  The read/write interleaving of the
+        loop is preserved deliberately: re-ordering it would change the
+        trace and the simulated head movement that the update-analysis
+        experiments observe.  :meth:`plan_update_range` is the engine's
+        whole-range variant with different error semantics.
         """
         with self._exclusive("update_range"):
-            return self._update_range(handle, start_logical, payloads, stream)
+            results: list[UpdateResult] = []
+            for offset, payload in enumerate(payloads):
+                plan, result = self._plan_one_update(
+                    handle, start_logical + offset, payload, stream
+                )
+                self._execute(plan)
+                results.append(result)
+            return results
 
-    def _update_range(
+    def plan_update_range(
         self,
         handle: HiddenFile,
         start_logical: int,
         payloads: list[bytes],
-        stream: str,
-    ) -> list[UpdateResult]:
-        device = self.volume.device
-        results: list[UpdateResult] = []
-        for offset, payload in enumerate(payloads):
-            logical_index = start_logical + offset
-            if self.owner_of(handle.header.physical_block(logical_index)) is None:
-                raise UnknownFileError(
-                    "the agent does not hold keys for the file being updated"
+        stream: str = "default",
+    ) -> tuple[IoPlan, list[UpdateResult]]:
+        """Plan a whole range update as one fused plan (the engine's path).
+
+        Unlike :meth:`update_range`, *all* updates are planned before
+        any device I/O happens, so a planning error commits nothing.
+        The device sees the same requests in the same order as the
+        per-update path; only the failure atomicity differs.
+        """
+        with self._exclusive("plan_update_range"):
+            for offset in range(len(payloads)):
+                if self.owner_of(handle.header.physical_block(start_logical + offset)) is None:
+                    raise UnknownFileError(
+                        "the agent does not hold keys for the file being updated"
+                    )
+            steps: list[ReadStep | WriteStep | CycleStep | ResealStep] = []
+            results: list[UpdateResult] = []
+            for offset, payload in enumerate(payloads):
+                plan, result = self._plan_one_update(
+                    handle, start_logical + offset, payload, stream
                 )
-            b1 = handle.header.physical_block(logical_index)
-            iterations = 0
-            reads = 0
-            writes = 0
-            reseals: list[tuple[int, bytes, bytes]] = []
-
-            # -- plan this update: draws and bookkeeping, no device I/O.
-            # Nothing mutates until the terminal iteration, so an error
-            # raised while planning leaves the update untouched.
-            while True:
-                iterations += 1
-                b2 = self.select_random_block()
-
-                if b2 == b1:
-                    final_iv = self.volume.fresh_iv()
-                    target = b1
-                    reads += 1
-                    writes += 1
-                    result = UpdateResult(iterations, reads, writes, moved_from=b1, moved_to=b1)
-                    break
-
-                if self.is_dummy_block(b2):
-                    final_iv = self.volume.fresh_iv()
-                    target = b2
-                    reads += 1
-                    writes += 1
-                    handle.header.relocate(logical_index, b2)
-                    handle.mark_dirty()
-                    self.volume.allocator.transfer(b1, b2)
-                    self._untrack_block(b1)
-                    self.claim_dummy_block(new_data_block=b2, released_block=b1)
-                    self._track_block(b2, handle, "data")
-                    result = UpdateResult(iterations, reads, writes, moved_from=b1, moved_to=b2)
-                    break
-
-                reseals.append((b2, self.key_for_block(b2), self.volume.fresh_iv()))
-                reads += 1
-                writes += 1
-
-            # -- execute this update's I/O in the loop's exact order.
-            [sealed] = self.volume.seal_payloads(handle.content_key, [payload], [final_iv])
-            for b2, key, new_iv in reseals:
-                raw = device.read_block(b2, stream)
-                resealed = StoredBlock.from_raw(raw).reseal_with_new_iv(
-                    self.volume.cipher_for(key), new_iv
-                )
-                device.write_block(b2, resealed.raw, stream)
-            device.read_block(b1, stream)
-            device.write_block(target, sealed, stream)
-            results.append(result)
-        return results
+                steps.extend(plan.steps)
+                results.append(result)
+            return IoPlan(steps, label="update_range"), results
 
     def append_blocks(
         self, handle: HiddenFile, payloads: list[bytes], stream: str = "default"
@@ -480,20 +517,37 @@ class StegAgent(ABC):
         path that does this bookkeeping.
         """
         with self._exclusive("append_blocks"):
-            if (
-                payloads
-                and handle.num_blocks > 0
-                and self.owner_of(handle.header.physical_block(0)) is None
-            ):
-                raise UnknownFileError(
-                    "the agent does not hold keys for the file being appended to"
-                )
-            logicals: list[int] = []
-            for payload in payloads:
-                logical = self.volume.append_block(handle, payload, stream)
-                self._track_block(handle.header.physical_block(logical), handle, "data")
-                logicals.append(logical)
+            plan, logicals = self._plan_append_blocks(handle, payloads, stream)
+            self._execute(plan)
             return logicals
+
+    def _plan_append_blocks(
+        self, handle: HiddenFile, payloads: list[bytes], stream: str
+    ) -> tuple[IoPlan, list[int]]:
+        """Plan whole-block appends: allocation, sealing and tracking, no device I/O."""
+        if (
+            payloads
+            and handle.num_blocks > 0
+            and self.owner_of(handle.header.physical_block(0)) is None
+        ):
+            raise UnknownFileError(
+                "the agent does not hold keys for the file being appended to"
+            )
+        steps: list[WriteStep] = []
+        logicals: list[int] = []
+        for payload in payloads:
+            logical, physical, sealed = self.volume.plan_append_block(handle, payload)
+            self._track_block(physical, handle, "data")
+            steps.append(WriteStep(physical, sealed, stream))
+            logicals.append(logical)
+        return IoPlan(steps, label="append_blocks"), logicals
+
+    def plan_append_blocks(
+        self, handle: HiddenFile, payloads: list[bytes], stream: str = "default"
+    ) -> tuple[IoPlan, list[int]]:
+        """Plan whole-block appends without executing them (the engine's path)."""
+        with self._exclusive("plan_append_blocks"):
+            return self._plan_append_blocks(handle, payloads, stream)
 
     def idle(self, num_dummy_updates: int, stream: str = "dummy") -> list[int]:
         """Run a burst of dummy updates, as the agent does when no requests arrive.

@@ -1,0 +1,367 @@
+"""Declarative I/O plans: plan → fuse → execute.
+
+Every reading/mutating primitive of the update-hiding agents is split
+into a pure **planner** — PRNG draws, allocator transfers, header
+relocation and crypto run up front and emit a sequence of declarative
+steps, with no device I/O — and a generic **executor** that *fuses*
+adjacent compatible steps and runs them against any
+:class:`~repro.storage.device.BlockDevice` through the batched
+``read_blocks``/``write_blocks``/``read_write_blocks`` paths.
+
+Planning before executing is sound for the Figure-6 machinery because
+no hiding decision depends on device *contents*: the selection, IV and
+allocator PRNGs are independent spawned streams, so hoisting their
+draws to plan time preserves each stream's draw sequence, and the
+Figure-6 dummy test consults only in-memory bookkeeping.  The executor
+then replays the plan in step order, so the device sees the same
+requests, in the same order, with the same bytes, as the legacy
+hand-rolled loops — the twin-trace suite in
+``tests/test_plan_kernel.py`` pins draw/byte/trace equivalence for
+every primitive.
+
+Step vocabulary
+---------------
+:class:`ReadStep`
+    Read one block.  ``keep=False`` marks a charging-only read whose
+    bytes are discarded (the Figure-6 read of ``B1`` before its payload
+    moves).  When ``cipher`` is set the executor returns the decrypted
+    data field instead of the raw block, batching decryption per cipher
+    across a whole fused run.
+:class:`WriteStep`
+    Write pre-sealed raw bytes (``iv || ciphertext``) to one block.
+:class:`CycleStep`
+    Read one block, then write another (or the same) — the terminal
+    read/write pair of one Figure-6 update, in place or as a swap.
+:class:`ResealStep`
+    Read a block and rewrite it with a fresh IV (a dummy update).  The
+    plaintext is preserved, which is what makes reseals *transparent*:
+    executing a pending reseal before or after an unrelated read of the
+    same block cannot change the bytes that read decrypts to.
+    ``batched=True`` lets a run of reseals execute as batched reads
+    followed by batched writes (the ``dummy_update_batch`` schedule);
+    the default executes strict read/write pairs in step order.
+
+Fusion invariants
+-----------------
+``fuse`` groups *adjacent* same-kind steps into :class:`FusedRun`\\ s
+and never reorders steps across runs, so the per-plan (per-session)
+step order is always preserved.  Two writes to the same index are never
+merged into one run — both device events survive, in order — and a
+cycle run whose indices collide is executed by the device as a genuine
+per-cycle loop (see ``read_write_blocks``), so hazards cannot reorder.
+Only a ``batched=True`` reseal run reorders *locally* (reads first,
+then writes), which is byte-safe because reseals are
+plaintext-idempotent, even under duplicate draws.
+
+:class:`PlanJournal` is the crash-consistency seam: it records each
+plan's step sequence *before* any of its I/O executes, so a future
+intent-log PR can persist the journal entry and replay or roll back a
+torn plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence, Union
+
+from repro.storage.block import BLOCK_IV_SIZE, StoredBlock
+from repro.storage.device import BlockDevice
+
+#: Builds (or looks up) the field cipher for a key; the volume's
+#: ``cipher_for`` is the canonical implementation.
+CipherFor = Callable[[bytes], Any]
+
+
+@dataclass(frozen=True)
+class ReadStep:
+    """Read block ``index``; discard the bytes when ``keep`` is False."""
+
+    index: int
+    stream: str = "default"
+    cipher: Any = None
+    keep: bool = True
+
+
+@dataclass(frozen=True)
+class WriteStep:
+    """Write pre-sealed raw bytes to block ``index``."""
+
+    index: int
+    data: bytes = b""
+    stream: str = "default"
+
+
+@dataclass(frozen=True)
+class CycleStep:
+    """Read ``read_index`` then write ``data`` to ``write_index``."""
+
+    read_index: int
+    write_index: int
+    data: bytes = b""
+    stream: str = "default"
+
+
+@dataclass(frozen=True)
+class ResealStep:
+    """Dummy-update block ``index``: decrypt under ``key``, re-encrypt under ``new_iv``."""
+
+    index: int
+    key: bytes = b""
+    new_iv: bytes = b""
+    stream: str = "dummy"
+    batched: bool = False
+
+
+Step = Union[ReadStep, WriteStep, CycleStep, ResealStep]
+
+#: Run kinds, in the executor's dispatch vocabulary.
+KIND_READ = "read"
+KIND_WRITE = "write"
+KIND_CYCLE = "cycle"
+KIND_RESEAL = "reseal"
+KIND_RESEAL_BATCH = "reseal-batch"
+
+
+def _kind_of(step: Step) -> str:
+    if isinstance(step, ReadStep):
+        return KIND_READ
+    if isinstance(step, WriteStep):
+        return KIND_WRITE
+    if isinstance(step, CycleStep):
+        return KIND_CYCLE
+    if isinstance(step, ResealStep):
+        return KIND_RESEAL_BATCH if step.batched else KIND_RESEAL
+    raise TypeError(f"not an I/O plan step: {step!r}")
+
+
+@dataclass
+class IoPlan:
+    """One primitive's declarative I/O, in execution order."""
+
+    steps: list[Step] = field(default_factory=list)
+    label: str = ""
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    @property
+    def device_ops(self) -> int:
+        """Device operations this plan will charge (reads + writes)."""
+        ops = 0
+        for step in self.steps:
+            ops += 1 if isinstance(step, (ReadStep, WriteStep)) else 2
+        return ops
+
+
+@dataclass
+class PlannedOp:
+    """A planned operation plus the finisher turning payloads into its result.
+
+    ``finish`` receives the plan's kept-read payloads, in step order
+    (decrypted where the step carried a cipher), and returns the
+    operation's result; operations whose result is pre-known from
+    planning ignore the argument.
+    """
+
+    plan: IoPlan
+    finish: Callable[[list[bytes]], Any]
+
+
+@dataclass
+class FusedRun:
+    """A maximal run of adjacent same-kind steps, ready for one device call.
+
+    ``sources`` is parallel to ``steps``: the position (in the fused
+    plan list) of the plan each step came from, which is what lets the
+    executor hand payloads back per plan and lets the engine tell
+    cross-session fusion from intra-request batching.
+    """
+
+    kind: str
+    steps: list[Step] = field(default_factory=list)
+    sources: list[int] = field(default_factory=list)
+
+    @property
+    def source_count(self) -> int:
+        """Number of distinct plans contributing steps to this run."""
+        return len(set(self.sources))
+
+
+def fuse(plans: Sequence[IoPlan]) -> list[FusedRun]:
+    """Group adjacent same-kind steps across ``plans`` into fused runs.
+
+    Iterates plans in order and steps in plan order, so the relative
+    order of any one plan's steps — and of any two steps from different
+    plans — is preserved exactly; fusion never reorders, it only widens
+    device calls.  A write to an index already written inside the
+    current run starts a new run, so distinct writes to one block stay
+    distinct device events in submission order.
+    """
+    runs: list[FusedRun] = []
+    current: FusedRun | None = None
+    written: set[int] = set()
+    for source, plan in enumerate(plans):
+        for step in plan.steps:
+            kind = _kind_of(step)
+            splits = (
+                current is None
+                or current.kind != kind
+                or (kind == KIND_WRITE and step.index in written)
+            )
+            if splits:
+                current = FusedRun(kind)
+                runs.append(current)
+                written.clear()
+            current.steps.append(step)
+            current.sources.append(source)
+            if kind == KIND_WRITE:
+                written.add(step.index)
+    return runs
+
+
+def _execute_read_run(
+    run: FusedRun, device: BlockDevice, out: dict[int, list[bytes]]
+) -> None:
+    steps = run.steps
+    raws = device.read_blocks([step.index for step in steps], [step.stream for step in steps])
+    # Decrypt kept payloads per cipher through the vectorized path,
+    # preserving per-step output order within each plan.
+    by_cipher: dict[int, tuple[Any, list[int]]] = {}
+    for position, step in enumerate(steps):
+        if not step.keep:
+            continue
+        if step.cipher is None:
+            out.setdefault(run.sources[position], []).append(raws[position])
+            continue
+        by_cipher.setdefault(id(step.cipher), (step.cipher, []))[1].append(position)
+    for cipher, positions in by_cipher.values():
+        plaintexts = cipher.decrypt_many(
+            [raws[p][:BLOCK_IV_SIZE] for p in positions],
+            [raws[p][BLOCK_IV_SIZE:] for p in positions],
+        )
+        for position, plaintext in zip(positions, plaintexts):
+            out.setdefault(run.sources[position], []).append(plaintext)
+
+
+def _execute_reseal_batch_run(
+    run: FusedRun, device: BlockDevice, cipher_for: CipherFor
+) -> None:
+    # The dummy_update_batch schedule: batched reads, per-key vectorized
+    # crypto, batched writes.  Duplicate draws are safe: resealing
+    # preserves the plaintext, so writing both reseals in draw order
+    # leaves the same bytes as resealing the reseal.
+    steps = run.steps
+    indices = [step.index for step in steps]
+    streams = [step.stream for step in steps]
+    raws = device.read_blocks(indices, streams)
+    positions_by_key: dict[bytes, list[int]] = {}
+    for position, step in enumerate(steps):
+        positions_by_key.setdefault(step.key, []).append(position)
+    datas: list[bytes | None] = [None] * len(steps)
+    for key, positions in positions_by_key.items():
+        cipher = cipher_for(key)
+        plaintexts = cipher.decrypt_many(
+            [raws[p][:BLOCK_IV_SIZE] for p in positions],
+            [raws[p][BLOCK_IV_SIZE:] for p in positions],
+        )
+        ciphertexts = cipher.encrypt_many(
+            [steps[p].new_iv for p in positions], plaintexts
+        )
+        for p, ciphertext in zip(positions, ciphertexts):
+            datas[p] = steps[p].new_iv + ciphertext
+    device.write_blocks(indices, datas, streams)
+
+
+def execute_runs(
+    runs: Sequence[FusedRun], device: BlockDevice, cipher_for: CipherFor
+) -> dict[int, list[bytes]]:
+    """Execute fused runs in order; return kept-read payloads per source plan.
+
+    Each run becomes one batched device call (strict reseal runs
+    execute their read/write pairs in step order), so the device sees
+    exactly the planned requests in the planned order.  Errors
+    propagate to the caller mid-run, matching the partial-progress
+    semantics of the loops the plans replaced.
+    """
+    out: dict[int, list[bytes]] = {}
+    for run in runs:
+        if run.kind == KIND_READ:
+            _execute_read_run(run, device, out)
+        elif run.kind == KIND_WRITE:
+            device.write_blocks(
+                [step.index for step in run.steps],
+                [step.data for step in run.steps],
+                [step.stream for step in run.steps],
+            )
+        elif run.kind == KIND_CYCLE:
+            device.read_write_blocks(
+                [step.read_index for step in run.steps],
+                [step.data for step in run.steps],
+                [step.stream for step in run.steps],
+                write_indices=[step.write_index for step in run.steps],
+            )
+        elif run.kind == KIND_RESEAL:
+            for step in run.steps:
+                raw = device.read_block(step.index, step.stream)
+                resealed = StoredBlock.from_raw(raw).reseal_with_new_iv(
+                    cipher_for(step.key), step.new_iv
+                )
+                device.write_block(step.index, resealed.raw, step.stream)
+        elif run.kind == KIND_RESEAL_BATCH:
+            _execute_reseal_batch_run(run, device, cipher_for)
+        else:  # pragma: no cover - fuse() only emits the kinds above
+            raise ValueError(f"unknown fused-run kind {run.kind!r}")
+    return out
+
+
+def execute_plan(
+    plan: IoPlan,
+    device: BlockDevice,
+    cipher_for: CipherFor,
+    journal: "PlanJournal | None" = None,
+) -> list[bytes]:
+    """Fuse and execute one plan; return its kept-read payloads in step order."""
+    if journal is not None:
+        journal.record(plan)
+    payloads = execute_runs(fuse([plan]), device, cipher_for)
+    return payloads.get(0, [])
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One journalled plan: its label and its step sequence, pre-execution."""
+
+    label: str
+    steps: tuple[Step, ...]
+
+
+class PlanJournal:
+    """Records planned step sequences *before* they execute.
+
+    This is the seam a crash-consistency intent log will consume: by
+    the time any block of a plan is written, the journal already holds
+    the full step sequence, so a torn plan can be recognised and
+    replayed or rolled back.  The in-memory journal here is the hook
+    point only — persistence is a future PR — but the ordering contract
+    (record strictly precedes the plan's first device request) is
+    guaranteed now and pinned by tests.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[JournalEntry] = []
+
+    def record(self, plan: IoPlan) -> None:
+        """Journal one plan's step sequence ahead of its execution."""
+        self._entries.append(JournalEntry(plan.label, tuple(plan.steps)))
+
+    @property
+    def entries(self) -> list[JournalEntry]:
+        """Journalled entries, oldest first (a copy)."""
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries (e.g. after a checkpoint)."""
+        self._entries.clear()

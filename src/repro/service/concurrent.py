@@ -24,16 +24,29 @@ own completion event.  Per scheduling quantum the scheduler
 * pops up to ``quantum`` requests **fairly**: round-robin across
   sessions, FIFO within each session, so one chatty user cannot starve
   the others;
-* **coalesces adjacent read requests** — across sessions, and across
-  quanta via a surviving read buffer — into one batched device read
-  through the PR-1 ``read_blocks`` path, with per-event stream labels
-  keeping per-session trace attribution intact;
+* **plans read, write and append requests** into declarative
+  :class:`~repro.core.plan.IoPlan` objects and **fuses adjacent steps
+  across sessions** — batched reads, batched writes, batched Figure-6
+  read/write cycles — via the plan kernel's
+  :func:`~repro.core.plan.fuse`, with per-event stream labels keeping
+  per-session trace attribution intact; the plan buffer survives across
+  quanta, so fusion also happens across scheduling quanta;
 * **interleaves dummy updates** at ``dummy_to_real_ratio`` dummies per
   real operation (Section 4.1.3), coalescing each flush into one
   batched burst (:meth:`~repro.core.agent.StegAgent.dummy_update_batch`);
-* executes writes, appends, creates and deletes one at a time — the
-  Figure-6 planner mutates allocator and selection state and cannot
-  overlap anything else.
+* executes creates, deletes and session management one at a time —
+  they mutate directory and key state the planners do not model.
+
+Fusing across sessions is safe because the buffer order is the plan
+(bookkeeping) order: :func:`~repro.core.plan.fuse` never reorders steps
+across plans, different sessions' file blocks are disjoint (the
+allocator hands each block to one file), and the only cross-session
+touches — Figure-6 reseals — preserve the plaintext, so any flush is a
+legal serialization of the buffered requests.  A session's *own*
+pending mutations are flushed before planning its next write or append
+(their boundary reads touch the device at plan time), and before any of
+its non-plannable requests, so no session observes its operations out
+of order.
 
 Because every core touch happens on the scheduler thread, the
 single-threaded contract of the agents is never violated; worker
@@ -61,11 +74,17 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.crypto.cipher import FieldCipher
+from repro.core.plan import (
+    KIND_CYCLE,
+    KIND_WRITE,
+    PlanJournal,
+    PlannedOp,
+    execute_runs,
+    fuse,
+)
 from repro.crypto.keys import KeyRing
 from repro.errors import NotLoggedInError, ServiceClosedError
 from repro.service.facade import FileStat, HiddenVolumeService, Session
-from repro.storage.block import BLOCK_IV_SIZE
 
 #: Request kinds that count as *real* operations for the dummy-to-real
 #: ratio (Section 4.1.3).  Session management and metadata lookups do not
@@ -102,21 +121,29 @@ _GATHER_TIMEOUT_S = 0.0005
 class _Request:
     """One queued operation: inputs, a completion event, and the outcome.
 
-    ``read_args`` is set only on plain read requests; it is what lets
-    the scheduler coalesce them into batched device calls instead of
-    running ``execute`` (the unbatched fallback semantics).
+    ``plan_call`` is set on plannable requests (reads; writes and
+    appends when write fusion is on); it is what lets the scheduler
+    turn them into :class:`~repro.core.plan.IoPlan` objects and fuse
+    them across sessions instead of running ``execute`` (the unbatched
+    fallback semantics).
     """
 
-    __slots__ = ("kind", "user", "execute", "done", "result", "error", "read_args")
+    __slots__ = ("kind", "user", "execute", "done", "result", "error", "plan_call")
 
-    def __init__(self, kind: str, user: str, execute: Callable[[], Any]):
+    def __init__(
+        self,
+        kind: str,
+        user: str,
+        execute: Callable[[], Any],
+        plan_call: Callable[[], PlannedOp] | None = None,
+    ):
         self.kind = kind
         self.user = user
         self.execute = execute
         self.done = threading.Event()
         self.result: Any = None
         self.error: BaseException | None = None
-        self.read_args: tuple | None = None
+        self.plan_call = plan_call
 
     def fulfil(self, result: Any = None, error: BaseException | None = None) -> None:
         self.result = result
@@ -139,6 +166,9 @@ class EngineStats:
     read_batches: int = 0
     batched_read_requests: int = 0
     largest_read_batch: int = 0
+    write_fusions: int = 0
+    fused_write_steps: int = 0
+    largest_write_fusion: int = 0
 
     def snapshot(self) -> "EngineStats":
         """An independent copy, useful for measuring deltas."""
@@ -149,20 +179,18 @@ class EngineStats:
             self.read_batches,
             self.batched_read_requests,
             self.largest_read_batch,
+            self.write_fusions,
+            self.fused_write_steps,
+            self.largest_write_fusion,
         )
 
 
 @dataclass
-class _ReadPlan:
-    """A validated read request, ready to join a coalesced device batch."""
+class _Planned:
+    """A planned request buffered for the next fused flush."""
 
     request: _Request
-    physicals: list[int]
-    cipher: FieldCipher
-    stream: str
-    head: int
-    tail: int
-    size: int
+    op: PlannedOp
 
 
 class ConcurrentSession:
@@ -211,24 +239,49 @@ class ConcurrentSession:
     ) -> bytes:
         """Read ``size`` bytes at offset ``at`` (whole file by default).
 
-        Plain reads are eligible for the scheduler's cross-session batch
-        coalescing; oblivious reads run unbatched through the hierarchy.
+        Plain reads are eligible for the scheduler's cross-session
+        fusion; oblivious reads run unbatched through the hierarchy.
         """
         if oblivious:
             return self._engine._run(
                 "read", self.user, lambda s=self._session: s.read(path, at, size, oblivious=True)
             )
-        return self._engine._submit_read(self._session, path, at, size)
+        return self._engine._run(
+            "read",
+            self.user,
+            lambda s=self._session: s.read(path, at, size),
+            plan_call=lambda s=self._session: s.plan_read(path, at, size),
+        )
 
     def write(self, path: str, data: bytes, at: int = 0):
-        """Overwrite ``data`` at offset ``at`` through the Figure-6 path."""
+        """Overwrite ``data`` at offset ``at`` through the Figure-6 path.
+
+        With write fusion on (the default), the update is planned and
+        its steps fuse with adjacent sessions' reads, writes and cycles.
+        """
         return self._engine._run(
-            "write", self.user, lambda s=self._session: s.write(path, data, at)
+            "write",
+            self.user,
+            lambda s=self._session: s.write(path, data, at),
+            plan_call=(
+                (lambda s=self._session: s.plan_write(path, data, at))
+                if self._engine.fuse_writes
+                else None
+            ),
         )
 
     def append(self, path: str, data: bytes) -> FileStat:
         """Grow the file by ``data`` bytes at its end."""
-        return self._engine._run("append", self.user, lambda s=self._session: s.append(path, data))
+        return self._engine._run(
+            "append",
+            self.user,
+            lambda s=self._session: s.append(path, data),
+            plan_call=(
+                (lambda s=self._session: s.plan_append(path, data))
+                if self._engine.fuse_writes
+                else None
+            ),
+        )
 
     def delete(self, path: str) -> None:
         """Delete a file: free its blocks, drop its key (no device I/O)."""
@@ -268,9 +321,24 @@ class ConcurrentVolumeService:
         is followed by one dummy update.
     quantum:
         Maximum requests the scheduler pops per scheduling quantum (and
-        the cap on one coalesced read batch).  Within a quantum,
-        adjacent reads coalesce into batched device calls, and the
-        quantum's dummy credit flushes as batched bursts.
+        the cap on one fused plan buffer).  Within a quantum, adjacent
+        planned steps fuse into batched device calls, and the quantum's
+        dummy credit flushes as batched bursts.
+    fuse_writes:
+        When True (default), writes and appends are planned through the
+        plan kernel and fuse across sessions like reads do; ``False``
+        executes them one at a time (the pre-plan-kernel engine), which
+        is the baseline the fusion benchmarks compare against.
+    gather_timeout_s:
+        How long the scheduler waits for just-fulfilled clients to
+        resubmit before serving a narrower batch; ``None`` keeps the
+        tuned default, ``0`` disables gathering (each request is served
+        as soon as it is popped, preserving per-session FIFO order but
+        forfeiting batch width).
+    journal:
+        Optional :class:`~repro.core.plan.PlanJournal`; when given,
+        every plan — fused flushes and the agent's direct executions
+        alike — is recorded before its first device request.
     """
 
     def __init__(
@@ -278,14 +346,29 @@ class ConcurrentVolumeService:
         service: HiddenVolumeService,
         dummy_to_real_ratio: float = 1.0,
         quantum: int = 16,
+        fuse_writes: bool = True,
+        gather_timeout_s: float | None = None,
+        journal: PlanJournal | None = None,
     ):
         if dummy_to_real_ratio < 0:
             raise ValueError("dummy_to_real_ratio must be non-negative")
         if quantum < 1:
             raise ValueError("quantum must be at least 1")
+        if gather_timeout_s is not None and gather_timeout_s < 0:
+            raise ValueError("gather_timeout_s must be non-negative")
         self.service = service
         self.dummy_to_real_ratio = dummy_to_real_ratio
         self.quantum = quantum
+        self.fuse_writes = fuse_writes
+        self.gather_timeout_s = (
+            _GATHER_TIMEOUT_S if gather_timeout_s is None else gather_timeout_s
+        )
+        self.journal = journal
+        if journal is not None:
+            # Direct agent executions (creates, dummy bursts, unfused
+            # writes) journal at the agent seam; fused flushes journal
+            # in _flush_plans.  Together the intent log is complete.
+            service.agent.plan_journal = journal
         self.stats = EngineStats()
         self._queue_lock = threading.Lock()
         # The scheduler thread is the only waiter on this condition;
@@ -387,17 +470,14 @@ class ConcurrentVolumeService:
 
     # -- request intake ---------------------------------------------------------------
 
-    def _run(self, kind: str, user: str, execute: Callable[[], Any]) -> Any:
-        return self._execute(_Request(kind, user, execute))
-
-    def _submit_read(self, session: Session, path: str, at: int, size: int | None) -> bytes:
-        # Reads are submitted as plain requests; the scheduler
-        # recognises read_args and plans/coalesces them (see
-        # _plan_read).  The executor below is the unbatched fallback
-        # semantics the batch must match.
-        request = _Request("read", session.user, lambda: session.read(path, at, size))
-        request.read_args = (session, path, at, size)
-        return self._execute(request)
+    def _run(
+        self,
+        kind: str,
+        user: str,
+        execute: Callable[[], Any],
+        plan_call: Callable[[], PlannedOp] | None = None,
+    ) -> Any:
+        return self._execute(_Request(kind, user, execute, plan_call))
 
     def _execute(self, request: _Request) -> Any:
         """Enqueue one request and block until the scheduler fulfils it.
@@ -454,18 +534,19 @@ class ConcurrentVolumeService:
         return popped
 
     def _serve_loop(self) -> None:
-        """The scheduler thread: gather, pop fairly, batch, execute.
+        """The scheduler thread: gather, pop fairly, plan, fuse, execute.
 
-        The read buffer survives across pops, so reads coalesce across
-        scheduling quanta.  Reordering buffered reads after an unrelated
-        session's write is a legal serialization of concurrent requests;
-        a request from a session *with a buffered read* forces a flush
-        first, so a session never observes its own operations out of
-        order.  All core state is touched exclusively from this thread,
-        which is what upholds the agents' single-threaded locking
-        contract (see :mod:`repro.core.agent`).
+        The plan buffer survives across pops, so fusion happens across
+        scheduling quanta.  Buffer order is plan order and ``fuse``
+        never reorders across plans, so every flush replays a legal
+        serialization of the buffered requests; a request from a session
+        *with buffered plans* forces a flush first where ordering could
+        be observed (see :meth:`_route_batch`), so a session never sees
+        its own operations out of order.  All core state is touched
+        exclusively from this thread, which is what upholds the agents'
+        single-threaded locking contract (see :mod:`repro.core.agent`).
         """
-        pending_reads: list[_Request] = []
+        pending: list[_Planned] = []
         try:
             while True:
                 # One critical section per quantum: wait for work,
@@ -473,16 +554,16 @@ class ConcurrentVolumeService:
                 # acquisition (locks here are contended futexes; every
                 # acquisition shaved is wall-clock off the serial path).
                 with self._cond:
-                    while self._pending_count == 0 and not pending_reads and not self._shutdown:
+                    while self._pending_count == 0 and not pending and not self._shutdown:
                         self._scheduler_waiting = True
                         try:
                             self._cond.wait()
                         finally:
                             self._scheduler_waiting = False
-                    if self._shutdown and self._pending_count == 0 and not pending_reads:
+                    if self._shutdown and self._pending_count == 0 and not pending:
                         return
                     # Gather: every registered client (except those
-                    # whose reads sit in our buffer) has or is about to
+                    # whose plans sit in our buffer) has or is about to
                     # enqueue a request — a brief bounded wait for their
                     # arrivals makes the batch as wide as the client
                     # pool instead of racing ahead and serving
@@ -491,13 +572,17 @@ class ConcurrentVolumeService:
                     # just-fulfilled clients run and resubmit.  A single
                     # client never triggers a wait: its own request is
                     # already queued, so the target is immediately met.
-                    target = min(len(self._clients) - len(pending_reads), self.quantum)
-                    if target >= 2 and self._pending_count < target:
+                    target = min(len(self._clients) - len(pending), self.quantum)
+                    if (
+                        target >= 2
+                        and self._pending_count < target
+                        and self.gather_timeout_s > 0
+                    ):
                         self._scheduler_waiting = True
                         try:
                             arrived = self._cond.wait_for(
                                 lambda: self._pending_count >= target or self._shutdown,
-                                timeout=_GATHER_TIMEOUT_S,
+                                timeout=self.gather_timeout_s,
                             )
                         finally:
                             self._scheduler_waiting = False
@@ -506,10 +591,10 @@ class ConcurrentVolumeService:
                     batch = self._pop_locked()
                 if batch:
                     self.stats.quanta += 1
-                    self._route_batch(batch, pending_reads)
+                    self._route_batch(batch, pending)
                     continue
-                if pending_reads:
-                    self._flush_reads(pending_reads)
+                if pending:
+                    self._flush_plans(pending)
         except BaseException as error:  # pragma: no cover - scheduler bug safety net
             # A failure outside _route_batch's per-request handling is an
             # engine bug; make it loud for every current and future
@@ -522,7 +607,7 @@ class ConcurrentVolumeService:
                 self._queues.clear()
                 self._rotation.clear()
                 self._pending_count = 0
-            for request in stranded + pending_reads:
+            for request in stranded + [planned.request for planned in pending]:
                 if not request.done.is_set():
                     request.fulfil(error=error)
             raise
@@ -539,20 +624,42 @@ class ConcurrentVolumeService:
         for ident in stale:
             del self._clients[ident]
 
-    def _route_batch(self, batch: list[_Request], pending_reads: list[_Request]) -> int:
-        """Execute one popped batch; returns how many requests completed."""
+    def _route_batch(self, batch: list[_Request], pending: list[_Planned]) -> int:
+        """Plan or execute one popped batch; returns how many requests completed.
+
+        Plannable requests are planned *at pop time* (bookkeeping order
+        = buffer order) and buffered for a fused flush.  A write or
+        append is planned only after the same session's earlier
+        mutations have flushed: its planner reads boundary blocks from
+        the device, and those bytes must reflect the session's own
+        pending writes.  Reads need no such flush — their device I/O is
+        entirely deferred, and fusion preserves the buffer order — so a
+        session's read-after-write stays a read-after-write.
+        """
         fulfilled = 0
         try:
             for request in batch:
-                if request.read_args is not None:
-                    pending_reads.append(request)
-                    if len(pending_reads) >= self.quantum:
-                        fulfilled += self._flush_reads(pending_reads)
+                if request.plan_call is not None:
+                    if request.kind in ("write", "append") and any(
+                        planned.request.user == request.user
+                        and planned.request.kind in ("write", "append")
+                        for planned in pending
+                    ):
+                        fulfilled += self._flush_plans(pending)
+                    try:
+                        op = request.plan_call()
+                    except BaseException as error:  # relayed, like execute errors
+                        request.fulfil(error=error)
+                        fulfilled += 1
+                        continue
+                    pending.append(_Planned(request, op))
+                    if len(pending) >= self.quantum:
+                        fulfilled += self._flush_plans(pending)
                     continue
                 if request.kind in ("flush", "close", "idle") or any(
-                    buffered.user == request.user for buffered in pending_reads
+                    planned.request.user == request.user for planned in pending
                 ):
-                    fulfilled += self._flush_reads(pending_reads)
+                    fulfilled += self._flush_plans(pending)
                 self._execute_one(request)
                 fulfilled += 1
                 if request.kind in _REAL_OPS:
@@ -563,13 +670,13 @@ class ConcurrentVolumeService:
             # dummy burst) must never strand an already-popped request:
             # its submitter is no longer in any queue, so nothing else
             # would ever wake it.  Relay the error to every unfinished
-            # request of this batch (buffered reads included) instead of
+            # request of this batch (buffered plans included) instead of
             # killing the scheduler.
-            for request in batch + pending_reads:
+            for request in batch + [planned.request for planned in pending]:
                 if not request.done.is_set():
                     request.fulfil(error=error)
                     fulfilled += 1
-            pending_reads.clear()
+            pending.clear()
             return fulfilled
 
     def _execute_one(self, request: _Request) -> None:
@@ -597,97 +704,57 @@ class ConcurrentVolumeService:
             # real data whose updates would need hiding either.
             pass
 
-    # -- coalesced reads --------------------------------------------------------------
+    # -- fused flushes ----------------------------------------------------------------
 
-    def _plan_read(self, request: _Request) -> _ReadPlan | None:
-        """Validate one read request and resolve its physical blocks.
+    def _flush_plans(self, pending: list[_Planned]) -> int:
+        """Fuse and execute the buffered plans as batched device calls.
 
-        Mirrors the bound checks of :meth:`Session.read` exactly; a
-        request that fails validation is fulfilled with the error and
-        excluded from the batch.
-        """
-        session, path, at, size = request.read_args
-        volume = self.service.volume
-        try:
-            handle = session._handle(path)
-            if at < 0 or (size is not None and size < 0):
-                # Delegate to the facade for the canonical error message.
-                session.read(path, at, size)
-                raise AssertionError("facade accepted a negative range")  # pragma: no cover
-            resolved = max(0, handle.size_bytes - at) if size is None else size
-            end = at + resolved
-            if end > handle.size_bytes:
-                session.read(path, at, size)
-                raise AssertionError("facade accepted an oversized range")  # pragma: no cover
-        except BaseException as error:
-            request.fulfil(error=error)
-            return None
-        if resolved == 0:
-            request.fulfil(b"")
-            return None
-        payload_bytes = volume.data_field_bytes
-        first = at // payload_bytes
-        last = (end - 1) // payload_bytes
-        physicals = [handle.header.physical_block(i) for i in range(first, last + 1)]
-        return _ReadPlan(
-            request=request,
-            physicals=physicals,
-            cipher=volume.cipher_for(handle.content_key),
-            stream=session.stream,
-            head=at - first * payload_bytes,
-            tail=end - first * payload_bytes,
-            size=resolved,
-        )
-
-    def _flush_reads(self, pending: list[_Request]) -> int:
-        """Execute buffered reads as one batched device call.
-
-        The device sees every plan's blocks in submission order — the
-        same requests, in the same order, a serial execution would issue
-        — with per-event stream labels preserving per-session trace
-        attribution.  Decryption then runs per (file) key through the
-        vectorized cipher path.  Returns how many requests completed.
+        The device sees every plan's steps in submission order — the
+        same requests, in the same order, a serial execution would
+        issue — with per-event stream labels preserving per-session
+        trace attribution; :func:`~repro.core.plan.fuse` only widens
+        adjacent same-kind steps into batched calls.  Payload decryption
+        runs per (file) key through the vectorized cipher path inside
+        the executor.  Returns how many requests completed.
         """
         if not pending:
             return 0
         flushed = len(pending)
-        plans = [plan for request in pending if (plan := self._plan_read(request)) is not None]
-        pending.clear()
-        if not plans:
-            return flushed
-        count = len(plans)
-        self.stats.real_ops += count
-        indices: list[int] = []
-        streams: list[str] = []
-        for plan in plans:
-            indices.extend(plan.physicals)
-            streams.extend([plan.stream] * len(plan.physicals))
-        self.stats.read_batches += 1
-        self.stats.batched_read_requests += len(plans)
-        self.stats.largest_read_batch = max(self.stats.largest_read_batch, len(plans))
-        try:
-            raws = self.service.volume.device.read_blocks(indices, streams)
-        except BaseException as error:
+        plans = [planned.op.plan for planned in pending]
+        if self.journal is not None:
             for plan in plans:
-                plan.request.fulfil(error=error)
+                self.journal.record(plan)
+        runs = fuse(plans)
+        read_requests = sum(1 for planned in pending if planned.request.kind == "read")
+        if read_requests:
+            self.stats.read_batches += 1
+            self.stats.batched_read_requests += read_requests
+            self.stats.largest_read_batch = max(self.stats.largest_read_batch, read_requests)
+        for run in runs:
+            if run.kind in (KIND_WRITE, KIND_CYCLE) and run.source_count >= 2:
+                self.stats.write_fusions += 1
+                self.stats.fused_write_steps += len(run.steps)
+                self.stats.largest_write_fusion = max(
+                    self.stats.largest_write_fusion, run.source_count
+                )
+        count = sum(1 for planned in pending if planned.request.kind in _REAL_OPS)
+        self.stats.real_ops += count
+        try:
+            payloads = execute_runs(runs, self.service.volume.device, self.service.volume.cipher_for)
+        except BaseException as error:
+            for planned in pending:
+                if not planned.request.done.is_set():
+                    planned.request.fulfil(error=error)
+            pending.clear()
             self._accrue_dummies(count)
             return flushed
-        offset = 0
-        by_cipher: dict[int, tuple[FieldCipher, list[tuple[_ReadPlan, list[bytes]]]]] = {}
-        for plan in plans:
-            pieces = raws[offset : offset + len(plan.physicals)]
-            offset += len(plan.physicals)
-            group = by_cipher.setdefault(id(plan.cipher), (plan.cipher, []))
-            group[1].append((plan, pieces))
-        for cipher, group in by_cipher.values():
-            flat = [raw for _, pieces in group for raw in pieces]
-            plaintexts = cipher.decrypt_many(
-                [raw[:BLOCK_IV_SIZE] for raw in flat], [raw[BLOCK_IV_SIZE:] for raw in flat]
-            )
-            cursor = 0
-            for plan, pieces in group:
-                joined = b"".join(plaintexts[cursor : cursor + len(pieces)])
-                cursor += len(pieces)
-                plan.request.fulfil(joined[plan.head : plan.tail])
+        for position, planned in enumerate(pending):
+            try:
+                result = planned.op.finish(payloads.get(position, []))
+            except BaseException as error:  # pragma: no cover - finisher bug safety net
+                planned.request.fulfil(error=error)
+            else:
+                planned.request.fulfil(result)
+        pending.clear()
         self._accrue_dummies(count)
         return flushed

@@ -30,6 +30,7 @@ import os
 from dataclasses import dataclass
 
 from repro.core.agent import StegAgent, UpdateResult
+from repro.core.plan import IoPlan, PlanJournal, PlannedOp, Step
 from repro.core.nonvolatile import NonVolatileAgent
 from repro.core.oblivious.reader import ObliviousReader
 from repro.core.oblivious.store import ObliviousStore, ObliviousStoreConfig
@@ -262,6 +263,132 @@ class Session:
         pieces = self._service.agent.read_blocks(handle, range(first, last + 1), self.stream)
         joined = b"".join(pieces)
         return joined[at - first * payload_bytes : end - first * payload_bytes]
+
+    def plan_read(self, path: str, at: int = 0, size: int | None = None) -> PlannedOp:
+        """Plan a byte-range read without executing it (the engine's path).
+
+        Validation mirrors :meth:`read` exactly (same errors, same
+        messages); the returned plan's steps carry the content cipher so
+        the executor decrypts them grouped per file key, and ``finish``
+        slices the partial boundary blocks off the joined payloads.
+        Unlike :meth:`read` there is no whole-file fast path: every
+        planned read goes block-by-block so it can join a fused batch.
+        """
+        handle = self._handle(path)
+        if at < 0:
+            raise ByteRangeError("read offset must be non-negative")
+        if size is not None and size < 0:
+            raise ByteRangeError("read size must be non-negative")
+        if size is None:
+            size = max(0, handle.size_bytes - at)
+        end = at + size
+        if end > handle.size_bytes:
+            raise ByteRangeError(
+                f"read of [{at}, {end}) exceeds the {handle.size_bytes}-byte file {path!r}"
+            )
+        if size == 0:
+            return PlannedOp(IoPlan([], label="session_read"), lambda payloads: b"")
+        payload_bytes = self._service.volume.data_field_bytes
+        first = at // payload_bytes
+        last = (end - 1) // payload_bytes
+        plan = self._service.agent.plan_read_blocks(handle, range(first, last + 1), self.stream)
+        head = at - first * payload_bytes
+        tail = end - first * payload_bytes
+
+        def finish(payloads: list[bytes]) -> bytes:
+            return b"".join(payloads)[head:tail]
+
+        return PlannedOp(IoPlan(plan.steps, label="session_read"), finish)
+
+    def plan_write(self, path: str, data: bytes, at: int = 0) -> PlannedOp:
+        """Plan a byte-range write without executing it (the engine's path).
+
+        Partially covered boundary blocks are read back *at plan time*
+        (the one place a planner touches the device), which is sound
+        inside the engine because pending plans of *other* sessions can
+        only reseal this file's blocks — plaintext-preserving — and the
+        engine flushes this session's own pending writes first.  The
+        Figure-6 draws and bookkeeping all run now, via
+        :meth:`~repro.core.agent.StegAgent.plan_update_range`; executing
+        the returned plan later commits the same bytes in the same
+        order a direct :meth:`write` would.
+        """
+        handle = self._handle(path)
+        if at < 0:
+            raise ByteRangeError("write offset must be non-negative")
+        if not data:
+            return PlannedOp(IoPlan([], label="session_write"), lambda payloads: [])
+        end = at + len(data)
+        if end > handle.size_bytes:
+            raise ByteRangeError(
+                f"write of [{at}, {end}) exceeds the {handle.size_bytes}-byte file {path!r}; "
+                "use append() to grow a file"
+            )
+        agent = self._service.agent
+        payload_bytes = self._service.volume.data_field_bytes
+        first = at // payload_bytes
+        last = (end - 1) // payload_bytes
+        head_pad = at - first * payload_bytes
+        tail_pad = (last + 1) * payload_bytes - end
+
+        region = bytearray()
+        first_current: bytes | None = None
+        if head_pad:
+            first_current = agent.read_block(handle, first, self.stream)
+            region += first_current[:head_pad]
+        region += data
+        if tail_pad:
+            if last == first and first_current is not None:
+                last_current = first_current
+            else:
+                last_current = agent.read_block(handle, last, self.stream)
+            region += last_current[payload_bytes - tail_pad :]
+
+        payloads = [
+            bytes(region[offset : offset + payload_bytes])
+            for offset in range(0, len(region), payload_bytes)
+        ]
+        plan, results = agent.plan_update_range(handle, first, payloads, self.stream)
+        return PlannedOp(IoPlan(plan.steps, label="session_write"), lambda payloads: results)
+
+    def plan_append(self, path: str, data: bytes) -> PlannedOp:
+        """Plan an append without executing it (the engine's path).
+
+        Combines the tail-block Figure-6 update, the whole-block appends
+        and the grown header's save into one plan; the file-size
+        bookkeeping happens now, so ``finish`` just stats the file.  The
+        tail block, when partially filled, is read back at plan time
+        (see :meth:`plan_write` for why that is sound in the engine).
+        """
+        handle = self._handle(path)
+        if not data:
+            return PlannedOp(IoPlan([], label="session_append"), lambda payloads: self.stat(path))
+        agent = self._service.agent
+        payload_bytes = self._service.volume.data_field_bytes
+        old_size = handle.size_bytes
+        tail_used = old_size % payload_bytes
+        steps: list[Step] = []
+
+        remaining = data
+        if tail_used:
+            tail_logical = old_size // payload_bytes
+            tail_room = payload_bytes - tail_used
+            current = agent.read_block(handle, tail_logical, self.stream)
+            merged = current[:tail_used] + remaining[:tail_room]
+            tail_plan, _ = agent.plan_update_range(handle, tail_logical, [merged], self.stream)
+            steps.extend(tail_plan.steps)
+            remaining = remaining[tail_room:]
+        if remaining:
+            chunks = [
+                remaining[offset : offset + payload_bytes]
+                for offset in range(0, len(remaining), payload_bytes)
+            ]
+            grow_plan, _ = agent.plan_append_blocks(handle, chunks, self.stream)
+            steps.extend(grow_plan.steps)
+        handle.header.file_size = old_size + len(data)
+        handle.mark_dirty()
+        steps.extend(agent.plan_save_file(handle, self.stream).steps)
+        return PlannedOp(IoPlan(steps, label="session_append"), lambda payloads: self.stat(path))
 
     def _read_range(self, handle: HiddenFile, at: int, end: int, read_block) -> bytes:
         payload_bytes = self._service.volume.data_field_bytes
@@ -647,7 +774,12 @@ class HiddenVolumeService:
         self.agent.idle(num_dummy_updates)
 
     def concurrent(
-        self, dummy_to_real_ratio: float = 1.0, quantum: int = 16
+        self,
+        dummy_to_real_ratio: float = 1.0,
+        quantum: int = 16,
+        fuse_writes: bool = True,
+        gather_timeout_s: float | None = None,
+        journal: "PlanJournal | None" = None,
     ) -> "ConcurrentVolumeService":
         """Wrap this service in the thread-safe concurrent serving engine.
 
@@ -656,14 +788,26 @@ class HiddenVolumeService:
         :class:`~repro.service.concurrent.ConcurrentVolumeService`
         accepts per-session operations from any number of worker
         threads, serializes them through a fair scheduler, interleaves
-        the agent's dummy stream at ``dummy_to_real_ratio`` and batches
-        adjacent block I/O per scheduling quantum.
+        the agent's dummy stream at ``dummy_to_real_ratio`` and fuses
+        adjacent block I/O — reads, writes and read/write cycles, across
+        sessions — per scheduling quantum.  ``fuse_writes=False``
+        restricts fusion to reads (the pre-plan-kernel behaviour);
+        ``gather_timeout_s`` overrides how long the scheduler waits for
+        client arrivals before serving a narrower batch (``0`` disables
+        gathering entirely); ``journal`` hooks a
+        :class:`~repro.core.plan.PlanJournal` recording every plan
+        before its first device request.
         """
         self._check_service_open()
         from repro.service.concurrent import ConcurrentVolumeService
 
         return ConcurrentVolumeService(
-            self, dummy_to_real_ratio=dummy_to_real_ratio, quantum=quantum
+            self,
+            dummy_to_real_ratio=dummy_to_real_ratio,
+            quantum=quantum,
+            fuse_writes=fuse_writes,
+            gather_timeout_s=gather_timeout_s,
+            journal=journal,
         )
 
     # -- durability lifecycle ----------------------------------------------------------

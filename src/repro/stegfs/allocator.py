@@ -12,6 +12,8 @@ not currently hold.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.crypto.prng import Sha256Prng
 from repro.errors import VolumeFullError
 from repro.storage.bitmap import Bitmap
@@ -94,6 +96,11 @@ class RandomAllocator:
     def free(self, index: int) -> None:
         """Return a block to the free pool (it becomes a dummy block)."""
         self.bitmap.clear(index)
+
+    def free_many(self, indices: Iterable[int]) -> None:
+        """Return a run of blocks to the free pool (deletion's bookkeeping)."""
+        for index in indices:
+            self.bitmap.clear(index)
 
     def transfer(self, old_index: int, new_index: int) -> None:
         """Record a block relocation: ``old_index`` freed, ``new_index`` taken.

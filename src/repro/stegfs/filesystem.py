@@ -361,11 +361,17 @@ class StegFsVolume:
             content_key=content_key,
         )
 
-    def save_header(self, handle: HiddenFile, stream: str = "default") -> None:
-        """Write the cached header chain back to the device.
+    def plan_header_save(self, handle: HiddenFile) -> tuple[list[int], list[bytes]]:
+        """Plan a header-chain save: bookkeeping and sealing, no device I/O.
 
-        The header chain may have grown (block relocations never grow
-        it, but appends do); extra chain blocks are allocated on demand.
+        Grows/shrinks the chain through the allocator, serialises and
+        seals the chunks, and returns ``(indices, raw_blocks)`` ready
+        for the device.  Allocator and IV draws happen here, in the
+        exact order the unplanned save performed them, so a planned
+        save is draw- and byte-identical to the legacy path.  The
+        handle is marked clean once the plan exists: the plan *is* the
+        pending save (a journalled intent), and executing it is the
+        caller's obligation.
         """
         header = handle.header
         needed = header.headers_needed(self.data_field_bytes)
@@ -376,10 +382,19 @@ class StegFsVolume:
             self.allocator.free(surplus)
         payloads = header.serialise(self.data_field_bytes)
         count = min(len(header.header_blocks), len(payloads))
-        self.write_payloads(
-            header.header_blocks[:count], handle.header_key, payloads[:count], stream
-        )
+        ivs = [self.fresh_iv() for _ in payloads[:count]]
+        datas = self.seal_payloads(handle.header_key, payloads[:count], ivs)
         handle.dirty = False
+        return header.header_blocks[:count], datas
+
+    def save_header(self, handle: HiddenFile, stream: str = "default") -> None:
+        """Write the cached header chain back to the device.
+
+        The header chain may have grown (block relocations never grow
+        it, but appends do); extra chain blocks are allocated on demand.
+        """
+        indices, datas = self.plan_header_save(handle)
+        self.device.write_blocks(indices, datas, stream)
 
     def read_block(self, handle: HiddenFile, logical_index: int, stream: str = "default") -> bytes:
         """Read and decrypt one logical data block of an open file."""
@@ -412,19 +427,29 @@ class StegFsVolume:
         The freed blocks keep their (now meaningless) ciphertext, so
         deletion leaves no trace distinguishable from dummy data.
         """
-        for index in handle.header.all_blocks():
-            self.allocator.free(index)
+        self.allocator.free_many(handle.header.all_blocks())
         handle.header.block_pointers.clear()
         handle.header.header_blocks.clear()
         handle.header.file_size = 0
         handle.dirty = False
 
-    def append_block(self, handle: HiddenFile, payload: bytes, stream: str = "default") -> int:
-        """Append one data block to a file, returning its logical index."""
+    def plan_append_block(self, handle: HiddenFile, payload: bytes) -> tuple[int, int, bytes]:
+        """Plan one appended block: allocate, account and seal, no device I/O.
+
+        Returns ``(logical, physical, raw_block)``; the caller owns the
+        device write.  The allocator and IV draws run in the order the
+        unplanned append performed them, so plans stay draw-identical.
+        """
         physical = self.allocator.allocate_random()
         logical = handle.num_blocks
         handle.header.block_pointers.append(physical)
         handle.header.file_size = logical * self.data_field_bytes + len(payload)
-        self.write_payload(physical, handle.content_key, payload, stream)
+        [sealed] = self.seal_payloads(handle.content_key, [payload], [self.fresh_iv()])
         handle.mark_dirty()
+        return logical, physical, sealed
+
+    def append_block(self, handle: HiddenFile, payload: bytes, stream: str = "default") -> int:
+        """Append one data block to a file, returning its logical index."""
+        logical, physical, sealed = self.plan_append_block(handle, payload)
+        self.device.write_block(physical, sealed, stream)
         return logical

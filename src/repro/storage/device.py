@@ -56,9 +56,12 @@ class BlockDevice(Protocol):
         self,
         indices: Iterable[int],
         datas: Sequence[bytes] | None = None,
-        stream: str = "default",
+        stream: str | Sequence[str] = "default",
+        write_indices: Iterable[int] | None = None,
     ) -> None:
-        """Charge an interleaved read+write per block (``datas=None`` rewrites in place)."""
+        """Charge a read+write cycle per entry (read ``indices[i]``, write
+        ``write_indices[i]``; write targets default to the read targets,
+        ``datas=None`` rewrites in place)."""
 
     def peek_block(self, index: int) -> bytes:
         """Read block bytes without charging I/O (attacker/bookkeeping view)."""
@@ -101,9 +104,10 @@ class RawDevice:
         self,
         indices: Iterable[int],
         datas: Sequence[bytes] | None = None,
-        stream: str = "default",
+        stream: str | Sequence[str] = "default",
+        write_indices: Iterable[int] | None = None,
     ) -> None:
-        self.storage.read_write_blocks(indices, datas, stream)
+        self.storage.read_write_blocks(indices, datas, stream, write_indices=write_indices)
 
     def peek_block(self, index: int) -> bytes:
         return self.storage.peek_block(index)
@@ -173,9 +177,15 @@ class Partition:
         self,
         indices: Iterable[int],
         datas: Sequence[bytes] | None = None,
-        stream: str = "default",
+        stream: str | Sequence[str] = "default",
+        write_indices: Iterable[int] | None = None,
     ) -> None:
-        self.storage.read_write_blocks(self._translate_many(indices), datas, stream)
+        self.storage.read_write_blocks(
+            self._translate_many(indices),
+            datas,
+            stream,
+            write_indices=None if write_indices is None else self._translate_many(write_indices),
+        )
 
     def peek_block(self, index: int) -> bytes:
         return self.storage.peek_block(self._translate(index))

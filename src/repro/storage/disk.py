@@ -297,40 +297,82 @@ class RawStorage:
         self,
         indices: Iterable[int],
         datas: Sequence[bytes] | None = None,
-        stream: str = "default",
+        stream: str | Sequence[str] = "default",
+        write_indices: Iterable[int] | None = None,
     ) -> None:
-        """Charge an interleaved read+write on every block, in one call.
+        """Charge an interleaved read+write *cycle* per entry, in one call.
 
-        Equivalent to ``for i, d in zip(indices, datas): read_block(i);
-        write_block(i, d)`` with the read results discarded.  When
-        ``datas`` is None every block is rewritten with its current
+        Equivalent to ``for r, w, d in zip(indices, write_indices,
+        datas): read_block(r); write_block(w, d)`` with the read results
+        discarded.  ``write_indices`` defaults to ``indices`` — the
+        historical rewrite-in-place shape; a Figure-6 swap passes the
+        update's target as the write index instead.  ``stream`` may be
+        one name or a per-cycle sequence (both events of a cycle carry
+        its label), which is what keeps per-session trace attribution
+        intact when the concurrent engine fuses cycles across sessions.
+        When ``datas`` is None every block is rewritten with its current
         content — a pure charging pass, which is what the oblivious
         store's non-final merge-sort passes need.
         """
-        indices = _index_array(indices)
+        read_idx = _index_array(indices)
         if datas is not None:
             datas = list(datas)
-        self._check_batch(indices, datas)
-        if indices.size == 0:
+        if write_indices is None:
+            write_idx = read_idx
+        else:
+            if datas is None:
+                raise ValueError("write_indices requires datas")
+            write_idx = _index_array(write_indices)
+            if write_idx.size != read_idx.size:
+                raise ValueError(
+                    f"{read_idx.size} read indices but {write_idx.size} write indices"
+                )
+        self._check_batch(read_idx, None, stream)
+        self._check_batch(write_idx, datas)
+        if read_idx.size == 0:
             return
-        if datas is not None and np.unique(indices).size != indices.size:
-            # A later read of a duplicated index must observe the earlier
-            # write; only the genuine loop preserves that.
-            for index, data in zip(indices.tolist(), datas):
-                self.read_block(index, stream)
-                self.write_block(index, data, stream)
+        if datas is not None and self._cycles_collide(read_idx, write_idx):
+            # A later cycle touching an earlier cycle's block must
+            # observe the earlier write; only the genuine loop
+            # preserves that.
+            streams = [stream] * read_idx.size if isinstance(stream, str) else list(stream)
+            for r, w, data, label in zip(read_idx.tolist(), write_idx.tolist(), datas, streams):
+                self.read_block(r, label)
+                self.write_block(w, data, label)
             return
-        # The head visits every block twice in a row: read then write.
-        accesses = np.repeat(indices, 2)
+        # The head serves each cycle as two back-to-back accesses: read
+        # the source, write the target.
+        accesses = np.empty(read_idx.size * 2, dtype=np.int64)
+        accesses[0::2] = read_idx
+        accesses[1::2] = write_idx
         costs, times = self._charge_many(accesses)
-        self.counters.reads += indices.size
-        self.counters.writes += indices.size
+        self.counters.reads += read_idx.size
+        self.counters.writes += write_idx.size
         self.counters.read_time_ms = _sequential_sum(self.counters.read_time_ms, costs[0::2])
         self.counters.write_time_ms = _sequential_sum(self.counters.write_time_ms, costs[1::2])
-        op_codes = np.tile(np.array([OP_READ, OP_WRITE], dtype=np.uint8), indices.size)
-        self.trace.record_many(op_codes, accesses, times, stream)
+        op_codes = np.tile(np.array([OP_READ, OP_WRITE], dtype=np.uint8), read_idx.size)
+        event_streams: str | list[str] = stream
+        if not isinstance(stream, str):
+            event_streams = [label for label in stream for _ in range(2)]
+        self.trace.record_many(op_codes, accesses, times, event_streams)
         if datas is not None:
-            self.backend.write_many(indices, datas)
+            self.backend.write_many(write_idx, datas)
+
+    @staticmethod
+    def _cycles_collide(read_idx: np.ndarray, write_idx: np.ndarray) -> bool:
+        """Whether any block participates in more than one read/write cycle.
+
+        A block shared *within* one cycle (read == write, the in-place
+        shape) is fine; a block appearing in two different cycles is a
+        read-after-write or write-after-write hazard that the batched
+        schedule cannot honour, so the caller falls back to the loop.
+        """
+        if read_idx is write_idx:
+            return np.unique(read_idx).size != read_idx.size
+        per_cycle = np.where(read_idx == write_idx, read_idx, -1)
+        touched = np.concatenate((read_idx[per_cycle < 0], write_idx[per_cycle < 0],
+                                  per_cycle[per_cycle >= 0]))
+        return np.unique(touched).size != touched.size
 
     def peek_block(self, index: int) -> bytes:
         """Read block bytes *without* charging latency or recording a request.

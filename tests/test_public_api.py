@@ -38,6 +38,7 @@ EXPECTED_TOP_LEVEL = [
     "HiddenFileExistsError",
     "HiddenFileNotFoundError",
     "HiddenVolumeService",
+    "IoPlan",
     "IoTrace",
     "KeyRing",
     "MemoryBackend",
@@ -49,6 +50,8 @@ EXPECTED_TOP_LEVEL = [
     "ObliviousStore",
     "ObliviousStoreConfig",
     "Partition",
+    "PlanJournal",
+    "PlannedOp",
     "RawDevice",
     "RawStorage",
     "Retrieval",
@@ -173,6 +176,7 @@ CLEAN_FILES = [
     "examples/salary_database.py",
     "examples/concurrent_server.py",
     "benchmarks/test_concurrent_throughput.py",
+    "benchmarks/test_plan_fusion_throughput.py",
     "benchmarks/test_fig10a_retrieval_filesize.py",
     "benchmarks/test_fig10b_retrieval_concurrency.py",
     "benchmarks/test_fig11a_update_utilisation.py",
