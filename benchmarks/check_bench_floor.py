@@ -24,11 +24,30 @@ WORKERS = "4"
 
 
 def ops_at_four_workers(path: pathlib.Path) -> float:
-    payload = json.loads(path.read_text(encoding="utf-8"))
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        raise SystemExit(
+            f"{path}: no such benchmark result — generate it with "
+            "'pytest benchmarks/test_concurrent_throughput.py' "
+            "(results land in benchmarks/results/)"
+        ) from None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SystemExit(
+            f"{path}: not valid JSON ({error}) — the file is truncated or "
+            "hand-edited; regenerate it with "
+            "'pytest benchmarks/test_concurrent_throughput.py'"
+        ) from None
     try:
         return float(payload["series"][WORKERS]["ops_per_sec"])
-    except KeyError as error:
-        raise SystemExit(f"{path}: missing series[{WORKERS}].ops_per_sec ({error})")
+    except (KeyError, TypeError) as error:
+        raise SystemExit(
+            f"{path}: missing series[{WORKERS}].ops_per_sec ({error!r}) — "
+            "was this written by an older benchmark? regenerate it with "
+            "'pytest benchmarks/test_concurrent_throughput.py'"
+        ) from None
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -1,0 +1,273 @@
+"""Crash-recovery cost — open()-time rollback vs torn-plan depth and flush cadence.
+
+A file-backed volume pays for crash consistency twice: once per plan
+(before-images sealed into the ``<path>.journal`` sidecar) and once at
+reopen after a crash (scan the ring, roll uncommitted plans back to
+their before-images).  This benchmark measures the second price from
+the outside, through the public facade only:
+
+* **undo-depth sweep** — a torn write spanning N blocks is killed on
+  its batched device write; the recovery ``open()`` is timed against a
+  clean ``open()`` of a pristine clone of the same volume.  The
+  rolled-back byte count is deterministic (N blocks), so the series
+  pins rollback work growing with plan size without asserting on
+  wall-clock noise.
+* **flush-interval sweep** — a fixed workload checkpoints the journal
+  every F ops (``service.flush()``), then dies mid-plan.  Frequent
+  checkpoints trim committed entries early; rare ones leave a fuller
+  ring for the recovery scan.
+
+Every configuration must recover to old-or-new contents — the depth
+sweep reads back the exact pre-plan bytes (the doomed plan never
+committed), the flush sweep reads back a local replay of the committed
+writes — so the benchmark doubles as an end-to-end recovery check.
+"""
+
+from __future__ import annotations
+
+import shutil
+import time
+from pathlib import Path
+
+import pytest
+
+from common import SeriesTable, run_once, save_result, write_bench_json
+from repro import FaultInjectingBackend, HiddenVolumeService, KeyRing, TornWrite
+from repro.crypto.prng import Sha256Prng
+from repro.errors import InjectedCrashError
+from repro.storage.latency import ZeroLatencyModel
+
+BLOCK_SIZE = 512
+FILE_BLOCKS = 64
+FILE_BYTES = FILE_BLOCKS * BLOCK_SIZE
+DEPTH_SWEEP = (1, 4, 16, 64)  # blocks spanned by the torn plan
+FLUSH_SWEEP = (1, 4, 16, 32)  # service.flush() every F ops
+FLUSH_TOTAL_OPS = 32
+
+
+def _build_volume(path: Path, seed: int) -> tuple[str, bytes]:
+    """Create a durable volume holding one FILE_BYTES file; return (ring, old)."""
+    service = HiddenVolumeService.create(
+        "nonvolatile",
+        volume_mib=1,
+        seed=seed,
+        block_size=BLOCK_SIZE,
+        path=path,
+        latency=ZeroLatencyModel(),
+    )
+    session = service.login(service.new_keyring("bench"))
+    old = Sha256Prng(f"bench-old:{seed}").random_bytes(FILE_BYTES)
+    session.create("/bench/data", old)
+    ring = session.keyring.to_json()
+    service.flush()
+    service.close()
+    return ring, old
+
+
+def _sidecar(path: Path) -> Path:
+    return path.with_name(path.name + ".journal")
+
+
+def _clone(path: Path, target: Path) -> Path:
+    shutil.copy(path, target)
+    shutil.copy(_sidecar(path), _sidecar(target))
+    return target
+
+
+def _open_timed(path: Path, seed: int, nonce: str) -> tuple[HiddenVolumeService, float]:
+    began = time.perf_counter()
+    service = HiddenVolumeService.open(
+        path,
+        "nonvolatile",
+        seed=seed,
+        block_size=BLOCK_SIZE,
+        session_nonce=nonce,
+        latency=ZeroLatencyModel(),
+    )
+    return service, (time.perf_counter() - began) * 1000.0
+
+
+def run_depth_sweep(workdir: Path) -> dict[int, dict[str, float]]:
+    results: dict[int, dict[str, float]] = {}
+    for blocks in DEPTH_SWEEP:
+        seed = 400 + blocks
+        path = workdir / f"depth{blocks}.img"
+        ring, old = _build_volume(path, seed)
+        pristine = _clone(path, workdir / f"depth{blocks}-pristine.img")
+
+        injector = None
+
+        def wrap(backend):
+            nonlocal injector
+            injector = FaultInjectingBackend(backend)
+            return injector
+
+        doomed_service = HiddenVolumeService.open(
+            path,
+            "nonvolatile",
+            seed=seed,
+            block_size=BLOCK_SIZE,
+            session_nonce="doomed",
+            latency=ZeroLatencyModel(),
+            wrap_backend=wrap,
+        )
+        doomed = doomed_service.login(KeyRing.from_json(ring))
+        # Unaligned span: the op is one batched read + one batched
+        # write, and arming index 1 tears the write.
+        size = blocks * BLOCK_SIZE - 7
+        payload = Sha256Prng(f"bench-doomed:{seed}").random_bytes(size)
+        injector.arm(1, TornWrite())
+        with pytest.raises(InjectedCrashError):
+            doomed.write("/bench/data", payload, at=3)
+        doomed_service.storage.close()
+        doomed_service.journal.close()
+
+        recovered_service, recovery_ms = _open_timed(path, seed, "recover")
+        content = recovered_service.login(KeyRing.from_json(ring)).read("/bench/data")
+        assert content == old, f"rollback of a {blocks}-block torn plan must restore old bytes"
+        recovered_service.close()
+
+        clean_service, clean_ms = _open_timed(pristine, seed, "clean")
+        clean_service.close()
+
+        results[blocks] = {
+            "recovery_open_ms": recovery_ms,
+            "clean_open_ms": clean_ms,
+            "rolled_back_bytes": float(blocks * BLOCK_SIZE),
+        }
+    return results
+
+
+def run_flush_sweep(workdir: Path) -> dict[int, dict[str, float]]:
+    results: dict[int, dict[str, float]] = {}
+    for interval in FLUSH_SWEEP:
+        seed = 500 + interval
+        path = workdir / f"flush{interval}.img"
+        ring, old = _build_volume(path, seed)
+
+        injector = None
+
+        def wrap(backend):
+            nonlocal injector
+            injector = FaultInjectingBackend(backend)
+            return injector
+
+        service = HiddenVolumeService.open(
+            path,
+            "nonvolatile",
+            seed=seed,
+            block_size=BLOCK_SIZE,
+            session_nonce="workload",
+            latency=ZeroLatencyModel(),
+            wrap_backend=wrap,
+        )
+        session = service.login(KeyRing.from_json(ring))
+        ops = Sha256Prng(f"bench-flush:{seed}")
+        expected = bytearray(old)
+        checkpoints = 0
+        began = time.perf_counter()
+        for op in range(FLUSH_TOTAL_OPS):
+            size = 1 + ops.randrange(2 * BLOCK_SIZE)
+            at = ops.randrange(FILE_BYTES - size)
+            data = ops.random_bytes(size)
+            session.write("/bench/data", data, at=at)
+            expected[at : at + size] = data
+            if (op + 1) % interval == 0:
+                service.flush()
+                checkpoints += 1
+        workload_ms = (time.perf_counter() - began) * 1000.0
+        # Die mid-plan on a final unaligned write; it never commits, so
+        # recovery must expose exactly the checkpointed workload state.
+        injector.arm(1, TornWrite())
+        with pytest.raises(InjectedCrashError):
+            session.write("/bench/data", b"doomed tail bytes", at=7)
+        service.storage.close()
+        service.journal.close()
+
+        recovered_service, recovery_ms = _open_timed(path, seed, "recover")
+        content = recovered_service.login(KeyRing.from_json(ring)).read("/bench/data")
+        assert content == bytes(expected), (
+            f"recovery after flush-every-{interval} must replay to committed state"
+        )
+        recovered_service.close()
+
+        results[interval] = {
+            "checkpoints": float(checkpoints),
+            "workload_ms": workload_ms,
+            "recovery_open_ms": recovery_ms,
+        }
+    return results
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_crash_recovery_cost(benchmark, tmp_path):
+    depth, flush = run_once(
+        benchmark, lambda: (run_depth_sweep(tmp_path), run_flush_sweep(tmp_path))
+    )
+
+    table = SeriesTable(
+        name=(
+            "Crash recovery: open()-time rollback vs torn-plan depth "
+            f"(block size {BLOCK_SIZE}, nonvolatile)"
+        ),
+        columns=["torn blocks", "rolled-back KiB", "recovery open ms", "clean open ms"],
+    )
+    for blocks in DEPTH_SWEEP:
+        row = depth[blocks]
+        table.add_row(
+            blocks,
+            round(row["rolled_back_bytes"] / 1024, 1),
+            round(row["recovery_open_ms"], 2),
+            round(row["clean_open_ms"], 2),
+        )
+    save_result("crash_recovery_depth", table.render())
+
+    table = SeriesTable(
+        name=f"Crash recovery: flush cadence over {FLUSH_TOTAL_OPS} ops, then die mid-plan",
+        columns=["flush every", "checkpoints", "workload ms", "recovery open ms"],
+    )
+    for interval in FLUSH_SWEEP:
+        row = flush[interval]
+        table.add_row(
+            interval,
+            int(row["checkpoints"]),
+            round(row["workload_ms"], 1),
+            round(row["recovery_open_ms"], 2),
+        )
+    save_result("crash_recovery_flush", table.render())
+
+    write_bench_json(
+        "BENCH_crash_recovery",
+        {
+            "benchmark": "crash recovery: open()-time rollback cost",
+            "block_size": BLOCK_SIZE,
+            "file_bytes": FILE_BYTES,
+            "flush_total_ops": FLUSH_TOTAL_OPS,
+            "series": {
+                "undo_depth": {
+                    str(blocks): {
+                        "rolled_back_bytes": int(row["rolled_back_bytes"]),
+                        "recovery_open_ms": round(row["recovery_open_ms"], 3),
+                        "clean_open_ms": round(row["clean_open_ms"], 3),
+                    }
+                    for blocks, row in depth.items()
+                },
+                "flush_interval": {
+                    str(interval): {
+                        "checkpoints": int(row["checkpoints"]),
+                        "workload_ms": round(row["workload_ms"], 3),
+                        "recovery_open_ms": round(row["recovery_open_ms"], 3),
+                    }
+                    for interval, row in flush.items()
+                },
+            },
+        },
+    )
+
+    # Deterministic shape: rollback work grows linearly with plan depth,
+    # and every flush cadence checkpointed as many times as it promised.
+    depths = [depth[blocks]["rolled_back_bytes"] for blocks in DEPTH_SWEEP]
+    assert depths == sorted(depths) and len(set(depths)) == len(depths)
+    for interval in FLUSH_SWEEP:
+        assert flush[interval]["checkpoints"] == FLUSH_TOTAL_OPS // interval
+        assert flush[interval]["recovery_open_ms"] > 0.0

@@ -40,6 +40,7 @@ from repro.core.oblivious import (
     oblivious_height,
     overhead_factor,
 )
+from repro.core.journal import JournalBackend
 from repro.core.plan import IoPlan, PlanJournal, PlannedOp
 from repro.core.volatile import VolatileAgent
 from repro.crypto import AES, CbcCipher, FastFieldCipher, FileAccessKey, KeyRing, Sha256Prng
@@ -47,6 +48,7 @@ from repro.errors import HiddenFileExistsError, HiddenFileNotFoundError
 from repro.service import (
     ConcurrencyScenario,
     ConcurrentSession,
+    CrashScenario,
     ConcurrentVolumeService,
     EngineStats,
     ExperimentResult,
@@ -66,10 +68,12 @@ from repro.stegfs import StegFsVolume, VolumeConfig, create_dummy_file
 from repro.storage import (
     BlockBackend,
     DiskLatencyModel,
+    FaultInjectingBackend,
     IoTrace,
     MemoryBackend,
     MmapFileBackend,
     Partition,
+    TornWrite,
     RawDevice,
     RawStorage,
     StorageGeometry,
@@ -94,6 +98,7 @@ __all__ = [
     # -- declarative experiments
     "Scenario",
     "ConcurrencyScenario",
+    "CrashScenario",
     "Retrieval",
     "Updates",
     "TableUpdates",
@@ -106,6 +111,7 @@ __all__ = [
     "IoPlan",
     "PlannedOp",
     "PlanJournal",
+    "JournalBackend",
     # -- constructions and substrate (advanced / internal-facing surface)
     "StegAgent",
     "UpdateResult",
@@ -132,6 +138,8 @@ __all__ = [
     "BlockBackend",
     "MemoryBackend",
     "MmapFileBackend",
+    "FaultInjectingBackend",
+    "TornWrite",
     "HiddenFileNotFoundError",
     "HiddenFileExistsError",
     "StorageGeometry",

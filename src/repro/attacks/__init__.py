@@ -7,6 +7,9 @@ the paper grants them:
   repeatedly snapshot the raw storage and diff consecutive snapshots.
 * :class:`~repro.attacks.traffic_analysis.TrafficAnalysisAttacker` — can
   observe the I/O requests between the agent and the storage.
+* :class:`~repro.attacks.snapshot_diff.SnapshotDiffAttacker` — can image
+  the volume *file* between runs of the owning process and hunt for
+  crash-recovery artifacts in the diff series.
 
 Both know the scheme completely but hold no keys, and both output a
 *verdict* (does hidden data activity exist?) together with the evidence
@@ -15,6 +18,7 @@ rate against ground truth.
 """
 
 from repro.attacks.observer import SnapshotObserver, TraceObserver
+from repro.attacks.snapshot_diff import SnapshotDiffAttacker, SnapshotDiffVerdict
 from repro.attacks.traffic_analysis import TrafficAnalysisAttacker, TrafficVerdict
 from repro.attacks.update_analysis import UpdateAnalysisAttacker, UpdateVerdict
 
@@ -25,4 +29,6 @@ __all__ = [
     "UpdateVerdict",
     "TrafficAnalysisAttacker",
     "TrafficVerdict",
+    "SnapshotDiffAttacker",
+    "SnapshotDiffVerdict",
 ]

@@ -1,0 +1,158 @@
+"""The snapshot-diff attacker: a multi-snapshot adversary hunting crashes.
+
+The update-analysis attacker of Section 3.1 asks *"does hidden activity
+exist?"*; this attacker asks the sharper crash-consistency question:
+*"did the last run die mid-update, and did recovery leave a tell?"*.
+It images the volume file at a series of quiescent points (between runs
+of the owning process — exactly what a backup system or a periodically
+seized disk yields), diffs consecutive images, and looks for intervals
+whose change pattern betrays a crash-plus-recovery:
+
+1. **change-rate outliers** — an interval containing a torn plan plus a
+   rollback could plausibly change more (the tear and its undo) or
+   fewer (the op never finished) blocks than a clean interval;
+2. **positional non-uniformity** — recovery that rewrote blocks
+   in-place at non-uniform positions would break the dummy-update
+   camouflage;
+3. **threshold advantage** — given a hypothesis of which intervals
+   crashed, the best single-threshold distinguisher's advantage
+   ``|TPR - FPR|``.  Scoring a *clean* series against the same
+   hypothesised positions yields the null baseline; a crash-consistent
+   system keeps the two statistically indistinguishable.
+
+The attacker sees raw images only — no keys, no trace — matching the
+paper's snapshot-adversary observables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.security import uniformity_chi_square
+from repro.storage.snapshot import Snapshot, SnapshotDiff, diff_snapshots
+
+
+@dataclass(frozen=True)
+class SnapshotDiffVerdict:
+    """What the snapshot-diff attacker concludes from an image series."""
+
+    intervals: int
+    change_fractions: tuple[float, ...]
+    mean_change_fraction: float
+    uniformity_p_value: float
+    advantage: float
+    flagged_intervals: tuple[int, ...]
+    suspects_crash_recovery: bool
+
+
+class SnapshotDiffAttacker:
+    """Diff consecutive volume images and score crash-recovery evidence.
+
+    Parameters
+    ----------
+    num_blocks:
+        Blocks per image (for the positional-uniformity test).
+    advantage_threshold:
+        Minimum best-threshold advantage that counts as distinguishing.
+    uniformity_alpha:
+        p-value below which changed positions count as non-uniform.
+    """
+
+    def __init__(
+        self,
+        num_blocks: int,
+        advantage_threshold: float = 0.5,
+        uniformity_alpha: float = 0.01,
+    ):
+        self.num_blocks = num_blocks
+        self.advantage_threshold = advantage_threshold
+        self.uniformity_alpha = uniformity_alpha
+
+    def interval_diffs(self, snapshots: Sequence[Snapshot]) -> list[SnapshotDiff]:
+        """Diffs of consecutive snapshots (``len(snapshots) - 1`` intervals)."""
+        if len(snapshots) < 2:
+            raise ValueError("need at least two snapshots to diff")
+        return [
+            diff_snapshots(before, after)
+            for before, after in zip(snapshots, snapshots[1:])
+        ]
+
+    def change_fractions(self, diffs: Sequence[SnapshotDiff]) -> tuple[float, ...]:
+        """Fraction of the volume changed in each interval."""
+        return tuple(diff.change_fraction for diff in diffs)
+
+    def positional_uniformity(self, diffs: Sequence[SnapshotDiff]) -> float:
+        """p-value of the changed positions against the uniform distribution."""
+        changed = [index for diff in diffs for index in diff.changed_blocks]
+        if not changed:
+            return 1.0
+        _, p_value = uniformity_chi_square(changed, self.num_blocks)
+        return p_value
+
+    def best_threshold_advantage(
+        self, fractions: Sequence[float], crash_flags: Sequence[bool]
+    ) -> float:
+        """Best single-threshold distinguisher advantage ``|TPR - FPR|``.
+
+        ``crash_flags[i]`` is the attacker's hypothesis that interval
+        ``i`` contained a crash.  With no positive or no negative
+        examples there is nothing to distinguish and the advantage is 0.
+        """
+        if len(fractions) != len(crash_flags):
+            raise ValueError("one crash flag per interval is required")
+        flags = np.asarray(crash_flags, dtype=bool)
+        values = np.asarray(fractions, dtype=float)
+        positives = int(flags.sum())
+        negatives = int((~flags).sum())
+        if positives == 0 or negatives == 0:
+            return 0.0
+        best = 0.0
+        for threshold in np.unique(values):
+            predicted = values >= threshold
+            tpr = float((predicted & flags).sum()) / positives
+            fpr = float((predicted & ~flags).sum()) / negatives
+            best = max(best, abs(tpr - fpr))
+        return best
+
+    def flagged_intervals(self, fractions: Sequence[float]) -> tuple[int, ...]:
+        """Intervals whose change rate is a mean ± 2σ outlier."""
+        values = np.asarray(fractions, dtype=float)
+        if values.size < 3:
+            return ()
+        mean = float(values.mean())
+        spread = float(values.std())
+        if spread == 0.0:
+            return ()
+        return tuple(
+            int(i) for i in np.nonzero(np.abs(values - mean) > 2.0 * spread)[0]
+        )
+
+    def analyse(
+        self,
+        snapshots: Sequence[Snapshot],
+        crash_flags: Sequence[bool] | None = None,
+    ) -> SnapshotDiffVerdict:
+        """Run every distinguisher over an image series and combine a verdict."""
+        diffs = self.interval_diffs(snapshots)
+        fractions = self.change_fractions(diffs)
+        p_value = self.positional_uniformity(diffs)
+        advantage = (
+            self.best_threshold_advantage(fractions, crash_flags)
+            if crash_flags is not None
+            else 0.0
+        )
+        flagged = self.flagged_intervals(fractions)
+        return SnapshotDiffVerdict(
+            intervals=len(diffs),
+            change_fractions=fractions,
+            mean_change_fraction=float(np.mean(fractions)) if fractions else 0.0,
+            uniformity_p_value=p_value,
+            advantage=advantage,
+            flagged_intervals=flagged,
+            suspects_crash_recovery=(
+                advantage > self.advantage_threshold or p_value < self.uniformity_alpha
+            ),
+        )

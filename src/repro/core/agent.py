@@ -310,7 +310,9 @@ class StegAgent(ABC):
         if self.plan_journal is not None:
             # Deletion is pure bookkeeping; its plan is deliberately
             # empty, and journalling it keeps the intent log complete.
+            # With no device I/O to land, it commits immediately.
             self.plan_journal.record(IoPlan([], label="delete_file"))
+            self.plan_journal.mark_committed()
         self._unregister_handle(handle)
         self.volume.delete_file(handle, stream)
 

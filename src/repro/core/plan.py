@@ -54,9 +54,12 @@ then writes), which is byte-safe because reseals are
 plaintext-idempotent, even under duplicate draws.
 
 :class:`PlanJournal` is the crash-consistency seam: it records each
-plan's step sequence *before* any of its I/O executes, so a future
-intent-log PR can persist the journal entry and replay or roll back a
-torn plan.
+plan's step sequence *before* any of its I/O executes and is told via
+:meth:`~PlanJournal.mark_committed` when the plan's I/O has fully
+landed.  :class:`repro.core.journal.JournalBackend` subclasses it to
+persist every entry (with before-images) to a cipher-sealed sidecar
+file, which is what lets ``HiddenVolumeService.open`` roll a torn plan
+back to its pre-plan bytes.
 """
 
 from __future__ import annotations
@@ -320,10 +323,18 @@ def execute_plan(
     cipher_for: CipherFor,
     journal: "PlanJournal | None" = None,
 ) -> list[bytes]:
-    """Fuse and execute one plan; return its kept-read payloads in step order."""
+    """Fuse and execute one plan; return its kept-read payloads in step order.
+
+    The journal (when given) sees the plan strictly before its first
+    device request and is marked committed only after every run landed;
+    an entry left uncommitted therefore brackets exactly the window in
+    which a crash can leave the plan half-applied.
+    """
     if journal is not None:
         journal.record(plan)
     payloads = execute_runs(fuse([plan]), device, cipher_for)
+    if journal is not None:
+        journal.mark_committed()
     return payloads.get(0, [])
 
 
@@ -338,26 +349,62 @@ class JournalEntry:
 class PlanJournal:
     """Records planned step sequences *before* they execute.
 
-    This is the seam a crash-consistency intent log will consume: by
-    the time any block of a plan is written, the journal already holds
-    the full step sequence, so a torn plan can be recognised and
-    replayed or rolled back.  The in-memory journal here is the hook
-    point only — persistence is a future PR — but the ordering contract
-    (record strictly precedes the plan's first device request) is
-    guaranteed now and pinned by tests.
+    This is the seam the crash-consistency intent log consumes: by the
+    time any block of a plan is written, the journal already holds the
+    full step sequence, so a torn plan can be recognised and rolled
+    back.  The ordering contract (record strictly precedes the plan's
+    first device request, :meth:`mark_committed` strictly follows its
+    last) is guaranteed by the executors and pinned by tests.
+
+    The in-memory journal keeps at most ``max_entries`` entries (a
+    ring: recording past the cap drops the oldest entry), with the
+    overflow visible through :attr:`truncated` and
+    :attr:`total_recorded`.  :class:`repro.core.journal.JournalBackend`
+    extends this class with a durable, cipher-sealed sidecar file.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
         self._entries: list[JournalEntry] = []
+        self._max_entries = max_entries
+        self._total_recorded = 0
+        self._truncated = 0
 
     def record(self, plan: IoPlan) -> None:
         """Journal one plan's step sequence ahead of its execution."""
         self._entries.append(JournalEntry(plan.label, tuple(plan.steps)))
+        self._total_recorded += 1
+        if self._max_entries is not None and len(self._entries) > self._max_entries:
+            del self._entries[0]
+            self._truncated += 1
+
+    def mark_committed(self) -> None:
+        """Note that every recorded-but-unexecuted plan has fully landed.
+
+        A no-op for the in-memory journal; the durable journal writes a
+        commit marker so recovery knows the entry needs no rollback.
+        """
 
     @property
     def entries(self) -> list[JournalEntry]:
         """Journalled entries, oldest first (a copy)."""
         return list(self._entries)
+
+    @property
+    def max_entries(self) -> int | None:
+        """Ring capacity, or ``None`` for an unbounded journal."""
+        return self._max_entries
+
+    @property
+    def total_recorded(self) -> int:
+        """Plans recorded over the journal's lifetime, truncated or not."""
+        return self._total_recorded
+
+    @property
+    def truncated(self) -> int:
+        """Entries dropped from the head of the ring to respect the cap."""
+        return self._truncated
 
     def __len__(self) -> int:
         return len(self._entries)

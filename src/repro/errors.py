@@ -54,6 +54,21 @@ class VolumeFileError(StorageError):
     """A file opened as a durable volume does not have a volume's shape."""
 
 
+class JournalError(StorageError):
+    """The durable plan journal is unusable (unbound, full, closed or malformed)."""
+
+
+class InjectedCrashError(StorageError):
+    """A fault-injecting backend killed execution at its armed device call.
+
+    Raised by :class:`~repro.storage.backend.FaultInjectingBackend` to
+    model the process dying mid-plan; everything the backend applied
+    before the crash stays on the device (including a torn block), and
+    every later access raises this error again — a dead process issues
+    no further I/O.
+    """
+
+
 class FileSystemError(ReproError):
     """Base class for errors in the file-system layers."""
 

@@ -30,7 +30,7 @@ from repro.service.scenario import (
     Updates,
     run_experiment,
 )
-from repro.sim.engine import ConcurrencyScenario
+from repro.sim.engine import ConcurrencyScenario, CrashScenario
 
 __all__ = [
     "CONSTRUCTIONS",
@@ -43,6 +43,7 @@ __all__ = [
     "EngineStats",
     "Scenario",
     "ConcurrencyScenario",
+    "CrashScenario",
     "Retrieval",
     "Updates",
     "TableUpdates",

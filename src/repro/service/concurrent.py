@@ -338,7 +338,9 @@ class ConcurrentVolumeService:
     journal:
         Optional :class:`~repro.core.plan.PlanJournal`; when given,
         every plan — fused flushes and the agent's direct executions
-        alike — is recorded before its first device request.
+        alike — is recorded before its first device request and marked
+        committed after its last.  Defaults to the wrapped service's
+        own durable journal (``service.journal``) when it has one.
     """
 
     def __init__(
@@ -363,12 +365,15 @@ class ConcurrentVolumeService:
         self.gather_timeout_s = (
             _GATHER_TIMEOUT_S if gather_timeout_s is None else gather_timeout_s
         )
-        self.journal = journal
-        if journal is not None:
+        # A file-backed service already carries its durable intent log;
+        # inherit it so fused flushes stay journalled (and recoverable)
+        # through the engine too.
+        self.journal = journal if journal is not None else service.journal
+        if self.journal is not None:
             # Direct agent executions (creates, dummy bursts, unfused
             # writes) journal at the agent seam; fused flushes journal
             # in _flush_plans.  Together the intent log is complete.
-            service.agent.plan_journal = journal
+            service.agent.plan_journal = self.journal
         self.stats = EngineStats()
         self._queue_lock = threading.Lock()
         # The scheduler thread is the only waiter on this condition;
@@ -748,6 +753,12 @@ class ConcurrentVolumeService:
             pending.clear()
             self._accrue_dummies(count)
             return flushed
+        if self.journal is not None:
+            # Every plan of the batch has fully landed; a surfaced error
+            # above deliberately leaves the entries uncommitted so a
+            # durable journal rolls the partial progress back on the
+            # next open.
+            self.journal.mark_committed()
         for position, planned in enumerate(pending):
             try:
                 result = planned.op.finish(payloads.get(position, []))

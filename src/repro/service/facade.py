@@ -28,8 +28,10 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.agent import StegAgent, UpdateResult
+from repro.core.journal import JournalBackend, journal_sidecar_path
 from repro.core.plan import IoPlan, PlanJournal, PlannedOp, Step
 from repro.core.nonvolatile import NonVolatileAgent
 from repro.core.oblivious.reader import ObliviousReader
@@ -46,7 +48,7 @@ from repro.errors import (
 )
 from repro.stegfs.file import HiddenFile
 from repro.stegfs.filesystem import StegFsVolume
-from repro.storage.backend import MmapFileBackend
+from repro.storage.backend import BlockBackend, MmapFileBackend
 from repro.storage.device import RawDevice, split_volume
 from repro.storage.disk import MIB, RawStorage, StorageGeometry
 from repro.storage.latency import DiskLatencyModel
@@ -534,6 +536,9 @@ class HiddenVolumeService:
         self._decoy_prng = prng.spawn("service-decoys")
         self._sessions: dict[str, Session] = {}
         self._service_closed = False
+        #: Durable intent log for file-backed volumes; attached by
+        #: :meth:`create`/:meth:`open`, ``None`` for in-memory services.
+        self.journal: JournalBackend | None = None
 
     # -- construction ----------------------------------------------------------------
 
@@ -548,6 +553,7 @@ class HiddenVolumeService:
         oblivious: ObliviousConfig | None = None,
         path: str | os.PathLike | None = None,
         fak_entropy: bytes | None = None,
+        journal: bool = True,
     ) -> "HiddenVolumeService":
         """Build a ready-to-serve hidden volume.
 
@@ -575,6 +581,13 @@ class HiddenVolumeService:
         (e.g. ``os.urandom(32)``, kept with the key rings) to root key
         generation in real entropy instead; reproduce a session's keys
         by passing the same entropy to :meth:`open`.
+
+        File-backed volumes also get a durable intent log by default: a
+        fixed-size, cipher-sealed ``<path>.journal`` sidecar that lets
+        :meth:`open` roll a crash-torn plan back to its pre-plan bytes
+        (see :mod:`repro.core.journal`).  Pass ``journal=False`` to opt
+        out; in-memory services ignore the flag (nothing survives the
+        process anyway).
         """
         if construction not in CONSTRUCTIONS:
             raise ValueError(
@@ -583,11 +596,24 @@ class HiddenVolumeService:
         prng = Sha256Prng(seed)
         geometry = StorageGeometry.from_capacity(volume_mib * MIB, block_size)
         backend = None
+        journal_backend = None
         if path is not None:
             backend = MmapFileBackend.create(path, geometry.block_size, geometry.num_blocks)
+            if journal:
+                try:
+                    journal_backend = JournalBackend.create(
+                        journal_sidecar_path(path), cls._journal_key(prng)
+                    )
+                except BaseException:
+                    backend.close()
+                    os.unlink(path)
+                    raise
         storage = RawStorage(geometry, latency=latency, backend=backend)
         storage.fill_random(seed)
-        return cls._wire(storage, construction, prng, oblivious, fak_entropy=fak_entropy)
+        service = cls._wire(storage, construction, prng, oblivious, fak_entropy=fak_entropy)
+        if journal_backend is not None:
+            service._attach_journal(journal_backend, backend)
+        return service
 
     @classmethod
     def open(
@@ -600,6 +626,8 @@ class HiddenVolumeService:
         oblivious: ObliviousConfig | None = None,
         session_nonce: int | str = 0,
         fak_entropy: bytes | None = None,
+        journal: bool | None = None,
+        wrap_backend: Callable[[BlockBackend], BlockBackend] | None = None,
     ) -> "HiddenVolumeService":
         """Reopen a durable volume file in a fresh process.
 
@@ -630,19 +658,43 @@ class HiddenVolumeService:
         :meth:`create` and governs the keys of files created *in this
         session* — pass fresh entropy unless you need to re-derive a
         previous session's keys.
+
+        A ``<path>.journal`` sidecar (written by :meth:`create`) is
+        detected automatically: its uncommitted entries are rolled back
+        to their before-images *before* the service is wired, so a
+        volume whose last process died mid-plan reads either the old or
+        the new bytes of every plan — never a torn mixture.  Recovery
+        issues only plain sealed-block writes and consumes no PRNG
+        stream, so a recovered service is draw-for-draw identical to
+        one that never crashed.  ``journal=True`` forces a sidecar into
+        existence, ``journal=False`` ignores one (skipping recovery —
+        only for forensics); ``wrap_backend`` interposes on the block
+        backend *after* recovery (the fault-injection hook — see
+        :class:`~repro.storage.backend.FaultInjectingBackend`).
         """
         if construction not in CONSTRUCTIONS:
             raise ValueError(
                 f"unknown construction {construction!r}; expected one of {CONSTRUCTIONS}"
             )
         backend = MmapFileBackend.open(path, block_size)
-        geometry = StorageGeometry(block_size=block_size, num_blocks=backend.num_blocks)
-        storage = RawStorage(geometry, latency=latency, backend=backend)
         prng = Sha256Prng(seed)
+        sidecar = journal_sidecar_path(path)
+        journal_backend = None
+        use_journal = os.path.exists(sidecar) if journal is None else journal
+        if use_journal:
+            key = cls._journal_key(prng)
+            if os.path.exists(sidecar):
+                journal_backend = JournalBackend.open(sidecar, key)
+                journal_backend.recover(backend)
+            else:
+                journal_backend = JournalBackend.create(sidecar, key)
+        device_backend = backend if wrap_backend is None else wrap_backend(backend)
+        geometry = StorageGeometry(block_size=block_size, num_blocks=backend.num_blocks)
+        storage = RawStorage(geometry, latency=latency, backend=device_backend)
         # The salt embeds the nonce's type: int 0 and str "0" stringify
         # identically but must not yield the same serving-session stream.
         salt = f"reopen:{type(session_nonce).__name__}:{session_nonce}"
-        return cls._wire(
+        service = cls._wire(
             storage,
             construction,
             prng,
@@ -650,6 +702,20 @@ class HiddenVolumeService:
             wiring_prng=prng.spawn(salt),
             fak_entropy=fak_entropy,
         )
+        if journal_backend is not None:
+            service._attach_journal(journal_backend, backend)
+        return service
+
+    @staticmethod
+    def _journal_key(prng: Sha256Prng) -> bytes:
+        # spawn() is a pure derivation (no parent state consumed), so
+        # attaching a journal never perturbs the volume's own streams.
+        return prng.spawn("journal").random_bytes(32)
+
+    def _attach_journal(self, journal_backend: JournalBackend, backend: BlockBackend) -> None:
+        journal_backend.bind(backend)
+        self.journal = journal_backend
+        self.agent.plan_journal = journal_backend
 
     @classmethod
     def _wire(
@@ -834,6 +900,11 @@ class HiddenVolumeService:
                 if handle.dirty:
                     self.agent.save_file(handle, session.stream)
         self.storage.flush()
+        if self.journal is not None and not self.journal.closed:
+            # Every committed plan's bytes are now durable, so the
+            # journal can retire (trim) their entries.
+            self.journal.checkpoint()
+            self.journal.flush()
 
     def close(self) -> None:
         """Log every session out (saving dirty headers) and close the backend.
@@ -847,6 +918,9 @@ class HiddenVolumeService:
         for user in list(self._sessions):
             self._sessions[user].logout()
         self.storage.close()
+        if self.journal is not None and not self.journal.closed:
+            self.journal.checkpoint()
+            self.journal.close()
         self._service_closed = True
 
     def __enter__(self) -> "HiddenVolumeService":

@@ -37,7 +37,13 @@ from repro.attacks.update_analysis import UpdateAnalysisAttacker
 from repro.crypto.prng import Sha256Prng
 from repro.errors import WorkloadError
 from repro.sim.builders import SYSTEM_LABELS, SystemUnderTest, build_system
-from repro.sim.engine import ClientJob, ConcurrencyScenario, RoundRobinSimulator, SimulationResult
+from repro.sim.engine import (
+    ClientJob,
+    ConcurrencyScenario,
+    CrashScenario,
+    RoundRobinSimulator,
+    SimulationResult,
+)
 from repro.storage.latency import DiskLatencyModel
 from repro.workloads.filegen import FileSpec
 from repro.workloads.retrieval import file_read_job, measure_file_read
@@ -230,10 +236,15 @@ class ExperimentResult:
     :class:`~repro.sim.engine.ConcurrencyScenario`, ``system`` is the
     :class:`~repro.service.HiddenVolumeService` that served the run and
     the measurements are wall-clock (``ops``, ``ops_per_sec``,
-    ``dummy_updates``).
+    ``dummy_updates``).  For a
+    :class:`~repro.sim.engine.CrashScenario`, ``system`` is the (closed)
+    service of the final verification run, the measurements count
+    ``ops``, ``crashes``, ``mean_change_fraction``, ``advantage`` and
+    ``recovered_bytes``, and ``verdicts["snapshot-diff"]`` holds the
+    adversary's :class:`~repro.attacks.SnapshotDiffVerdict`.
     """
 
-    scenario: Scenario | ConcurrencyScenario
+    scenario: Scenario | ConcurrencyScenario | CrashScenario
     system: SystemUnderTest | Any
     measurements: dict[str, float] = field(default_factory=dict)
     verdicts: dict[str, Any] = field(default_factory=dict)
@@ -524,8 +535,150 @@ def _run_concurrency_scenario(scenario: ConcurrencyScenario) -> ExperimentResult
         engine.close()
 
 
-def run_experiment(scenario: Scenario | ConcurrencyScenario) -> ExperimentResult:
+def _run_crash_scenario(scenario: CrashScenario) -> ExperimentResult:
+    """Serve a durable volume across process runs, killing some mid-plan.
+
+    Each interval is one "process": open the volume file, log the owner
+    in, issue deterministic byte-range writes interleaved with the dummy
+    stream, and exit.  Crash intervals die inside their final write via
+    an armed :class:`~repro.storage.backend.FaultInjectingBackend`
+    (optionally tearing the doomed block), after which the volume and
+    journal handles are simply dropped — no flush, no logout — exactly
+    as a killed process leaves them.  The snapshot-diff adversary images
+    the volume file between runs; a final clean run proves the file is
+    still readable after recovery.
+    """
+    import pathlib
+    import shutil
+    import tempfile
+
+    from repro.attacks.snapshot_diff import SnapshotDiffAttacker
+    from repro.crypto.keys import KeyRing
+    from repro.errors import InjectedCrashError
+    from repro.service.facade import HiddenVolumeService
+    from repro.storage.backend import BlockBackend, FaultInjectingBackend, TornWrite
+    from repro.storage.snapshot import Snapshot
+
+    workdir = tempfile.mkdtemp(prefix="crash-scenario-")
+    volume_path = f"{workdir}/volume.img"
+    try:
+        service = HiddenVolumeService.create(
+            scenario.construction,
+            volume_mib=scenario.volume_mib,
+            seed=scenario.seed,
+            block_size=scenario.block_size,
+            latency=scenario.latency,
+            path=volume_path,
+        )
+        session = service.login(service.new_keyring("owner"))
+        file_size = scenario.file_blocks * service.volume.data_field_bytes
+        content_prng = Sha256Prng(f"crash-content:{scenario.seed}")
+        session.create("/crash/data", content_prng.random_bytes(file_size))
+        ring_json = session.keyring.to_json()
+        service.flush()
+        service.close()
+
+        def image(label: str) -> Snapshot:
+            return Snapshot.of_bytes(
+                pathlib.Path(volume_path).read_bytes(), scenario.block_size, label=label
+            )
+
+        snapshots = [image("format")]
+        crash_flags: list[bool] = []
+        ops = 0
+        crashes = 0
+        for interval in range(scenario.intervals):
+            crash_here = interval in scenario.crash_intervals
+            injector: FaultInjectingBackend | None = None
+
+            def wrap(backend: BlockBackend) -> BlockBackend:
+                nonlocal injector
+                injector = FaultInjectingBackend(backend)
+                return injector
+
+            svc = HiddenVolumeService.open(
+                volume_path,
+                scenario.construction,
+                seed=scenario.seed,
+                block_size=scenario.block_size,
+                latency=scenario.latency,
+                session_nonce=f"crash:{interval}",
+                wrap_backend=wrap if crash_here else None,
+            )
+            sess = svc.login(KeyRing.from_json(ring_json))
+            op_prng = Sha256Prng(f"crash-ops:{scenario.seed}:{interval}")
+            payload_bytes = svc.volume.data_field_bytes
+            dummy_credit = 0.0
+            crashed = False
+            try:
+                for op in range(scenario.ops_per_interval):
+                    size = 1 + op_prng.randrange(payload_bytes)
+                    at = op_prng.randrange(file_size - size + 1)
+                    data = op_prng.random_bytes(size)
+                    doomed = crash_here and op == scenario.ops_per_interval - 1
+                    if doomed and injector is not None:
+                        injector.arm(
+                            scenario.crash_call_index,
+                            TornWrite() if scenario.torn_write else None,
+                        )
+                    sess.write("/crash/data", data, at=at)
+                    ops += 1
+                    dummy_credit += scenario.dummy_to_real_ratio
+                    if dummy_credit >= 1.0:
+                        burst = int(dummy_credit)
+                        dummy_credit -= burst
+                        svc.idle(burst)
+                if injector is not None:
+                    injector.disarm()
+                svc.flush()
+                svc.close()
+            except InjectedCrashError:
+                # The crash may land in the doomed write itself or in
+                # the dummy burst / flush that follows it — whichever
+                # device call the index falls on.  Either way the
+                # process is dead: drop the mapping and the journal
+                # handle without flushing or saving.
+                crashed = True
+                crashes += 1
+                svc.storage.close()
+                if svc.journal is not None:
+                    svc.journal.close()
+            crash_flags.append(crashed)
+            snapshots.append(image(f"interval:{interval}"))
+
+        # Final clean run: recovery must have left the file readable.
+        final = HiddenVolumeService.open(
+            volume_path,
+            scenario.construction,
+            seed=scenario.seed,
+            block_size=scenario.block_size,
+            latency=scenario.latency,
+            session_nonce="crash:final",
+        )
+        final_session = final.login(KeyRing.from_json(ring_json))
+        recovered = final_session.read("/crash/data")
+        final.close()
+
+        attacker = SnapshotDiffAttacker(num_blocks=snapshots[0].num_blocks)
+        verdict = attacker.analyse(snapshots, crash_flags=crash_flags)
+        result = ExperimentResult(scenario=scenario, system=final)
+        result.measurements["ops"] = float(ops)
+        result.measurements["crashes"] = float(crashes)
+        result.measurements["mean_change_fraction"] = verdict.mean_change_fraction
+        result.measurements["advantage"] = verdict.advantage
+        result.measurements["recovered_bytes"] = float(len(recovered))
+        result.verdicts["snapshot-diff"] = verdict
+        return result
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def run_experiment(
+    scenario: Scenario | ConcurrencyScenario | CrashScenario,
+) -> ExperimentResult:
     """Build the system, run the workload, collect measurements and verdicts."""
+    if isinstance(scenario, CrashScenario):
+        return _run_crash_scenario(scenario)
     if isinstance(scenario, ConcurrencyScenario):
         return _run_concurrency_scenario(scenario)
     system = build_system(

@@ -151,6 +151,81 @@ class ConcurrencyScenario:
             raise ValueError("intervals must be at least 1")
 
 
+@dataclass(frozen=True)
+class CrashScenario:
+    """One declaratively specified crash-recovery / snapshot-diff experiment.
+
+    A file-backed volume is served over ``intervals`` runs of the owning
+    process.  Each run opens the volume, performs ``ops_per_interval``
+    deterministic byte-range writes mixed with the agent's dummy stream
+    at ``dummy_to_real_ratio``, and exits; runs listed in
+    ``crash_intervals`` are instead killed mid-plan by a
+    :class:`~repro.storage.backend.FaultInjectingBackend` (optionally
+    tearing the doomed write).  A snapshot-diff adversary images the
+    volume file after every run and
+    ``repro.service.run_experiment`` reports the change-rate series,
+    the adversary's best-threshold advantage against its crash
+    hypothesis, and whether every crashed run recovered to readable
+    old-or-new file contents.
+
+    Attributes
+    ----------
+    construction:
+        ``"volatile"`` or ``"nonvolatile"`` (Constructions 2 and 1).
+    intervals:
+        Number of process runs (one volume image after each, plus the
+        post-format baseline image).
+    ops_per_interval:
+        Byte-range writes issued per run.
+    file_blocks:
+        Size of the hidden file the writes target, in data blocks.
+    dummy_to_real_ratio:
+        Dummy updates accrued per real write (Section 4.1.3).
+    crash_intervals:
+        Which runs (0-based) are killed mid-plan.
+    crash_call_index:
+        Device-call index within the final write at which the armed
+        injector fires (0 = the write's first device call).
+    torn_write:
+        Whether the doomed call additionally tears its block
+        (:class:`~repro.storage.backend.TornWrite`) instead of dying
+        cleanly between calls.
+    """
+
+    construction: str = "nonvolatile"
+    volume_mib: int = 1
+    block_size: int = 512
+    seed: int = 0
+    intervals: int = 6
+    ops_per_interval: int = 4
+    file_blocks: int = 8
+    dummy_to_real_ratio: float = 1.0
+    crash_intervals: tuple = (2, 4)
+    crash_call_index: int = 0
+    torn_write: bool = True
+    latency: DiskLatencyModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.construction not in ("volatile", "nonvolatile"):
+            raise ValueError(
+                f"unknown construction {self.construction!r}; "
+                "expected 'volatile' or 'nonvolatile'"
+            )
+        if self.intervals < 1:
+            raise ValueError("intervals must be at least 1")
+        if self.ops_per_interval < 1 or self.file_blocks < 1:
+            raise ValueError("ops_per_interval and file_blocks must be at least 1")
+        if self.dummy_to_real_ratio < 0:
+            raise ValueError("dummy_to_real_ratio must be non-negative")
+        if self.crash_call_index < 0:
+            raise ValueError("crash_call_index must be non-negative")
+        for interval in self.crash_intervals:
+            if not 0 <= interval < self.intervals:
+                raise ValueError(
+                    f"crash interval {interval} outside the {self.intervals} runs"
+                )
+
+
 class RoundRobinSimulator:
     """Interleaves client jobs one block operation at a time on a shared disk."""
 

@@ -23,7 +23,13 @@ subpackage provides a simulated block device:
   attacker sees (the sequence of I/O requests between agent and storage).
 """
 
-from repro.storage.backend import BlockBackend, MemoryBackend, MmapFileBackend
+from repro.storage.backend import (
+    BlockBackend,
+    FaultInjectingBackend,
+    MemoryBackend,
+    MmapFileBackend,
+    TornWrite,
+)
 from repro.storage.bitmap import Bitmap
 from repro.storage.block import BLOCK_IV_SIZE, StoredBlock, data_field_size
 from repro.storage.device import BlockDevice, Partition, RawDevice, split_volume
@@ -37,6 +43,8 @@ __all__ = [
     "BlockBackend",
     "MemoryBackend",
     "MmapFileBackend",
+    "FaultInjectingBackend",
+    "TornWrite",
     "BLOCK_IV_SIZE",
     "StoredBlock",
     "data_field_size",

@@ -26,11 +26,12 @@ from __future__ import annotations
 
 import mmap
 import os
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
-from repro.errors import BackendClosedError, VolumeFileError
+from repro.errors import BackendClosedError, InjectedCrashError, VolumeFileError
 
 if TYPE_CHECKING:
     from repro.storage.disk import StorageGeometry
@@ -269,9 +270,149 @@ class MmapFileBackend(_ArrayBackend):
     def close(self) -> None:
         if self._view is None:
             return
-        self._mmap.flush()
         # The numpy view exports the mmap's buffer; drop it first or
-        # mmap.close() raises BufferError.
+        # mmap.close() raises BufferError.  It also marks the backend
+        # closed immediately, so a flush failure (ENOSPC, EIO) still
+        # leaves close() idempotent: the mapping and the fd are released
+        # either way and only the original error surfaces.
         self._view = None
-        self._mmap.close()
-        self._file.close()
+        try:
+            self._mmap.flush()
+        finally:
+            try:
+                self._mmap.close()
+            finally:
+                self._file.close()
+
+
+@dataclass(frozen=True)
+class TornWrite:
+    """How to tear the block write hit by an injected crash.
+
+    ``block_offset`` picks which block of the batched write gets torn
+    (earlier blocks land whole, later ones not at all — a sequential
+    device dies mid-batch).  The torn block keeps the first
+    ``keep_bytes`` of the new data (``None`` → half a block); the tail
+    is the *old* tail, bit-flipped when ``flip_tail`` is set — the
+    classic corrupt-sector shape where neither the old nor the new
+    bytes survive intact.
+    """
+
+    block_offset: int = 0
+    keep_bytes: int | None = None
+    flip_tail: bool = True
+
+
+class FaultInjectingBackend:
+    """Kill execution at a chosen device call; optionally tear that write.
+
+    Wraps any :class:`BlockBackend` and counts every ``read``/``write``/
+    ``read_many``/``write_many`` invocation (one *device call* each —
+    the unit a crash can fall between).  :meth:`arm` resets the counter
+    and schedules a crash at call index ``crash_at``; the doomed call
+    raises :class:`~repro.errors.InjectedCrashError` before touching
+    the device, except that an armed :class:`TornWrite` lets a write
+    call apply a deterministic partial batch first.  After the crash
+    the backend plays dead: further block I/O raises again, while the
+    forensic surface (``raw_bytes``/``flush``/``close``) keeps working
+    so tests can image the "seized" device.
+
+    Everything is deterministic — same workload, same ``crash_at``,
+    same bytes — which is what lets hypothesis sweep every crash point
+    of a plan.
+    """
+
+    def __init__(self, inner: BlockBackend):
+        self.inner = inner
+        self.calls = 0
+        self.crashed = False
+        self._crash_at: int | None = None
+        self._torn: TornWrite | None = None
+
+    def arm(self, crash_at: int, torn: TornWrite | None = None) -> None:
+        """Schedule a crash at device-call index ``crash_at`` from now."""
+        if crash_at < 0:
+            raise ValueError(f"crash_at must be >= 0, got {crash_at}")
+        self.calls = 0
+        self.crashed = False
+        self._crash_at = crash_at
+        self._torn = torn
+
+    def disarm(self) -> None:
+        """Cancel any scheduled crash (the counter keeps running)."""
+        self._crash_at = None
+        self._torn = None
+
+    @property
+    def block_size(self) -> int:
+        return self.inner.block_size
+
+    @property
+    def num_blocks(self) -> int:
+        return self.inner.num_blocks
+
+    @property
+    def closed(self) -> bool:
+        return self.inner.closed
+
+    def _tick(self) -> bool:
+        """Count one device call; return True when it is the doomed one."""
+        if self.crashed:
+            raise InjectedCrashError("backend crashed; the dead process issues no further I/O")
+        call, self.calls = self.calls, self.calls + 1
+        if self._crash_at is not None and call == self._crash_at:
+            self.crashed = True
+            return True
+        return False
+
+    def _crash(self) -> InjectedCrashError:
+        return InjectedCrashError(f"injected crash at device call {self.calls - 1}")
+
+    def _tear(self, index: int, data: bytes, torn: TornWrite) -> bytes:
+        old = self.inner.read(index)
+        keep = len(data) // 2 if torn.keep_bytes is None else torn.keep_bytes
+        keep = max(0, min(keep, len(data)))
+        tail = old[keep:]
+        if torn.flip_tail:
+            tail = bytes(byte ^ 0xFF for byte in tail)
+        return data[:keep] + tail
+
+    def read(self, index: int) -> bytes:
+        if self._tick():
+            raise self._crash()
+        return self.inner.read(index)
+
+    def read_many(self, indices: np.ndarray) -> list[bytes]:
+        if self._tick():
+            raise self._crash()
+        return self.inner.read_many(indices)
+
+    def write(self, index: int, data: bytes) -> None:
+        if self._tick():
+            if self._torn is not None:
+                self.inner.write(index, self._tear(index, data, self._torn))
+            raise self._crash()
+        self.inner.write(index, data)
+
+    def write_many(self, indices: np.ndarray, datas: Sequence[bytes]) -> None:
+        if self._tick():
+            torn = self._torn
+            if torn is not None and len(datas) > 0:
+                cut = min(torn.block_offset, len(datas) - 1)
+                for position in range(cut):
+                    self.inner.write(int(indices[position]), datas[position])
+                self.inner.write(int(indices[cut]), self._tear(int(indices[cut]), datas[cut], torn))
+            raise self._crash()
+        self.inner.write_many(indices, datas)
+
+    def fill_random(self, seed: int = 0) -> None:
+        self.inner.fill_random(seed)
+
+    def raw_bytes(self) -> bytes:
+        return self.inner.raw_bytes()
+
+    def flush(self) -> None:
+        self.inner.flush()
+
+    def close(self) -> None:
+        self.inner.close()

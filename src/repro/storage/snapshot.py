@@ -39,6 +39,29 @@ class Snapshot:
         """Digest of every block, in order."""
         return [self.block_digest(i) for i in range(self.num_blocks)]
 
+    @classmethod
+    def of_bytes(cls, data: bytes, block_size: int, label: str = "") -> "Snapshot":
+        """Wrap a raw image (a seized volume file, a journal sidecar) as a snapshot.
+
+        This is how an adversary images a *file* rather than a live
+        storage object — e.g. the volume file between two runs of the
+        owning process, which is exactly the multi-snapshot setting of
+        the crash scenarios.
+        """
+        if block_size <= 0:
+            raise SnapshotMismatchError("block_size must be positive")
+        if len(data) == 0 or len(data) % block_size != 0:
+            raise SnapshotMismatchError(
+                f"image of {len(data)} bytes is not a positive multiple of the "
+                f"{block_size}-byte block size"
+            )
+        return cls(
+            block_size=block_size,
+            num_blocks=len(data) // block_size,
+            data=bytes(data),
+            label=label,
+        )
+
 
 @dataclass(frozen=True)
 class SnapshotDiff:

@@ -1,0 +1,105 @@
+"""Every public entrypoint fails loudly — and typed — after close().
+
+A closed service must never half-work: block access raises
+``BackendClosedError`` at the storage layer, service methods raise
+``ServiceClosedError`` before touching anything, and the sessions a
+``close()`` logged out raise ``SessionClosedError``.  These sweeps walk
+the public surface method by method so a newly added entrypoint that
+forgets its guard shows up as a missing-exception failure here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HiddenVolumeService, JournalBackend, MemoryBackend
+from repro.core.plan import IoPlan
+from repro.errors import (
+    BackendClosedError,
+    JournalError,
+    ServiceClosedError,
+    SessionClosedError,
+)
+
+
+@pytest.fixture(params=["volatile", "nonvolatile"])
+def closed_setup(request, tmp_path):
+    """A closed file-backed service plus the session it logged out."""
+    service = HiddenVolumeService.create(
+        request.param, volume_mib=1, seed=5, block_size=512, path=tmp_path / "vol.img"
+    )
+    session = service.login(service.new_keyring("alice"))
+    session.create("/alice/file", b"contents before close")
+    service.close()
+    return service, session
+
+
+SERVICE_CALLS = {
+    "login": lambda service: service.login(service.new_keyring("bob")),
+    "idle": lambda service: service.idle(1),
+    "flush": lambda service: service.flush(),
+    "concurrent": lambda service: service.concurrent(),
+}
+
+SESSION_CALLS = {
+    "stat": lambda session: session.stat("/alice/file"),
+    "create": lambda session: session.create("/alice/new", b"x"),
+    "create_decoy": lambda session: session.create_decoy("/alice/decoy", 512),
+    "delete": lambda session: session.delete("/alice/file"),
+    "logout": lambda session: session.logout(),
+    "read": lambda session: session.read("/alice/file"),
+    "write": lambda session: session.write("/alice/file", b"x"),
+    "append": lambda session: session.append("/alice/file", b"x"),
+    "plan_read": lambda session: session.plan_read("/alice/file"),
+    "plan_write": lambda session: session.plan_write("/alice/file", b"x"),
+    "plan_append": lambda session: session.plan_append("/alice/file", b"x"),
+    "deniable_view": lambda session: session.deniable_view(),
+}
+
+
+@pytest.mark.parametrize("method", sorted(SERVICE_CALLS))
+def test_closed_service_method_raises(closed_setup, method):
+    service, _ = closed_setup
+    with pytest.raises(ServiceClosedError):
+        SERVICE_CALLS[method](service)
+
+
+@pytest.mark.parametrize("method", sorted(SESSION_CALLS))
+def test_logged_out_session_method_raises(closed_setup, method):
+    _, session = closed_setup
+    with pytest.raises(SessionClosedError):
+        SESSION_CALLS[method](session)
+
+
+def test_closed_service_storage_raises_backend_closed(closed_setup):
+    service, _ = closed_setup
+    with pytest.raises(BackendClosedError):
+        service.storage.read_block(0)
+    with pytest.raises(BackendClosedError):
+        service.storage.write_block(0, bytes(512))
+
+
+def test_closed_service_keeps_forensic_surface(closed_setup):
+    service, _ = closed_setup
+    assert service.closed
+    assert service.logged_in_users == []
+    assert service.storage.counters.reads >= 0  # counters stay readable
+    service.close()  # idempotent
+
+
+def test_closed_journal_refuses_every_operation(tmp_path):
+    journal = JournalBackend.create(tmp_path / "j", bytes(32))
+    backend = MemoryBackend(64, 8)
+    backend.fill_random(1)
+    journal.bind(backend)
+    journal.close()
+    assert journal.closed
+    for operation in (
+        lambda: journal.record(IoPlan([], label="x")),
+        lambda: journal.mark_committed(),
+        lambda: journal.checkpoint(),
+        lambda: journal.flush(),
+        lambda: journal.recover(backend),
+    ):
+        with pytest.raises(JournalError):
+            operation()

@@ -28,10 +28,12 @@ EXPECTED_TOP_LEVEL = [
     "ConcurrencyScenario",
     "ConcurrentSession",
     "ConcurrentVolumeService",
+    "CrashScenario",
     "DiskLatencyModel",
     "EngineStats",
     "ExperimentResult",
     "FastFieldCipher",
+    "FaultInjectingBackend",
     "FileAccessKey",
     "FileSpec",
     "FileStat",
@@ -40,6 +42,7 @@ EXPECTED_TOP_LEVEL = [
     "HiddenVolumeService",
     "IoPlan",
     "IoTrace",
+    "JournalBackend",
     "KeyRing",
     "MemoryBackend",
     "MmapFileBackend",
@@ -63,6 +66,7 @@ EXPECTED_TOP_LEVEL = [
     "SteghideSystem",
     "StorageGeometry",
     "TableUpdates",
+    "TornWrite",
     "TrafficAnalysisProbe",
     "UpdateAnalysisProbe",
     "UpdateResult",
@@ -85,6 +89,7 @@ EXPECTED_SERVICE = [
     "ConcurrencyScenario",
     "ConcurrentSession",
     "ConcurrentVolumeService",
+    "CrashScenario",
     "EngineStats",
     "ExperimentResult",
     "FileStat",
@@ -175,7 +180,9 @@ CLEAN_FILES = [
     "examples/oblivious_reads.py",
     "examples/salary_database.py",
     "examples/concurrent_server.py",
+    "examples/crash_recovery.py",
     "benchmarks/test_concurrent_throughput.py",
+    "benchmarks/test_crash_recovery_bench.py",
     "benchmarks/test_plan_fusion_throughput.py",
     "benchmarks/test_fig10a_retrieval_filesize.py",
     "benchmarks/test_fig10b_retrieval_concurrency.py",

@@ -103,3 +103,79 @@ def test_fresh_and_updated_images_diverge_but_both_look_random(tmp_path):
     assert chi_square_vs_uniform(fresh) < CHI_SQUARE_THRESHOLD
     # Even an all-zeros plaintext is invisible after encryption.
     assert chi_square_vs_uniform(updated) < CHI_SQUARE_THRESHOLD
+
+
+def test_journal_sidecar_is_indistinguishable_from_random(tmp_path):
+    """The durable intent log is part of the seized disk: sealed records,
+    constant size, no plaintext labels or step structure."""
+    path = tmp_path / "vol.img"
+    service = HiddenVolumeService.create("nonvolatile", volume_mib=1, seed=17, path=path)
+    session = service.login(service.new_keyring("alice"))
+    session.create("/alice/secret.txt", SECRET_SENTENCE * 40)
+    for round_number in range(6):
+        session.write("/alice/secret.txt", SECRET_SENTENCE, at=round_number * 13)
+        service.idle(num_dummy_updates=3)
+    service.flush()
+    service.close()
+
+    sidecar = path.with_name(path.name + ".journal")
+    image = sidecar.read_bytes()
+    assert len(image) == 256 * 4096  # fixed-size ring: size leaks nothing
+    assert chi_square_vs_uniform(image) < CHI_SQUARE_THRESHOLD
+    # No plaintext leaks: not contents, paths, owners, or plan labels.
+    for needle in (
+        SECRET_SENTENCE,
+        b"/alice/secret.txt",
+        b"alice",
+        b"BLUEBIRD",
+        b"update_range",
+        b"dummy_update",
+        b"session_write",
+    ):
+        assert needle not in image
+
+
+def test_journal_sidecar_stays_random_across_a_crash_and_recovery(tmp_path):
+    """Uncommitted entries, the crash, and the recovery checkpoint all
+    leave the sidecar and the volume statistically clean."""
+    from repro import FaultInjectingBackend, TornWrite
+    from repro.errors import InjectedCrashError
+
+    path = tmp_path / "vol.img"
+    service = HiddenVolumeService.create("nonvolatile", volume_mib=1, seed=19, path=path)
+    session = service.login(service.new_keyring("alice"))
+    session.create("/alice/secret.txt", SECRET_SENTENCE * 40)
+    ring = session.keyring.to_json()
+    service.flush()
+    service.close()
+
+    injector = None
+
+    def wrap(backend):
+        nonlocal injector
+        injector = FaultInjectingBackend(backend)
+        return injector
+
+    crashed = HiddenVolumeService.open(
+        path, "nonvolatile", seed=19, session_nonce="doomed", wrap_backend=wrap
+    )
+    doomed = crashed.login(KeyRing.from_json(ring))
+    injector.arm(1, TornWrite())  # the op is one batched read + one batched write
+    with pytest.raises(InjectedCrashError):
+        doomed.write("/alice/secret.txt", SECRET_SENTENCE, at=7)
+    crashed.storage.close()
+    crashed.journal.close()
+
+    sidecar = path.with_name(path.name + ".journal")
+    for stage in ("crashed", "recovered"):
+        for image in (path.read_bytes(), sidecar.read_bytes()):
+            assert chi_square_vs_uniform(image) < CHI_SQUARE_THRESHOLD
+            assert SECRET_SENTENCE not in image
+            assert b"alice" not in image
+        if stage == "crashed":
+            recovered = HiddenVolumeService.open(
+                path, "nonvolatile", seed=19, session_nonce="after"
+            )
+            again = recovered.login(KeyRing.from_json(ring))
+            assert again.read("/alice/secret.txt") == SECRET_SENTENCE * 40
+            recovered.close()
