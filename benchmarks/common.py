@@ -69,13 +69,13 @@ def run_once(benchmark, func):
 
 def assert_monotone_increasing(values, tolerance: float = 0.05) -> None:
     """Assert a series grows (allowing small noise)."""
-    for earlier, later in zip(values, values[1:]):
+    for earlier, later in zip(values, values[1:], strict=False):
         assert later >= earlier * (1 - tolerance), f"series not increasing: {values}"
 
 
 def assert_monotone_decreasing(values, tolerance: float = 0.05) -> None:
     """Assert a series shrinks (allowing small noise)."""
-    for earlier, later in zip(values, values[1:]):
+    for earlier, later in zip(values, values[1:], strict=False):
         assert later <= earlier * (1 + tolerance), f"series not decreasing: {values}"
 
 

@@ -153,7 +153,7 @@ def test_fig12b_overhead_breakdown(benchmark):
             "sorting I/O %",
         ],
     )
-    for label_mib, result in zip(PAPER_BUFFER_LABELS_MIB, results):
+    for label_mib, result in zip(PAPER_BUFFER_LABELS_MIB, results, strict=True):
         table.add_row(
             label_mib,
             result.height,

@@ -88,7 +88,7 @@ def run_update_analysis_experiment() -> SeriesTable:
 def test_e9_update_analysis_attacker(benchmark):
     table = run_once(benchmark, run_update_analysis_experiment)
     save_result("e9_security_update_analysis", table.render())
-    detected = dict(zip(table.column("system"), table.column("detected")))
+    detected = dict(zip(table.column("system"), table.column("detected"), strict=True))
     assert detected["CleanDisk"] is True
     assert detected["StegHide*"] is False
 
@@ -161,7 +161,7 @@ def run_traffic_analysis_experiment() -> SeriesTable:
 def test_e10_traffic_analysis_attacker(benchmark):
     table = run_once(benchmark, run_traffic_analysis_experiment)
     save_result("e10_security_traffic_analysis", table.render())
-    detected = dict(zip(table.column("system"), table.column("detected")))
+    detected = dict(zip(table.column("system"), table.column("detected"), strict=True))
     assert detected["StegFS reads"] is True
     assert detected["Oblivious store reads"] is False
 
@@ -206,7 +206,8 @@ def run_overhead_model_experiment() -> SeriesTable:
 def test_e11_overhead_model_validation(benchmark):
     table = run_once(benchmark, run_overhead_model_experiment)
     save_result("e11_overhead_model_validation", table.render())
-    for model, measured in zip(table.column("model E"), table.column("measured mean iterations")):
+    measured_iterations = table.column("measured mean iterations")
+    for model, measured in zip(table.column("model E"), measured_iterations, strict=True):
         assert measured == pytest.approx(model, rel=0.35)
     # The measured iteration count grows with utilisation.
     measured_series = table.column("measured mean iterations")

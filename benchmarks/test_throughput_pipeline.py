@@ -64,7 +64,7 @@ class LegacyFieldCipher(FieldCipher):
 
     def encrypt(self, iv: bytes, plaintext: bytes) -> bytes:
         stream = self._keystream(iv, len(plaintext))
-        return bytes(p ^ s for p, s in zip(plaintext, stream))
+        return bytes(p ^ s for p, s in zip(plaintext, stream, strict=True))
 
     def decrypt(self, iv: bytes, ciphertext: bytes) -> bytes:
         return self.encrypt(iv, ciphertext)

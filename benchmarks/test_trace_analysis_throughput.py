@@ -94,7 +94,7 @@ def legacy_uniformity_chi_square(indices, num_blocks, bins):
 def legacy_sequential_run_fraction(indices):
     if len(indices) < 2:
         return 0.0
-    sequential_pairs = sum(1 for a, b in zip(indices, indices[1:]) if 0 <= b - a <= 1)
+    sequential_pairs = sum(1 for a, b in zip(indices, indices[1:], strict=False) if 0 <= b - a <= 1)
     return sequential_pairs / (len(indices) - 1)
 
 
@@ -146,7 +146,7 @@ def _measure_legacy(indices, times, reference) -> Measurement:
     trace = LegacyIoTrace()
     started = time.perf_counter()
     record = trace.record
-    for index, time_ms in zip(index_list, time_list):
+    for index, time_ms in zip(index_list, time_list, strict=True):
         record("read", index, time_ms)
     record_rate = NUM_EVENTS / (time.perf_counter() - started)
 
@@ -219,7 +219,7 @@ def test_trace_analysis_throughput(benchmark):
     legacy, columnar = run_once(benchmark, _run_experiment)
 
     # Same events, same verdict: every statistic matches the legacy loops.
-    for before, after in zip(legacy.verdict, columnar.verdict):
+    for before, after in zip(legacy.verdict, columnar.verdict, strict=True):
         assert after == pytest.approx(before, rel=1e-9)
 
     record_speedup = columnar.record_events_per_s / legacy.record_events_per_s

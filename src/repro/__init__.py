@@ -31,6 +31,7 @@ import warnings
 from dataclasses import dataclass
 
 from repro.core.agent import StegAgent, UpdateResult
+from repro.core.journal import JournalBackend
 from repro.core.nonvolatile import NonVolatileAgent
 from repro.core.oblivious import (
     ObliviousCostModel,
@@ -40,7 +41,6 @@ from repro.core.oblivious import (
     oblivious_height,
     overhead_factor,
 )
-from repro.core.journal import JournalBackend
 from repro.core.plan import IoPlan, PlanJournal, PlannedOp
 from repro.core.volatile import VolatileAgent
 from repro.crypto import AES, CbcCipher, FastFieldCipher, FileAccessKey, KeyRing, Sha256Prng
@@ -48,8 +48,8 @@ from repro.errors import HiddenFileExistsError, HiddenFileNotFoundError
 from repro.service import (
     ConcurrencyScenario,
     ConcurrentSession,
-    CrashScenario,
     ConcurrentVolumeService,
+    CrashScenario,
     EngineStats,
     ExperimentResult,
     FileStat,
@@ -73,10 +73,10 @@ from repro.storage import (
     MemoryBackend,
     MmapFileBackend,
     Partition,
-    TornWrite,
     RawDevice,
     RawStorage,
     StorageGeometry,
+    TornWrite,
     ZeroLatencyModel,
     diff_snapshots,
     take_snapshot,

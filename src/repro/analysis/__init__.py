@@ -11,8 +11,8 @@ from repro.analysis.models import (
     expected_update_overhead,
     update_overhead_curve,
 )
-from repro.analysis.series import SweepResult, SeriesTable
-from repro.analysis.tables import format_table, format_markdown_table
+from repro.analysis.series import SeriesTable, SweepResult
+from repro.analysis.tables import format_markdown_table, format_table
 
 __all__ = [
     "expected_update_overhead",

@@ -18,10 +18,10 @@ def format_table(header: list[str], rows: list[list[str]]) -> str:
     """Render an aligned plain-text table."""
     widths = _column_widths(header, rows)
     lines = []
-    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths, strict=False)))
     lines.append("  ".join("-" * w for w in widths))
     for row in rows:
-        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths, strict=False)))
     return "\n".join(lines)
 
 

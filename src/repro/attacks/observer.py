@@ -31,7 +31,7 @@ class SnapshotObserver:
         """Diffs between each pair of consecutive snapshots."""
         return [
             diff_snapshots(before, after)
-            for before, after in zip(self.snapshots, self.snapshots[1:])
+            for before, after in zip(self.snapshots, self.snapshots[1:], strict=False)
         ]
 
     def changed_blocks_per_interval(self) -> list[set[int]]:

@@ -77,7 +77,7 @@ class SnapshotDiffAttacker:
             raise ValueError("need at least two snapshots to diff")
         return [
             diff_snapshots(before, after)
-            for before, after in zip(snapshots, snapshots[1:])
+            for before, after in zip(snapshots, snapshots[1:], strict=False)
         ]
 
     def change_fractions(self, diffs: Sequence[SnapshotDiff]) -> tuple[float, ...]:

@@ -15,9 +15,9 @@ All three implement the same :class:`FileSystemInterface` as the
 StegHide agents, so the benchmark harness can sweep over them uniformly.
 """
 
-from repro.baselines.interface import BaselineFile, FileSystemAdapter
 from repro.baselines.cleandisk import CleanDiskFileSystem
 from repro.baselines.fragdisk import FragDiskFileSystem
+from repro.baselines.interface import BaselineFile, FileSystemAdapter
 from repro.baselines.plainstegfs import PlainStegFsAdapter
 from repro.baselines.steghide import StegHideAdapter
 

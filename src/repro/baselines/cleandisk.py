@@ -44,7 +44,7 @@ class CleanDiskFileSystem(FileSystemAdapter):
     def create_file(self, name: str, content: bytes, stream: str = "default") -> BaselineFile:
         payloads = self.split_payloads(content)
         blocks = self._allocate_extent(len(payloads))
-        for index, payload in zip(blocks, payloads):
+        for index, payload in zip(blocks, payloads, strict=True):
             padded = payload + b"\x00" * (self.payload_bytes - len(payload))
             self.storage.write_block(index, padded, stream)
         self._files[name] = blocks

@@ -70,7 +70,7 @@ class FragDiskFileSystem(FileSystemAdapter):
             length = min(self._fragment_blocks, remaining)
             blocks.extend(self._allocate_fragment(length))
             remaining -= length
-        for index, payload in zip(blocks, payloads):
+        for index, payload in zip(blocks, payloads, strict=True):
             padded = payload + b"\x00" * (self.payload_bytes - len(payload))
             self.storage.write_block(index, padded, stream)
         self._files[name] = blocks

@@ -16,19 +16,19 @@
 
 from repro.core.agent import StegAgent, UpdateResult
 from repro.core.nonvolatile import NonVolatileAgent
-from repro.core.volatile import VolatileAgent
-from repro.core.security import (
-    access_distribution,
-    kl_divergence,
-    total_variation_distance,
-    uniformity_chi_square,
-)
 from repro.core.oblivious import (
     ObliviousStore,
     ObliviousStoreConfig,
     oblivious_height,
     overhead_factor,
 )
+from repro.core.security import (
+    access_distribution,
+    kl_divergence,
+    total_variation_distance,
+    uniformity_chi_square,
+)
+from repro.core.volatile import VolatileAgent
 
 __all__ = [
     "StegAgent",

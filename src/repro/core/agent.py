@@ -285,7 +285,7 @@ class StegAgent(ABC):
         indices, datas = self.volume.plan_header_save(handle)
         self._register_handle(handle)
         return IoPlan(
-            [WriteStep(index, data, stream) for index, data in zip(indices, datas)],
+            [WriteStep(index, data, stream) for index, data in zip(indices, datas, strict=True)],
             label="save_file",
         )
 
@@ -342,7 +342,7 @@ class StegAgent(ABC):
         new_ivs = self.volume.fresh_ivs(count)
         steps = [
             ResealStep(index, key, new_iv, stream, batched=True)
-            for index, key, new_iv in zip(indices, keys, new_ivs)
+            for index, key, new_iv in zip(indices, keys, new_ivs, strict=True)
         ]
         return IoPlan(steps, label="dummy_update_batch"), indices
 

@@ -349,7 +349,7 @@ class ObliviousStore:
                     payloads.append(self._prng.random_bytes(self.payload_bytes))
                 ivs.append(self._prng.random_bytes(BLOCK_IV_SIZE))
             ciphertexts = cipher.encrypt_many(ivs, payloads)
-            datas = [iv + ciphertext for iv, ciphertext in zip(ivs, ciphertexts)]
+            datas = [iv + ciphertext for iv, ciphertext in zip(ivs, ciphertexts, strict=True)]
 
             read_write_blocks = getattr(self.device, "read_write_blocks", None)
             for pass_number in range(passes):
@@ -378,7 +378,7 @@ class ObliviousStore:
             ivs = [self._prng.random_bytes(BLOCK_IV_SIZE) for _ in items]
             ciphertexts = cipher.encrypt_many(ivs, [entries[lid] for lid, _ in items])
             indices = [level.first_slot + local_slot for _, local_slot in items]
-            datas = [iv + ciphertext for iv, ciphertext in zip(ivs, ciphertexts)]
+            datas = [iv + ciphertext for iv, ciphertext in zip(ivs, ciphertexts, strict=True)]
             write_blocks = getattr(self.device, "write_blocks", None)
             if write_blocks is not None and indices:
                 started = self._clock()
@@ -387,7 +387,7 @@ class ObliviousStore:
                 self.stats.sort_writes += len(indices)
                 self.stats.sort_time_ms += elapsed
             else:
-                for index, data in zip(indices, datas):
+                for index, data in zip(indices, datas, strict=True):
                     self._write_slot(index, data, sort_stream, "sort")
 
         level.install(placements, new_key)

@@ -242,7 +242,7 @@ def _execute_read_run(
             [raws[p][:BLOCK_IV_SIZE] for p in positions],
             [raws[p][BLOCK_IV_SIZE:] for p in positions],
         )
-        for position, plaintext in zip(positions, plaintexts):
+        for position, plaintext in zip(positions, plaintexts, strict=True):
             out.setdefault(run.sources[position], []).append(plaintext)
 
 
@@ -270,7 +270,7 @@ def _execute_reseal_batch_run(
         ciphertexts = cipher.encrypt_many(
             [steps[p].new_iv for p in positions], plaintexts
         )
-        for p, ciphertext in zip(positions, ciphertexts):
+        for p, ciphertext in zip(positions, ciphertexts, strict=True):
             datas[p] = steps[p].new_iv + ciphertext
     device.write_blocks(indices, datas, streams)
 

@@ -151,4 +151,4 @@ def repeat_access_counts(indices: Sequence[int]) -> Counter:
         return Counter()
     _, per_block = np.unique(indices, return_counts=True)
     times, blocks = np.unique(per_block, return_counts=True)
-    return Counter(dict(zip(times.tolist(), blocks.tolist())))
+    return Counter(dict(zip(times.tolist(), blocks.tolist(), strict=True)))

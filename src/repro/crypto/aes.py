@@ -134,7 +134,7 @@ class AES:
                 temp[0] ^= _RCON[i // nk - 1]
             elif nk > 6 and i % nk == 4:
                 temp = [_SBOX[b] for b in temp]
-            words.append([a ^ b for a, b in zip(words[i - nk], temp)])
+            words.append([a ^ b for a, b in zip(words[i - nk], temp, strict=True)])
 
         round_keys = []
         for r in range(self._rounds + 1):
@@ -152,7 +152,7 @@ class AES:
 
     @staticmethod
     def _add_round_key(state: list[int], round_key: list[int]) -> list[int]:
-        return [s ^ k for s, k in zip(state, round_key)]
+        return [s ^ k for s, k in zip(state, round_key, strict=True)]
 
     @staticmethod
     def _sub_bytes(state: list[int]) -> list[int]:

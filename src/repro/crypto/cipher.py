@@ -49,13 +49,15 @@ class FieldCipher(ABC):
         """Encrypt a batch of blocks; equivalent to one :meth:`encrypt` per pair."""
         if len(ivs) != len(plaintexts):
             raise ValueError(f"{len(ivs)} IVs but {len(plaintexts)} plaintexts")
-        return [self.encrypt(iv, plaintext) for iv, plaintext in zip(ivs, plaintexts)]
+        return [self.encrypt(iv, plaintext) for iv, plaintext in zip(ivs, plaintexts, strict=True)]
 
     def decrypt_many(self, ivs: Sequence[bytes], ciphertexts: Sequence[bytes]) -> list[bytes]:
         """Decrypt a batch of blocks; equivalent to one :meth:`decrypt` per pair."""
         if len(ivs) != len(ciphertexts):
             raise ValueError(f"{len(ivs)} IVs but {len(ciphertexts)} ciphertexts")
-        return [self.decrypt(iv, ciphertext) for iv, ciphertext in zip(ivs, ciphertexts)]
+        return [
+            self.decrypt(iv, ciphertext) for iv, ciphertext in zip(ivs, ciphertexts, strict=True)
+        ]
 
 
 class FastFieldCipher(FieldCipher):
@@ -93,7 +95,7 @@ class FastFieldCipher(FieldCipher):
             raise ValueError(f"{len(ivs)} IVs but {len(plaintexts)} plaintexts")
         if not plaintexts:
             return []
-        streams = [self._keystream(iv, len(pt)) for iv, pt in zip(ivs, plaintexts)]
+        streams = [self._keystream(iv, len(pt)) for iv, pt in zip(ivs, plaintexts, strict=True)]
         xored = np.bitwise_xor(
             np.frombuffer(b"".join(plaintexts), dtype=np.uint8),
             np.frombuffer(b"".join(streams), dtype=np.uint8),

@@ -11,7 +11,7 @@ def xor_bytes(a: bytes, b: bytes) -> bytes:
     """Return the byte-wise XOR of two equal-length byte strings."""
     if len(a) != len(b):
         raise ValueError(f"xor_bytes operands differ in length: {len(a)} vs {len(b)}")
-    return bytes(x ^ y for x, y in zip(a, b))
+    return bytes(x ^ y for x, y in zip(a, b, strict=True))
 
 
 def pkcs7_pad(data: bytes, block_size: int = AES_BLOCK_SIZE) -> bytes:
@@ -50,6 +50,6 @@ def constant_time_equals(a: bytes, b: bytes) -> bool:
     if len(a) != len(b):
         return False
     result = 0
-    for x, y in zip(a, b):
+    for x, y in zip(a, b, strict=True):
         result |= x ^ y
     return result == 0

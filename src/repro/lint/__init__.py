@@ -1,0 +1,36 @@
+"""Repo-specific static analysis: ``python -m repro.lint src``.
+
+The dynamic suites sample the contracts; this package proves them for
+every code path on every PR.  See :mod:`repro.lint.core` for the
+framework and :mod:`repro.lint.rules` for the rules:
+
+========  ============================================================
+ENT001    entropy/wall-clock use outside the ``Sha256Prng`` seam
+PLN001    ``plan_*`` functions (or their callees) performing device I/O
+CLS001    public lifecycle methods without a closed-state guard
+CON001    mutating agent primitives missing the ``_exclusive`` tripwire
+EXC001    broad ``except`` clauses that could swallow a fault injection
+TRC001    per-event ``trace.record()`` calls inside loops
+LNT001    suppression pragma without the mandatory justification
+========  ============================================================
+"""
+
+from repro.lint.core import (
+    Finding,
+    Rule,
+    SourceModule,
+    lint_paths,
+    lint_source,
+    register,
+    registered_rules,
+)
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "SourceModule",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "registered_rules",
+]

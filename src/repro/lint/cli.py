@@ -1,0 +1,82 @@
+"""Command line front end: ``python -m repro.lint [paths] [--format=...]``.
+
+Exit status 0 when the tree is clean, 1 when there are findings, 2 on
+usage errors.  ``--format=github`` emits workflow commands that render
+as inline annotations on the PR diff; ``--format=json`` is for tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.core import Finding, lint_paths, registered_rules
+
+
+def _human(findings: list[Finding], rule_count: int) -> str:
+    lines = [
+        f"{finding.path}:{finding.line}:{finding.col + 1}: "
+        f"{finding.code} {finding.message}"
+        for finding in findings
+    ]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"{len(findings)} {noun} ({rule_count} rules)")
+    return "\n".join(lines)
+
+
+def _json(findings: list[Finding]) -> str:
+    return json.dumps(
+        [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "code": finding.code,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+        indent=2,
+    )
+
+
+def _github(findings: list[Finding]) -> str:
+    return "\n".join(
+        f"::error file={finding.path},line={finding.line},"
+        f"col={finding.col + 1},title={finding.code}::{finding.message}"
+        for finding in findings
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Statically enforce the repo's invariant contracts.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json", "github"),
+        default="human",
+        help="output format (default: human)",
+    )
+    args = parser.parse_args(argv)
+
+    rules = registered_rules()
+    findings = lint_paths([Path(path) for path in args.paths])
+    if args.format == "json":
+        print(_json(findings))
+    elif args.format == "github":
+        output = _github(findings)
+        if output:
+            print(output)
+    else:
+        print(_human(findings, len(rules)))
+    return 1 if findings else 0

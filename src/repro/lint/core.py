@@ -1,0 +1,226 @@
+"""The linter's chassis: findings, pragmas, modules, rules, and the walker.
+
+``repro.lint`` statically enforces the contracts the dynamic test suite
+can only sample: plan purity (PR 6), entropy discipline (PRs 1-7),
+closed-state guards (PR 7), and concurrency tripwires (PR 5).  Rules are
+small :class:`Rule` subclasses registered with :func:`register`; each one
+walks a parsed :class:`SourceModule` and yields :class:`Finding` rows.
+
+Suppression is explicit and justified.  A trailing pragma silences
+findings on its own line; a pragma standing alone on a line silences the
+line directly below it::
+
+    # repro-lint: ignore[ENT001] -- seeded, deterministic formatting fill
+    rng = np.random.default_rng(seed)
+
+The ``-- <justification>`` clause is mandatory: a pragma without one is
+itself reported (:data:`PRAGMA_CODE`), so every suppression in the tree
+carries a one-line argument a reviewer can audit.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+#: Reported for a ``repro-lint`` pragma that is malformed or lacks the
+#: mandatory ``-- <justification>`` clause.  Not itself suppressible.
+PRAGMA_CODE = "LNT001"
+
+#: Reported for a file the linter cannot parse.
+SYNTAX_CODE = "LNT002"
+
+_CODE = r"[A-Z]{3}\d{3}"
+_PRAGMA_HEAD = re.compile(r"#\s*repro-lint:")
+_PRAGMA_FULL = re.compile(
+    r"#\s*repro-lint:\s*ignore\[(" + _CODE + r"(?:\s*,\s*" + _CODE + r")*)\]\s*--\s*(\S.*)$"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+
+class Rule:
+    """Base class for project rules.
+
+    Subclasses set :attr:`code` and :attr:`summary` and implement
+    :meth:`check`.  Decorate with :func:`register` to add the rule to the
+    default set run by the CLI.
+    """
+
+    code: str = ""
+    summary: str = ""
+
+    def check(self, module: "SourceModule") -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: "SourceModule", node: ast.AST, message: str) -> Finding:
+        return Finding(module.path, node.lineno, node.col_offset, self.code, message)
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule instance to the default registry."""
+    rule = cls()
+    if not rule.code:
+        raise ValueError(f"{cls.__name__} has no code")
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _REGISTRY[rule.code] = rule
+    return cls
+
+
+def registered_rules() -> dict[str, Rule]:
+    """The default rule set, importing the rule modules on first use."""
+    import repro.lint.rules  # noqa: F401  -- importing populates the registry
+
+    return dict(_REGISTRY)
+
+
+@dataclass
+class SourceModule:
+    """A parsed source file plus the lookups every rule needs.
+
+    ``aliases`` maps local names bound by ``import x.y as z`` statements
+    to the dotted module they denote; ``from_aliases`` does the same for
+    ``from x import y as z``.  :meth:`resolve` walks an attribute chain
+    back through both, so ``np.random.default_rng`` resolves to
+    ``numpy.random.default_rng`` whatever the import spelling was.
+    """
+
+    path: str
+    text: str
+    tree: ast.Module
+    aliases: dict[str, str] = field(default_factory=dict)
+    from_aliases: dict[str, str] = field(default_factory=dict)
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    pragma_findings: list[Finding] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, text: str, path: str) -> "SourceModule":
+        tree = ast.parse(text, filename=path)
+        module = cls(path=Path(path).as_posix(), text=text, tree=tree)
+        module._collect_imports()
+        module._collect_pragmas()
+        return module
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        # ``import a.b`` binds ``a``; attribute access
+                        # resolves the rest of the chain naturally.
+                        root = alias.name.split(".", 1)[0]
+                        self.aliases[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname if alias.asname is not None else alias.name
+                    self.from_aliases[local] = f"{node.module}.{alias.name}"
+
+    def _collect_pragmas(self) -> None:
+        reader = io.StringIO(self.text).readline
+        for token in tokenize.generate_tokens(reader):
+            if token.type != tokenize.COMMENT:
+                continue
+            comment = token.string.strip()
+            if not _PRAGMA_HEAD.match(comment):
+                continue
+            line = token.start[0]
+            match = _PRAGMA_FULL.match(comment)
+            if match is None:
+                self.pragma_findings.append(
+                    Finding(
+                        self.path,
+                        line,
+                        token.start[1],
+                        PRAGMA_CODE,
+                        "malformed repro-lint pragma: expected "
+                        "'# repro-lint: ignore[CODE] -- <justification>' "
+                        "(the justification is mandatory)",
+                    )
+                )
+                continue
+            codes = {code.strip() for code in match.group(1).split(",")}
+            self.suppressions.setdefault(line, set()).update(codes)
+            if token.line[: token.start[1]].strip() == "":
+                # A standalone pragma covers the line below it.
+                self.suppressions.setdefault(line + 1, set()).update(codes)
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Dotted name a ``Name``/``Attribute`` chain denotes, or ``None``.
+
+        Only chains rooted at an imported module or from-imported name
+        resolve; anything rooted at a local object (``self.prng.random``)
+        returns ``None``, which is what keeps attribute rules from
+        flagging look-alike methods.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = node.id
+        if base in self.aliases:
+            parts.append(self.aliases[base])
+        elif base in self.from_aliases:
+            parts.append(self.from_aliases[base])
+        else:
+            return None
+        return ".".join(reversed(parts))
+
+    def suppressed(self, finding: Finding) -> bool:
+        if finding.code == PRAGMA_CODE:
+            return False
+        return finding.code in self.suppressions.get(finding.line, ())
+
+
+def lint_source(
+    text: str, path: str = "<fixture>", rules: Iterable[Rule] | None = None
+) -> list[Finding]:
+    """Lint one source string; the entry point the fixture tests use."""
+    try:
+        module = SourceModule.parse(text, path)
+    except SyntaxError as error:
+        line = error.lineno if error.lineno is not None else 1
+        return [Finding(path, line, 0, SYNTAX_CODE, f"cannot parse: {error.msg}")]
+    chosen = list(rules) if rules is not None else list(registered_rules().values())
+    findings = list(module.pragma_findings)
+    for rule in chosen:
+        findings.extend(rule.check(module))
+    return sorted(finding for finding in findings if not module.suppressed(finding))
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def lint_paths(paths: Iterable[Path], rules: Iterable[Rule] | None = None) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths``; findings sorted by location."""
+    chosen = list(rules) if rules is not None else list(registered_rules().values())
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_source(file_path.read_text(), str(file_path), chosen))
+    return sorted(findings)

@@ -1,0 +1,10 @@
+"""Project rules; importing this package populates the rule registry."""
+
+from repro.lint.rules import (  # noqa: F401  -- imported for registration side effects
+    closedguards,
+    concurrency,
+    entropy,
+    exceptions,
+    planpurity,
+    tracing,
+)

@@ -1,0 +1,216 @@
+"""CLS001 — every lifecycle object refuses work after ``close()``.
+
+PR 7's contract: a closed service, session, storage volume, backend,
+journal, or engine fails loudly and typed, never half-works.  The
+dynamic sweep in ``tests/test_closed_guards.py`` proves the guards
+*fire*; this rule proves they *exist* on every public method, including
+ones added after the sweep was written.
+
+Each configured class carries a guard set (methods whose call implies a
+closed-state check) and a whitelist (the deliberately ungated forensic
+surface: constructors, ``close``/``closed``, counters).  A public method
+that neither calls a guard nor sits on the whitelist is a finding — and
+so is a configured class that disappears, so the rule cannot silently
+rot.  :func:`static_inventory` exposes the guarded-method sets; the
+dynamic sweep asserts equality against it, pinning the two enforcement
+layers to each other.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.lint.core import Finding, Rule, SourceModule, register
+
+
+@dataclass(frozen=True)
+class GuardSpec:
+    """Closed-guard contract for one class."""
+
+    class_name: str
+    module_suffix: str
+    guards: frozenset[str]
+    whitelist: frozenset[str]
+    #: Base class in the same module whose public methods are part of
+    #: this class's surface (the backend mixin shape).
+    merge_base: str | None = None
+
+
+GUARD_SPECS: tuple[GuardSpec, ...] = (
+    GuardSpec(
+        "Session",
+        "repro/service/facade.py",
+        guards=frozenset({"_check_open", "_handle"}),
+        whitelist=frozenset({"user", "active", "paths"}),
+    ),
+    GuardSpec(
+        "HiddenVolumeService",
+        "repro/service/facade.py",
+        guards=frozenset({"_check_service_open"}),
+        whitelist=frozenset(
+            {
+                "create",
+                "open",
+                "new_keyring",
+                "logged_in_users",
+                "session_of",
+                "closed",
+                "close",
+                "num_blocks",
+                "disclosed_block_count",
+                "disclosed_dummy_block_count",
+                "expected_update_overhead",
+            }
+        ),
+    ),
+    GuardSpec(
+        "RawStorage",
+        "repro/storage/disk.py",
+        guards=frozenset({"_check_open"}),
+        whitelist=frozenset({"closed", "close", "reset_counters", "reset_head_position"}),
+    ),
+    GuardSpec(
+        "MmapFileBackend",
+        "repro/storage/backend.py",
+        guards=frozenset({"_blocks"}),
+        whitelist=frozenset(
+            {"path", "create", "open", "close", "closed", "block_size", "num_blocks"}
+        ),
+        merge_base="_ArrayBackend",
+    ),
+    GuardSpec(
+        "JournalBackend",
+        "repro/core/journal.py",
+        guards=frozenset({"_require_open"}),
+        whitelist=frozenset(
+            {
+                "create",
+                "open",
+                "path",
+                "closed",
+                "num_slots",
+                "record_size",
+                "pending_count",
+                "bind",
+                "close",
+            }
+        ),
+    ),
+    GuardSpec(
+        "ConcurrentVolumeService",
+        "repro/service/concurrent.py",
+        guards=frozenset({"_run"}),
+        whitelist=frozenset({"close", "closed"}),
+    ),
+)
+
+
+def _classes(tree: ast.Module) -> dict[str, ast.ClassDef]:
+    return {node.name: node for node in tree.body if isinstance(node, ast.ClassDef)}
+
+
+def _public_methods(
+    *class_nodes: ast.ClassDef,
+) -> dict[str, ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Public defs across ``class_nodes``; later classes override earlier."""
+    methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+    for node in class_nodes:
+        for item in node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name.startswith("_"):
+                continue
+            methods[item.name] = item
+    return methods
+
+
+def _calls_guard(method: ast.FunctionDef | ast.AsyncFunctionDef, guards: frozenset[str]) -> bool:
+    for sub in ast.walk(method):
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        if isinstance(func, ast.Attribute):
+            if (
+                func.attr in guards
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+            ):
+                return True
+        elif isinstance(func, ast.Name) and func.id in guards:
+            return True
+    return False
+
+
+@register
+class ClosedGuardRule(Rule):
+    code = "CLS001"
+    summary = "public lifecycle methods without a closed-state guard"
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        specs = [spec for spec in GUARD_SPECS if module.path.endswith(spec.module_suffix)]
+        if not specs:
+            return []
+        return list(self._check_specs(module, specs))
+
+    def _check_specs(self, module: SourceModule, specs: list[GuardSpec]) -> Iterator[Finding]:
+        classes = _classes(module.tree)
+        for spec in specs:
+            node = classes.get(spec.class_name)
+            if node is None:
+                yield Finding(
+                    module.path,
+                    1,
+                    0,
+                    self.code,
+                    f"configured class '{spec.class_name}' not found; update the "
+                    "GuardSpec in repro.lint.rules.closedguards if it moved",
+                )
+                continue
+            bases = [node]
+            if spec.merge_base is not None and spec.merge_base in classes:
+                bases.insert(0, classes[spec.merge_base])
+            for name, method in sorted(_public_methods(*bases).items()):
+                if name in spec.whitelist:
+                    continue
+                if not _calls_guard(method, spec.guards):
+                    guard_names = ", ".join(sorted(spec.guards))
+                    yield self.finding(
+                        module,
+                        method,
+                        f"public method '{spec.class_name}.{name}' has no closed-state "
+                        f"guard (expected a call to one of: {guard_names}) and is not "
+                        "whitelisted as forensic surface",
+                    )
+
+
+def static_inventory(root: Path | str = "src") -> dict[str, tuple[str, ...]]:
+    """Guarded public methods per configured class, derived from source.
+
+    The dynamic sweep in ``tests/test_closed_guards.py`` asserts its
+    call tables equal this, so neither enforcement can drift from the
+    other: a new public method shows up here (it must call a guard to
+    lint clean) and the sweep fails until it exercises the method.
+    """
+    inventory: dict[str, tuple[str, ...]] = {}
+    base = Path(root)
+    for spec in GUARD_SPECS:
+        for path in sorted(base.rglob("*.py")):
+            if not path.as_posix().endswith(spec.module_suffix):
+                continue
+            classes = _classes(ast.parse(path.read_text(), filename=str(path)))
+            node = classes.get(spec.class_name)
+            if node is None:
+                continue
+            bases = [node]
+            if spec.merge_base is not None and spec.merge_base in classes:
+                bases.insert(0, classes[spec.merge_base])
+            guarded = [
+                name
+                for name in _public_methods(*bases)
+                if name not in spec.whitelist
+            ]
+            inventory[spec.class_name] = tuple(sorted(guarded))
+    return inventory

@@ -1,0 +1,101 @@
+"""CON001 — mutating agent primitives carry the re-entrancy tripwire.
+
+PR 5's contract: the core agent is single-threaded by design, and every
+primitive that mutates volume state enters ``with self._exclusive(...)``
+so that concurrent re-entry raises
+:class:`~repro.errors.ConcurrentAccessError` instead of corrupting the
+Figure-6 update invariants.  The inventory below is the contract; the
+rule checks both directions — every inventoried primitive on
+``StegAgent`` wraps itself in the tripwire, and the primitive still
+*exists* (a rename would otherwise silently drop coverage).  Agent
+subclasses overriding an inventoried primitive must re-enter the guard
+themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.core import Finding, Rule, SourceModule, register
+
+#: Every StegAgent primitive that mutates volume state.
+MUTATING_PRIMITIVES = frozenset(
+    {
+        "dummy_update",
+        "dummy_update_batch",
+        "update_block",
+        "update_range",
+        "plan_update_range",
+        "append_blocks",
+        "plan_append_blocks",
+    }
+)
+
+#: Modules where agent classes live.
+AGENT_MODULES = (
+    "repro/core/agent.py",
+    "repro/core/volatile.py",
+    "repro/core/nonvolatile.py",
+)
+
+GUARD_NAME = "_exclusive"
+
+
+def _enters_tripwire(method: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for sub in ast.walk(method):
+        if not isinstance(sub, ast.With):
+            continue
+        for item in sub.items:
+            expr = item.context_expr
+            if (
+                isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == GUARD_NAME
+                and isinstance(expr.func.value, ast.Name)
+                and expr.func.value.id == "self"
+            ):
+                return True
+    return False
+
+
+@register
+class ConcurrencyTripwireRule(Rule):
+    code = "CON001"
+    summary = "mutating agent primitives missing the _exclusive tripwire"
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        if not module.path.endswith(AGENT_MODULES):
+            return []
+        return list(self._check_module(module))
+
+    def _check_module(self, module: SourceModule) -> Iterator[Finding]:
+        for node in module.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                item.name: item
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            for name in sorted(MUTATING_PRIMITIVES):
+                method = methods.get(name)
+                if method is None:
+                    continue
+                if not _enters_tripwire(method):
+                    yield self.finding(
+                        module,
+                        method,
+                        f"mutating primitive '{node.name}.{name}' does not enter "
+                        "'with self._exclusive(...)'; concurrent re-entry would "
+                        "corrupt state instead of raising ConcurrentAccessError",
+                    )
+            if node.name == "StegAgent":
+                for name in sorted(MUTATING_PRIMITIVES - set(methods)):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"inventoried mutating primitive 'StegAgent.{name}' not found; "
+                        "update MUTATING_PRIMITIVES in repro.lint.rules.concurrency "
+                        "if it was renamed",
+                    )

@@ -1,0 +1,105 @@
+"""ENT001 — all entropy flows through the seed-derived crypto seam.
+
+The twin-trace reproducibility contract (same seed + same workload =>
+bit-identical volumes and traces) only holds if nothing inside
+``src/repro`` draws from an ambient entropy source.  Randomness comes
+from :class:`repro.crypto.prng.Sha256Prng` (seed-derived, spawnable) and
+nowhere else; wall-clock time is equally banned because the simulated
+latency clock is the only clock experiments may observe.
+
+Whitelisted seams:
+
+* ``crypto/prng.py`` — the one module allowed to define how entropy is
+  derived (it is itself purely hash-based today, but the whitelist is
+  the architectural statement).
+* the ``fak_entropy`` parameter on key generation in
+  ``service/facade.py`` — callers *inject* bytes; the facade never draws
+  them itself, so there is nothing to whitelist lexically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.core import Finding, Rule, SourceModule, register
+
+#: Modules whose import (or use through any alias) is a finding.
+BANNED_MODULES = ("random", "secrets", "uuid", "numpy.random")
+
+#: Individual callables that are findings even though their home modules
+#: (``os``, ``time``) are otherwise fine.
+BANNED_ATTRIBUTES = ("os.urandom", "time.time")
+
+#: Files exempt from the rule: the entropy seam itself.
+WHITELISTED_FILES = ("repro/crypto/prng.py",)
+
+
+def _is_banned_module(dotted: str) -> bool:
+    return any(dotted == mod or dotted.startswith(mod + ".") for mod in BANNED_MODULES)
+
+
+@register
+class EntropyRule(Rule):
+    code = "ENT001"
+    summary = "entropy and wall-clock time outside the Sha256Prng seam"
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        if module.path.endswith(WHITELISTED_FILES):
+            return []
+        return list(self._walk(module, module.tree))
+
+    def _walk(self, module: SourceModule, node: ast.AST) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.Import):
+                yield from self._check_import(module, child)
+            elif isinstance(child, ast.ImportFrom):
+                yield from self._check_import_from(module, child)
+            elif isinstance(child, ast.Attribute):
+                dotted = module.resolve(child)
+                if dotted is not None and self._banned_use(dotted):
+                    yield self.finding(
+                        module,
+                        child,
+                        f"entropy/clock source '{dotted}' outside the seed-derived "
+                        "Sha256Prng seam; thread a Prng (or the simulated clock) instead",
+                    )
+                    continue  # report the outermost chain once
+                yield from self._walk(module, child)
+            else:
+                yield from self._walk(module, child)
+
+    @staticmethod
+    def _banned_use(dotted: str) -> bool:
+        return dotted in BANNED_ATTRIBUTES or _is_banned_module(dotted)
+
+    def _check_import(self, module: SourceModule, node: ast.Import) -> Iterator[Finding]:
+        for alias in node.names:
+            if _is_banned_module(alias.name):
+                yield self.finding(
+                    module,
+                    node,
+                    f"import of entropy module '{alias.name}'; all randomness must "
+                    "derive from repro.crypto.prng.Sha256Prng",
+                )
+
+    def _check_import_from(self, module: SourceModule, node: ast.ImportFrom) -> Iterator[Finding]:
+        origin = node.module or ""
+        if node.level:
+            return  # relative imports stay inside repro and are checked at use
+        for alias in node.names:
+            dotted = f"{origin}.{alias.name}"
+            if _is_banned_module(origin) or _is_banned_module(dotted):
+                yield self.finding(
+                    module,
+                    node,
+                    f"import of entropy source '{dotted}'; all randomness must "
+                    "derive from repro.crypto.prng.Sha256Prng",
+                )
+            elif dotted in BANNED_ATTRIBUTES:
+                yield self.finding(
+                    module,
+                    node,
+                    f"import of '{dotted}'; use the Sha256Prng seam or the "
+                    "simulated latency clock instead",
+                )

@@ -1,0 +1,81 @@
+"""EXC001 — broad except clauses must not swallow an injected crash.
+
+PR 7's fault-injection sweeps rely on
+:class:`~repro.errors.InjectedCrashError` propagating from the doomed
+device call all the way out of the workload, so the test can image the
+"dead" volume and check recovery.  A ``except:`` /
+``except Exception:`` / ``except BaseException:`` handler that absorbs
+the error silently turns a crash test into a no-op.
+
+A broad handler passes only when it provably re-raises or inspects the
+error: it contains a bare ``raise``, or it binds the exception
+(``except BaseException as error:``) and actually uses that name —
+relaying it to a future, collecting it for a later re-raise, chaining
+``raise X from error``.  Everything else is a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.core import Finding, Rule, SourceModule, register
+
+BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    node = handler.type
+    if node is None:
+        return True
+    if isinstance(node, ast.Tuple):
+        return any(_name_of(element) in BROAD_NAMES for element in node.elts)
+    return _name_of(node) in BROAD_NAMES
+
+
+def _name_of(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _reraises_or_uses(handler: ast.ExceptHandler) -> bool:
+    for sub in ast.walk(handler):
+        if isinstance(sub, ast.Raise) and sub.exc is None:
+            return True  # bare re-raise
+        if (
+            handler.name is not None
+            and isinstance(sub, ast.Name)
+            and sub.id == handler.name
+            and isinstance(sub.ctx, ast.Load)
+        ):
+            return True  # the bound error is relayed, collected, or chained
+    return False
+
+
+@register
+class BroadExceptRule(Rule):
+    code = "EXC001"
+    summary = "broad except clauses that could swallow InjectedCrashError"
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        return list(self._walk(module))
+
+    def _walk(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if _reraises_or_uses(node):
+                continue
+            caught = "bare except" if node.type is None else f"except {ast.unparse(node.type)}"
+            yield self.finding(
+                module,
+                node,
+                f"{caught} swallows InjectedCrashError (and every other error); "
+                "catch the specific repro.errors type, re-raise, or relay the "
+                "bound exception",
+            )

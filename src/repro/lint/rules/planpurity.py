@@ -1,0 +1,110 @@
+"""PLN001 — planners describe I/O; they never perform it.
+
+PR 6's contract: a ``plan_*`` function returns an
+:class:`~repro.core.plan.IoPlan` describing device work, and only the
+execution layer (``execute_runs``, the engine's ``_flush_plans``) may
+touch the device.  This rule walks each module's intra-file call graph:
+a function whose name marks it as a planner, plus everything it reaches
+through ``self.method()`` and bare-name calls, must contain no call to
+the device primitives.
+
+Findings attach to the offending call site and name the call chain from
+the planner, so a violation three helpers deep is still one actionable
+line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.core import Finding, Rule, SourceModule, register
+
+#: The device primitives (RawStorage / StegDevice surface).
+DEVICE_METHODS = frozenset(
+    {"read_block", "read_blocks", "write_block", "write_blocks", "read_write_blocks"}
+)
+
+
+def _is_planner(name: str) -> bool:
+    return name == "plan" or name.startswith(("plan_", "_plan_", "_plan"))
+
+
+class _FunctionInfo:
+    """One function/method and the calls its body makes."""
+
+    def __init__(self, node: ast.FunctionDef | ast.AsyncFunctionDef, owner: str | None):
+        self.node = node
+        self.owner = owner  # class name for methods, None at module level
+        self.self_calls: set[str] = set()
+        self.bare_calls: set[str] = set()
+        self.device_calls: list[tuple[str, ast.Call]] = []
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            if isinstance(func, ast.Attribute):
+                if func.attr in DEVICE_METHODS:
+                    self.device_calls.append((func.attr, sub))
+                elif isinstance(func.value, ast.Name) and func.value.id == "self":
+                    self.self_calls.add(func.attr)
+            elif isinstance(func, ast.Name):
+                if func.id in DEVICE_METHODS:
+                    self.device_calls.append((func.id, sub))
+                else:
+                    self.bare_calls.add(func.id)
+
+
+@register
+class PlanPurityRule(Rule):
+    code = "PLN001"
+    summary = "plan_* functions (and their callees) performing device I/O"
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        functions: dict[tuple[str | None, str], _FunctionInfo] = {}
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions[(None, node.name)] = _FunctionInfo(node, None)
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        functions[(node.name, item.name)] = _FunctionInfo(item, node.name)
+
+        findings: dict[tuple[int, int], Finding] = {}
+        for (_owner, name), info in functions.items():
+            if not _is_planner(name):
+                continue
+            self._trace(module, functions, info, [name], set(), findings)
+        return sorted(findings.values())
+
+    def _trace(
+        self,
+        module: SourceModule,
+        functions: dict[tuple[str | None, str], _FunctionInfo],
+        info: _FunctionInfo,
+        chain: list[str],
+        visited: set[tuple[str | None, str]],
+        findings: dict[tuple[int, int], Finding],
+    ) -> None:
+        key = (info.owner, info.node.name)
+        if key in visited:
+            return
+        visited.add(key)
+        for method, call in info.device_calls:
+            location = (call.lineno, call.col_offset)
+            if location not in findings:
+                via = " -> ".join(chain)
+                findings[location] = self.finding(
+                    module,
+                    call,
+                    f"device I/O '{method}' reachable from planner '{chain[0]}' "
+                    f"(call chain: {via}); planners must only describe I/O in an IoPlan",
+                )
+        for attr in sorted(info.self_calls):
+            callee = functions.get((info.owner, attr))
+            if callee is not None:
+                self._trace(module, functions, callee, chain + [attr], visited, findings)
+        for name in sorted(info.bare_calls):
+            callee = functions.get((None, name))
+            if callee is not None:
+                self._trace(module, functions, callee, chain + [name], visited, findings)

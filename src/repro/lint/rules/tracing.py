@@ -1,0 +1,59 @@
+"""TRC001 — device paths batch their trace appends.
+
+PR 2 made :class:`~repro.storage.trace.IoTrace` columnar precisely so
+batched device calls append once per batch (``record_many``), not once
+per event.  A ``trace.record(...)`` call inside a loop quietly reverts a
+device path to per-event appends — correct output, an order of magnitude
+slower, and invisible to the equivalence tests that only compare trace
+contents.  This rule flags any per-event ``record`` call on a trace
+receiver lexically inside a ``for``/``while`` body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.core import Finding, Rule, SourceModule, register
+
+#: Receiver identifiers treated as a trace object.
+TRACE_RECEIVERS = frozenset({"trace", "_trace"})
+
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+
+
+def _is_trace_record(call: ast.Call) -> bool:
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr != "record":
+        return False
+    receiver = func.value
+    if isinstance(receiver, ast.Name):
+        return receiver.id in TRACE_RECEIVERS
+    if isinstance(receiver, ast.Attribute):
+        return receiver.attr in TRACE_RECEIVERS
+    return False
+
+
+@register
+class TraceBatchingRule(Rule):
+    code = "TRC001"
+    summary = "per-event trace.record() calls inside loops"
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        return list(self._walk(module.tree, in_loop=False, module=module))
+
+    def _walk(self, node: ast.AST, in_loop: bool, module: SourceModule) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.Call) and in_loop and _is_trace_record(child):
+                yield self.finding(
+                    module,
+                    child,
+                    "per-event trace.record() inside a loop; batch the events and "
+                    "append once with trace.record_many()",
+                )
+            child_in_loop = in_loop or isinstance(child, _LOOPS)
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                # A nested function body is not executed by the loop itself.
+                yield from self._walk(child, in_loop=False, module=module)
+            else:
+                yield from self._walk(child, in_loop=child_in_loop, module=module)

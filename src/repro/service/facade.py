@@ -32,10 +32,10 @@ from typing import Callable
 
 from repro.core.agent import StegAgent, UpdateResult
 from repro.core.journal import JournalBackend, journal_sidecar_path
-from repro.core.plan import IoPlan, PlanJournal, PlannedOp, Step
 from repro.core.nonvolatile import NonVolatileAgent
 from repro.core.oblivious.reader import ObliviousReader
 from repro.core.oblivious.store import ObliviousStore, ObliviousStoreConfig
+from repro.core.plan import IoPlan, PlanJournal, PlannedOp, Step
 from repro.core.volatile import VolatileAgent
 from repro.crypto.keys import FileAccessKey, KeyRing
 from repro.crypto.prng import Sha256Prng
@@ -336,6 +336,7 @@ class Session:
         region = bytearray()
         first_current: bytes | None = None
         if head_pad:
+            # repro-lint: ignore[PLN001] -- documented plan-time boundary read; sound per docstring
             first_current = agent.read_block(handle, first, self.stream)
             region += first_current[:head_pad]
         region += data
@@ -343,6 +344,7 @@ class Session:
             if last == first and first_current is not None:
                 last_current = first_current
             else:
+                # repro-lint: ignore[PLN001] -- documented plan-time boundary read; see docstring
                 last_current = agent.read_block(handle, last, self.stream)
             region += last_current[payload_bytes - tail_pad :]
 
@@ -375,6 +377,7 @@ class Session:
         if tail_used:
             tail_logical = old_size // payload_bytes
             tail_room = payload_bytes - tail_used
+            # repro-lint: ignore[PLN001] -- documented plan-time tail read; sound per plan_write
             current = agent.read_block(handle, tail_logical, self.stream)
             merged = current[:tail_used] + remaining[:tail_room]
             tail_plan, _ = agent.plan_update_range(handle, tail_logical, [merged], self.stream)

@@ -9,7 +9,7 @@
   files pre-created, ready for the benchmarks and examples to drive.
 """
 
-from repro.sim.builders import SystemUnderTest, build_system, SYSTEM_LABELS
+from repro.sim.builders import SYSTEM_LABELS, SystemUnderTest, build_system
 from repro.sim.engine import ClientJob, RoundRobinSimulator, SimulationResult
 
 __all__ = [

@@ -18,10 +18,10 @@ drive this layer.
 from repro.stegfs.allocator import RandomAllocator
 from repro.stegfs.constants import HEADER_MAGIC, NO_BLOCK
 from repro.stegfs.directory import DirectoryEntry, HiddenDirectory
-from repro.stegfs.file import HiddenFile
-from repro.stegfs.header import FileHeader
-from repro.stegfs.filesystem import StegFsVolume, VolumeConfig
 from repro.stegfs.dummy import build_dummy_content, create_dummy_file
+from repro.stegfs.file import HiddenFile
+from repro.stegfs.filesystem import StegFsVolume, VolumeConfig
+from repro.stegfs.header import FileHeader
 
 __all__ = [
     "RandomAllocator",

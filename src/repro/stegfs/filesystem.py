@@ -161,7 +161,7 @@ class StegFsVolume:
         """Pad and encrypt payloads under ``key``, returning raw on-disk blocks."""
         padded = [self._pad_payload(payload) for payload in payloads]
         ciphertexts = self.cipher_for(key).encrypt_many(ivs, padded)
-        return [iv + ciphertext for iv, ciphertext in zip(ivs, ciphertexts)]
+        return [iv + ciphertext for iv, ciphertext in zip(ivs, ciphertexts, strict=True)]
 
     def write_payloads(
         self,
@@ -181,7 +181,7 @@ class StegFsVolume:
         if write_blocks is not None:
             write_blocks(indices, datas, stream)
         else:
-            for index, data in zip(indices, datas):
+            for index, data in zip(indices, datas, strict=True):
                 self.device.write_block(index, data, stream)
 
     def read_payloads(self, indices: list[int], key: bytes, stream: str = "default") -> list[bytes]:

@@ -145,6 +145,7 @@ class _ArrayBackend:
                 view[index] = rows[row]
 
     def fill_random(self, seed: int = 0) -> None:
+        # repro-lint: ignore[ENT001] -- seeded, deterministic volume formatting; not a crypto path
         rng = np.random.default_rng(seed)
         flat = self._blocks().reshape(-1)
         flat[:] = rng.integers(0, 256, size=flat.size, dtype=np.uint8)
@@ -263,8 +264,7 @@ class MmapFileBackend(_ArrayBackend):
         return cls(path, block_size, size // block_size, _fd=fd)
 
     def flush(self) -> None:
-        if self._view is None:
-            raise BackendClosedError("MmapFileBackend is closed")
+        self._blocks()
         self._mmap.flush()
 
     def close(self) -> None:

@@ -19,7 +19,12 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.errors import BlockOutOfRangeError, BlockSizeMismatchError, VolumeFileError
+from repro.errors import (
+    BackendClosedError,
+    BlockOutOfRangeError,
+    BlockSizeMismatchError,
+    VolumeFileError,
+)
 from repro.storage.backend import BlockBackend, MemoryBackend
 from repro.storage.latency import DiskLatencyModel
 from repro.storage.trace import OP_READ, OP_WRITE, IoTrace
@@ -169,9 +174,21 @@ class RawStorage:
         data blocks are indistinguishable.  A numpy generator is used
         because the volume can be hundreds of megabytes.
         """
+        self._check_open()
         self.backend.fill_random(seed)
 
     # -- block access ----------------------------------------------------------
+
+    def _check_open(self) -> None:
+        """Fail fast — and before any accounting — once the backend is closed.
+
+        Without this, a request against a closed volume would bump the
+        counters, advance the clock and append a trace event before the
+        backend finally raised, leaving phantom I/O in the observable
+        record.
+        """
+        if self.backend.closed:
+            raise BackendClosedError("storage volume is closed")
 
     def _check_index(self, index: int) -> None:
         if not 0 <= index < self.geometry.num_blocks:
@@ -187,6 +204,7 @@ class RawStorage:
 
     def read_block(self, index: int, stream: str = "default") -> bytes:
         """Read one block, charging latency and recording the request."""
+        self._check_open()
         self._check_index(index)
         cost = self._charge(index, stream)
         self.counters.reads += 1
@@ -196,6 +214,7 @@ class RawStorage:
 
     def write_block(self, index: int, data: bytes, stream: str = "default") -> None:
         """Write one block, charging latency and recording the request."""
+        self._check_open()
         self._check_index(index)
         if len(data) != self.geometry.block_size:
             raise BlockSizeMismatchError(
@@ -265,6 +284,7 @@ class RawStorage:
         self, indices: Iterable[int], stream: str | Sequence[str] = "default"
     ) -> list[bytes]:
         """Read many blocks in one call; equivalent to a loop of :meth:`read_block`."""
+        self._check_open()
         indices = _index_array(indices)
         self._check_batch(indices, None, stream)
         if indices.size == 0:
@@ -282,6 +302,7 @@ class RawStorage:
         stream: str | Sequence[str] = "default",
     ) -> None:
         """Write many blocks in one call; equivalent to a loop of :meth:`write_block`."""
+        self._check_open()
         indices = _index_array(indices)
         datas = list(datas)
         self._check_batch(indices, datas, stream)
@@ -314,6 +335,7 @@ class RawStorage:
         content — a pure charging pass, which is what the oblivious
         store's non-final merge-sort passes need.
         """
+        self._check_open()
         read_idx = _index_array(indices)
         if datas is not None:
             datas = list(datas)
@@ -336,7 +358,8 @@ class RawStorage:
             # observe the earlier write; only the genuine loop
             # preserves that.
             streams = [stream] * read_idx.size if isinstance(stream, str) else list(stream)
-            for r, w, data, label in zip(read_idx.tolist(), write_idx.tolist(), datas, streams):
+            cycles = zip(read_idx.tolist(), write_idx.tolist(), datas, streams, strict=True)
+            for r, w, data, label in cycles:
                 self.read_block(r, label)
                 self.write_block(w, data, label)
             return
@@ -381,11 +404,13 @@ class RawStorage:
         internal bookkeeping that would not generate device I/O; regular
         file-system code paths must use :meth:`read_block`.
         """
+        self._check_open()
         self._check_index(index)
         return self.backend.read(index)
 
     def raw_bytes(self) -> bytes:
         """A copy of the whole volume (used by snapshots)."""
+        self._check_open()
         return self.backend.raw_bytes()
 
     # -- durability --------------------------------------------------------------
@@ -397,6 +422,7 @@ class RawStorage:
 
     def flush(self) -> None:
         """Push pending bytes to durable storage (a no-op for memory backends)."""
+        self._check_open()
         self.backend.flush()
 
     def close(self) -> None:

@@ -390,9 +390,9 @@ class IoTrace:
         if touched.min() >= 0 and touched.max() <= 4 * touched.size + 1024:
             counts = np.bincount(touched)
             hot = np.flatnonzero(counts)
-            return Counter(dict(zip(hot.tolist(), counts[hot].tolist())))
+            return Counter(dict(zip(hot.tolist(), counts[hot].tolist(), strict=True)))
         values, counts = np.unique(touched, return_counts=True)
-        return Counter(dict(zip(values.tolist(), counts.tolist())))
+        return Counter(dict(zip(values.tolist(), counts.tolist(), strict=True)))
 
     def touched_blocks(self, op: Operation | None = None) -> set[int]:
         """The set of distinct block indices touched."""

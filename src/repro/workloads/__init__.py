@@ -9,13 +9,13 @@ introduction motivates.
 
 from repro.workloads.filegen import FileSpec, generate_content, generate_file_specs
 from repro.workloads.retrieval import file_read_job, measure_file_read
+from repro.workloads.tableupdate import SalaryTable, TableUpdateWorkload
 from repro.workloads.update import (
     block_update_job,
     measure_block_update,
     measure_range_update,
     random_update_requests,
 )
-from repro.workloads.tableupdate import SalaryTable, TableUpdateWorkload
 
 __all__ = [
     "FileSpec",

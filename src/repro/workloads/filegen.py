@@ -28,6 +28,7 @@ def generate_content(size_bytes: int, seed: int = 0) -> bytes:
     """Deterministic pseudo-random file content of exactly ``size_bytes``."""
     if size_bytes < 0:
         raise ValueError("size_bytes must be non-negative")
+    # repro-lint: ignore[ENT001] -- seeded, deterministic workload content; not a crypto path
     rng = np.random.default_rng(seed)
     return rng.integers(0, 256, size=size_bytes, dtype=np.uint8).tobytes()
 

@@ -89,7 +89,7 @@ class TestFragDisk:
         handle = fs.create_file("/a", _content(fs, 32))
         blocks = handle.native_handle
         fragment_starts = [blocks[i] for i in range(0, 32, 8)]
-        gaps = [b - a for a, b in zip(fragment_starts, fragment_starts[1:])]
+        gaps = [b - a for a, b in zip(fragment_starts, fragment_starts[1:], strict=False)]
         assert any(abs(gap) != 8 for gap in gaps)
 
     def test_read_roundtrip(self, storage, prng):

@@ -135,7 +135,7 @@ class TestBatchedDeviceEquivalence:
         part_loop = Partition(loop, start_block=32, num_blocks=64)
         part_batched = Partition(batched, start_block=32, num_blocks=64)
         datas = [bytes([i]) * BLOCK_SIZE for i in range(4)]
-        for i, d in zip([3, 1, 60, 3], datas):
+        for i, d in zip([3, 1, 60, 3], datas, strict=True):
             part_loop.write_block(i, d)
         loop_reads = [part_loop.read_block(i) for i in [3, 1, 60, 3]]
         part_batched.write_blocks([3, 1, 60, 3], datas)
@@ -181,7 +181,8 @@ class ReferenceFieldCipher(FieldCipher):
 
     def encrypt(self, iv: bytes, plaintext: bytes) -> bytes:
         stream = hashlib.shake_256(self._key + bytes(iv)).digest(max(1, len(plaintext)))
-        return bytes(p ^ s for p, s in zip(plaintext, stream))
+        # strict=False: the stream is one byte long even for empty plaintext.
+        return bytes(p ^ s for p, s in zip(plaintext, stream, strict=False))
 
     def decrypt(self, iv: bytes, ciphertext: bytes) -> bytes:
         return self.encrypt(iv, ciphertext)
@@ -279,7 +280,7 @@ class TestVolumeBatchedPaths:
         key = b"k" * 32
         payloads = [bytes([i]) * 10 for i in range(6)]
         indices = [9, 2, 77, 3, 400, 41]
-        for index, payload in zip(indices, payloads):
+        for index, payload in zip(indices, payloads, strict=True):
             loop_volume.write_payload(index, key, payload, "s")
         batched_volume.write_payloads(indices, key, payloads, "s")
         _assert_identical(loop_volume.device.storage, batched_volume.device.storage)

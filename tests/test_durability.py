@@ -64,7 +64,7 @@ class TestBackendEquivalence:
         prng = Sha256Prng("backend-equivalence")
         for backend in (memory, mapped):
             backend.fill_random(7)
-        for step in range(50):
+        for _step in range(50):
             index = prng.randrange(64)
             data = prng.random_bytes(BLOCK)
             for backend in (memory, mapped):

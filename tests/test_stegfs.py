@@ -186,7 +186,7 @@ class TestStegFsVolume:
         content = b"x" * (volume.data_field_bytes * 20)
         handle = volume.create_file(fak, "/scatter", content)
         pointers = handle.header.block_pointers
-        gaps = [b - a for a, b in zip(pointers, pointers[1:])]
+        gaps = [b - a for a, b in zip(pointers, pointers[1:], strict=False)]
         assert any(abs(gap) > 1 for gap in gaps)
 
     def test_write_block_in_place_keeps_location(self, volume, fak):
