@@ -21,6 +21,10 @@ from repro.analysis.series import SeriesTable, SweepResult
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+#: Repo root, where machine-readable results are mirrored so floor
+#: checks and dashboards can find them without knowing the tree layout.
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
 MIB = 1024 * 1024
 KIB = 1024
 
@@ -46,12 +50,17 @@ def write_bench_json(name: str, payload: dict) -> pathlib.Path:
     The JSON twins the rendered ``.txt`` tables so CI can enforce
     numeric floors (see ``check_bench_floor.py``) without parsing prose.
     Keys are sorted and the file ends in a newline so regenerated
-    results diff cleanly.
+    results diff cleanly.  Each file is also mirrored to the repo root
+    (``<root>/<name>.json``) so floor checks and dashboards can read it
+    without knowing the tree layout; the two copies are byte-identical.
     """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    rendered = json.dumps(payload, indent=2, sort_keys=True) + "\n"
     path = RESULTS_DIR / f"{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
-    print(f"[saved to {path}]")
+    path.write_text(rendered, encoding="utf-8")
+    mirror = REPO_ROOT / f"{name}.json"
+    mirror.write_text(rendered, encoding="utf-8")
+    print(f"[saved to {path}; mirrored to {mirror}]")
     return path
 
 
@@ -88,6 +97,7 @@ __all__ = [
     "assert_monotone_increasing",
     "assert_monotone_decreasing",
     "RESULTS_DIR",
+    "REPO_ROOT",
     "MIB",
     "KIB",
     "BENCH_BLOCK_SIZE",

@@ -23,7 +23,7 @@ class Level:
     capacity: int
     first_slot: int
     index: LevelHashIndex
-    key: bytes
+    key: bytes = field(repr=False)
     shuffles: int = 0
     _placements: dict[int, int] = field(default_factory=dict)
 

@@ -109,7 +109,7 @@ class ResealStep:
     """Dummy-update block ``index``: decrypt under ``key``, re-encrypt under ``new_iv``."""
 
     index: int
-    key: bytes = b""
+    key: bytes = field(default=b"", repr=False)
     new_iv: bytes = b""
     stream: str = "dummy"
     batched: bool = False

@@ -87,9 +87,9 @@ class FileAccessKey:
         Marks FAKs handed out for dummy files.
     """
 
-    secret: bytes
-    header_key: bytes
-    content_key: bytes | None = None
+    secret: bytes = field(repr=False)
+    header_key: bytes = field(repr=False)
+    content_key: bytes | None = field(default=None, repr=False)
     is_dummy: bool = False
 
     def __post_init__(self) -> None:

@@ -1,17 +1,33 @@
 """Repo-specific static analysis: ``python -m repro.lint src``.
 
 The dynamic suites sample the contracts; this package proves them for
-every code path on every PR.  See :mod:`repro.lint.core` for the
-framework and :mod:`repro.lint.rules` for the rules:
+every code path on every PR.  Per-module rules walk one file at a
+time; the whole-program rules build a repo-wide call graph
+(:mod:`repro.lint.graph`) and run interprocedural dataflow over it
+(:mod:`repro.lint.dataflow`), so a secret that leaks three modules
+away from where it was read — or a deadlock spread across two classes
+— is still one finding with the full chain in its message.  See
+:mod:`repro.lint.core` for the framework and :mod:`repro.lint.rules`
+for the rules; ``python -m repro.lint --explain CODE`` prints each
+rule's contract, rationale, and dynamic counterpart:
 
 ========  ============================================================
 ENT001    entropy/wall-clock use outside the ``Sha256Prng`` seam
-PLN001    ``plan_*`` functions (or their callees) performing device I/O
+PLN001    ``plan_*`` functions reaching device I/O through *any*
+          cross-module call chain (whole-program)
 CLS001    public lifecycle methods without a closed-state guard
 CON001    mutating agent primitives missing the ``_exclusive`` tripwire
 EXC001    broad ``except`` clauses that could swallow a fault injection
 TRC001    per-event ``trace.record()`` calls inside loops
+SEC001    unsanitized secret flows to device writes, trace records, or
+          exception messages (interprocedural taint)
+SEC002    secret material reaching formatting, logging, ``__repr__``,
+          or dataclass auto-repr
+LCK001    lock-order cycles / non-reentrant re-acquisition (deadlock)
+LCK002    blocking while holding a foreign lock
+LCK003    unlocked writes to attributes shared across thread roles
 LNT001    suppression pragma without the mandatory justification
+LNT002    file the linter cannot parse
 ========  ============================================================
 """
 

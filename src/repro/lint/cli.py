@@ -3,6 +3,8 @@
 Exit status 0 when the tree is clean, 1 when there are findings, 2 on
 usage errors.  ``--format=github`` emits workflow commands that render
 as inline annotations on the PR diff; ``--format=json`` is for tooling.
+``--explain CODE`` prints the contract a rule enforces, why the repo
+holds it, and which dynamic test files sample the same invariant.
 """
 
 from __future__ import annotations
@@ -12,7 +14,28 @@ import json
 from pathlib import Path
 from typing import Sequence
 
-from repro.lint.core import Finding, lint_paths, registered_rules
+from repro.lint.core import PRAGMA_CODE, SYNTAX_CODE, Finding, lint_paths, registered_rules
+
+#: Explanations for the framework's own codes, which are not rules.
+_FRAMEWORK_EXPLANATIONS = {
+    PRAGMA_CODE: (
+        "malformed or unjustified repro-lint pragma",
+        "Every suppression pragma carries a mandatory '-- <justification>' "
+        "clause; a pragma without one is itself a finding.",
+        "Silencing a rule is a reviewed design decision, not an escape "
+        "hatch — the justification is the one-line argument the reviewer "
+        "audits.",
+        "tests/test_lint.py (pragma fixtures)",
+    ),
+    SYNTAX_CODE: (
+        "file the linter cannot parse",
+        "Every file under lint must parse with the running interpreter's "
+        "grammar; a syntax error is reported as a finding, never raised.",
+        "A file that cannot be parsed cannot be analysed, so it would "
+        "otherwise silently escape every other rule.",
+        "tests/test_lint.py (syntax-error fixture)",
+    ),
+}
 
 
 def _human(findings: list[Finding], rule_count: int) -> str:
@@ -50,6 +73,27 @@ def _github(findings: list[Finding]) -> str:
     )
 
 
+def explain(code: str) -> str | None:
+    """Render the contract/rationale/test-suite card for one code."""
+    if code in _FRAMEWORK_EXPLANATIONS:
+        summary, contract, rationale, suite = _FRAMEWORK_EXPLANATIONS[code]
+    else:
+        rule = registered_rules().get(code)
+        if rule is None:
+            return None
+        summary, contract = rule.summary, rule.contract
+        rationale, suite = rule.rationale, rule.dynamic_suite
+    return "\n".join(
+        [
+            f"{code}: {summary}",
+            "",
+            f"  contract:   {contract}",
+            f"  rationale:  {rationale}",
+            f"  dynamic:    {suite}",
+        ]
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
@@ -67,7 +111,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         default="human",
         help="output format (default: human)",
     )
+    parser.add_argument(
+        "--explain",
+        metavar="CODE",
+        help="print the contract, rationale, and dynamic test suite for "
+        "one rule code (e.g. SEC001) instead of linting",
+    )
     args = parser.parse_args(argv)
+
+    if args.explain is not None:
+        card = explain(args.explain.upper())
+        if card is None:
+            known = ", ".join(sorted([*registered_rules(), *_FRAMEWORK_EXPLANATIONS]))
+            print(f"unknown rule code {args.explain!r}; known codes: {known}")
+            return 2
+        print(card)
+        return 0
 
     rules = registered_rules()
     findings = lint_paths([Path(path) for path in args.paths])

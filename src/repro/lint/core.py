@@ -63,12 +63,37 @@ class Rule:
 
     code: str = ""
     summary: str = ""
+    #: The invariant this rule enforces, stated as a sentence a reviewer
+    #: could quote in a design doc.  Rendered by ``--explain CODE``.
+    contract: str = ""
+    #: Why the repo holds that invariant (which paper property or PR
+    #: depends on it).
+    rationale: str = ""
+    #: The dynamic test files that *sample* the same invariant; the rule
+    #: proves it for every path the tests cannot reach.
+    dynamic_suite: str = ""
 
     def check(self, module: "SourceModule") -> Iterable[Finding]:
         raise NotImplementedError
 
     def finding(self, module: "SourceModule", node: ast.AST, message: str) -> Finding:
         return Finding(module.path, node.lineno, node.col_offset, self.code, message)
+
+
+class ProjectRule(Rule):
+    """A rule that analyses the whole parsed tree at once.
+
+    Interprocedural rules (cross-module plan purity, taint, lock order)
+    need every module plus the call graph stitched over them, so they
+    implement :meth:`check_project` instead of :meth:`check`; the walker
+    invokes it once per lint run rather than once per file.
+    """
+
+    def check(self, module: "SourceModule") -> Iterable[Finding]:  # pragma: no cover
+        raise NotImplementedError(f"{self.code} is a project rule; use check_project")
+
+    def check_project(self, project: "Project") -> Iterable[Finding]:
+        raise NotImplementedError
 
 
 _REGISTRY: dict[str, Rule] = {}
@@ -193,20 +218,74 @@ class SourceModule:
         return finding.code in self.suppressions.get(finding.line, ())
 
 
+@dataclass
+class Project:
+    """Every parsed module of one lint run, plus the shared call graph.
+
+    Project rules all need the same :class:`~repro.lint.graph.CallGraph`;
+    building it once here keeps a whole-tree lint run linear in tree
+    size instead of linear per rule.
+    """
+
+    modules: list[SourceModule]
+
+    def __post_init__(self) -> None:
+        self._by_path: dict[str, SourceModule] = {m.path: m for m in self.modules}
+        self._graph: object | None = None
+
+    @property
+    def graph(self):  # noqa: ANN201  -- lazy import breaks the core<->graph cycle
+        from repro.lint.graph import CallGraph
+
+        if self._graph is None:
+            self._graph = CallGraph(self.modules)
+        return self._graph
+
+    def module_for(self, path: str) -> SourceModule | None:
+        return self._by_path.get(path)
+
+    def suppressed(self, finding: Finding) -> bool:
+        module = self._by_path.get(finding.path)
+        return module is not None and module.suppressed(finding)
+
+
+def lint_sources(
+    sources: Iterable[tuple[str, str]], rules: Iterable[Rule] | None = None
+) -> list[Finding]:
+    """Lint ``(path, text)`` pairs as one project; the shared entry point.
+
+    Per-module rules run on each file; :class:`ProjectRule`\\ s run once
+    over the whole set, so cross-module chains only exist when the files
+    are linted together.  Suppression pragmas are applied per containing
+    module whichever rule produced the finding.
+    """
+    chosen = list(rules) if rules is not None else list(registered_rules().values())
+    findings: list[Finding] = []
+    modules: list[SourceModule] = []
+    for path, text in sources:
+        try:
+            module = SourceModule.parse(text, path)
+        except SyntaxError as error:
+            line = error.lineno if error.lineno is not None else 1
+            findings.append(Finding(path, line, 0, SYNTAX_CODE, f"cannot parse: {error.msg}"))
+            continue
+        modules.append(module)
+        findings.extend(module.pragma_findings)
+    project = Project(modules)
+    for rule in chosen:
+        if isinstance(rule, ProjectRule):
+            findings.extend(rule.check_project(project))
+        else:
+            for module in modules:
+                findings.extend(rule.check(module))
+    return sorted(finding for finding in findings if not project.suppressed(finding))
+
+
 def lint_source(
     text: str, path: str = "<fixture>", rules: Iterable[Rule] | None = None
 ) -> list[Finding]:
     """Lint one source string; the entry point the fixture tests use."""
-    try:
-        module = SourceModule.parse(text, path)
-    except SyntaxError as error:
-        line = error.lineno if error.lineno is not None else 1
-        return [Finding(path, line, 0, SYNTAX_CODE, f"cannot parse: {error.msg}")]
-    chosen = list(rules) if rules is not None else list(registered_rules().values())
-    findings = list(module.pragma_findings)
-    for rule in chosen:
-        findings.extend(rule.check(module))
-    return sorted(finding for finding in findings if not module.suppressed(finding))
+    return lint_sources([(path, text)], rules)
 
 
 def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
@@ -218,9 +297,8 @@ def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
 
 
 def lint_paths(paths: Iterable[Path], rules: Iterable[Rule] | None = None) -> list[Finding]:
-    """Lint every ``.py`` file under ``paths``; findings sorted by location."""
-    chosen = list(rules) if rules is not None else list(registered_rules().values())
-    findings: list[Finding] = []
-    for file_path in iter_python_files(paths):
-        findings.extend(lint_source(file_path.read_text(), str(file_path), chosen))
-    return sorted(findings)
+    """Lint every ``.py`` file under ``paths`` as one project."""
+    return lint_sources(
+        ((str(file_path), file_path.read_text()) for file_path in iter_python_files(paths)),
+        rules,
+    )

@@ -1,0 +1,640 @@
+"""Interprocedural forward taint propagation over the call graph.
+
+The deniability contract has a static shape: key material and plaintext
+(*sources*) must pass through the volume cipher (*sanitizers*) before
+they can reach anything an adversary observes (*sinks*: backend writes,
+trace rows, exception text, logging, ``repr`` output).  This module
+computes which expressions may carry secret taint, summary-style in the
+spirit of IFDS: each function gets a *summary* — which parameters flow
+to its return value, which parameters reach a sink inside it, which
+secrets it returns outright — and summaries are applied at call sites
+through :class:`~repro.lint.graph.CallGraph` resolution until a global
+fixpoint, with SCC order making the common acyclic case converge in one
+pass.
+
+The value model is deliberately coarse but *predictably* coarse:
+
+* **Field names, not objects.**  Reading an attribute named ``secret``/
+  ``header_key``/``content_key``/``key``/``_key`` is a source wherever
+  it happens; storing a secret into an object does **not** taint the
+  object.  Constructors therefore launder: ``WriteStep(data=secret)``
+  is clean until someone reads a secret-named field back out.  This is
+  what keeps plan payloads (encrypted later, by the executor) from
+  drowning the analysis in false positives.
+* **Flow-insensitive, accumulating.**  A name once tainted stays
+  tainted for the whole function; there is no kill.  Sound for leak
+  detection, and cheap.
+* **Hashes declassify.**  Anything routed through ``hashlib``/``hmac``
+  or the cipher's ``encrypt``/``encrypt_many``/``seal`` comes out
+  clean; so do ``len``/``bool``-style observers and comparisons.
+
+Findings carry the full function chain from the source read to the
+sink call, so a leak three modules deep is one actionable line.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from repro.lint.graph import CallGraph, CallSite, ClassInfo, FunctionNode, _expr_text
+
+#: Attribute / dataclass-field names that *are* key material.
+SOURCE_ATTRS = frozenset({"secret", "header_key", "content_key", "key", "_key", "fak_entropy"})
+
+#: Parameter names that carry key material or raw entropy into a function.
+SOURCE_PARAMS = frozenset({"fak_entropy", "key", "secret"})
+
+#: Method calls whose result is plaintext.
+SOURCE_CALLS = frozenset({"decrypt", "decrypt_many", "unseal"})
+
+#: Method calls that seal their input: the result is safe to persist.
+SANITIZER_CALLS = frozenset({"encrypt", "encrypt_many", "seal"})
+
+#: Module prefixes whose functions are one-way: output reveals nothing usable.
+SANITIZER_MODULES = ("hashlib.", "hmac.")
+
+#: Builtins that observe a value without revealing it.
+DECLASSIFIERS = frozenset({"len", "bool", "type", "isinstance", "id", "hash", "int", "float"})
+
+#: Device-plan primitives; sinks by name (unique to the device surface).
+DEVICE_SINK_NAMES = frozenset({"write_block", "write_blocks", "read_write_blocks"})
+
+#: Sinks when the receiver resolves to a ``BlockBackend`` implementation.
+BACKEND_WRITE_METHODS = frozenset({"write", "write_many"})
+
+#: Sinks when the receiver resolves to the I/O trace.
+TRACE_SINK_METHODS = frozenset({"record", "record_many", "extend"})
+
+LOG_METHODS = frozenset({"debug", "info", "warning", "error", "critical", "exception", "log"})
+LOG_RECEIVERS = frozenset({"logging", "logger", "log", "_logger", "_log"})
+FORMAT_BUILTINS = frozenset({"str", "repr", "ascii", "format", "print"})
+
+_MAX_CHAIN = 16
+_MAX_ROUNDS = 8
+_MAX_PASSES = 4
+
+SEC_FLOW = "SEC001"
+SEC_FORMAT = "SEC002"
+
+
+@dataclass(frozen=True)
+class Taint:
+    """One tainted fact: where it came from and the functions it crossed."""
+
+    kind: str  # "source" | "param"
+    label: str  # what was read ("fak.secret", "decrypt() result", param name)
+    index: int  # parameter position for kind="param", else -1
+    path: tuple[str, ...]  # function displays traversed, source first
+
+    def key(self) -> tuple[str, str, int]:
+        return (self.kind, self.label, self.index)
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """A sink reached inside some function, relative to that function."""
+
+    code: str
+    sink_label: str
+    path: str
+    line: int
+    col: int
+    chain: tuple[str, ...]  # summary owner first, sink-containing function last
+
+
+@dataclass(frozen=True)
+class TaintFinding:
+    """A fully connected source→sink flow, ready to become a lint finding."""
+
+    code: str
+    source_label: str
+    sink_label: str
+    path: str
+    line: int
+    col: int
+    chain: tuple[str, ...]
+
+
+class Summary:
+    """What a function does with taint, as seen from a call site."""
+
+    def __init__(self) -> None:
+        self.returns_param: set[int] = set()
+        self.return_taints: dict[tuple[str, str, int], Taint] = {}
+        self.param_sinks: dict[int, set[SinkHit]] = {}
+
+    def freeze(self) -> tuple[object, ...]:
+        return (
+            frozenset(self.returns_param),
+            frozenset(self.return_taints.values()),
+            frozenset((i, hit) for i, hits in self.param_sinks.items() for hit in hits),
+        )
+
+
+Env = dict[str, dict[tuple[str, str, int], Taint]]
+
+
+def _merge(cell: dict[tuple[str, str, int], Taint], taints: Iterable[Taint]) -> bool:
+    changed = False
+    for taint in taints:
+        key = taint.key()
+        held = cell.get(key)
+        if held is None or len(taint.path) < len(held.path):
+            cell[key] = taint
+            changed = True
+    return changed
+
+
+def _extend(taints: Iterable[Taint], display: str) -> list[Taint]:
+    out = []
+    for taint in taints:
+        if taint.path and taint.path[-1] == display:
+            out.append(taint)
+        elif len(taint.path) < _MAX_CHAIN:
+            out.append(replace(taint, path=taint.path + (display,)))
+        else:
+            out.append(taint)
+    return out
+
+
+class TaintEngine:
+    """Global fixpoint over per-function taint summaries."""
+
+    def __init__(self, graph: CallGraph):
+        self.graph = graph
+        self.summaries: dict[str, Summary] = {q: Summary() for q in graph.functions}
+        #: (class qualname, attribute) → source taints ever stored there.
+        self.attr_taints: dict[tuple[str, str], dict[tuple[str, str, int], Taint]] = {}
+        self.findings: dict[tuple[str, str, int, int, str], TaintFinding] = {}
+        self._backends: set[str] | None = None
+
+    def run(self) -> list[TaintFinding]:
+        order = [qualname for component in self.graph.sccs() for qualname in component]
+        for _round in range(_MAX_ROUNDS):
+            changed = False
+            for qualname in order:
+                if _FunctionAnalysis(self, self.graph.functions[qualname]).run():
+                    changed = True
+            if not changed:
+                break
+        return sorted(
+            self.findings.values(), key=lambda f: (f.path, f.line, f.col, f.code, f.source_label)
+        )
+
+    def is_backend(self, cls: ClassInfo) -> bool:
+        """Whether a class is (or implements) the ``BlockBackend`` protocol."""
+        if self._backends is None:
+            backends: set[str] = set()
+            for info in self.graph.classes.values():
+                if info.name == "BlockBackend":
+                    backends.add(info.qualname)
+                    for conformer in self.graph.conformers(info):
+                        backends.add(conformer.qualname)
+            self._backends = backends
+        if cls.qualname in self._backends:
+            return True
+        return any(ancestor.qualname in self._backends for ancestor in self.graph.mro(cls))
+
+    def report(self, taint: Taint, hit: SinkHit) -> bool:
+        """Connect a source taint to a sink; True when the finding is new/shorter."""
+        if taint.path and hit.chain and taint.path[-1] == hit.chain[0]:
+            chain = taint.path + hit.chain[1:]
+        else:
+            chain = taint.path + hit.chain
+        key = (hit.code, hit.path, hit.line, hit.col, taint.label)
+        held = self.findings.get(key)
+        if held is not None and len(held.chain) <= len(chain):
+            return False
+        self.findings[key] = TaintFinding(
+            code=hit.code,
+            source_label=taint.label,
+            sink_label=hit.sink_label,
+            path=hit.path,
+            line=hit.line,
+            col=hit.col,
+            chain=chain,
+        )
+        return True
+
+
+class _FunctionAnalysis:
+    """One pass of flow-insensitive taint execution over a function body."""
+
+    def __init__(self, engine: TaintEngine, fn: FunctionNode):
+        self.engine = engine
+        self.graph = engine.graph
+        self.fn = fn
+        self.summary = Summary()
+        self.env: Env = {}
+        self.params: list[str] = []
+        self.changed = False
+        args = fn.node.args
+        for arg in [*args.posonlyargs, *args.args]:
+            self.params.append(arg.arg)
+        self.kwonly = {arg.arg: len(self.params) + i for i, arg in enumerate(args.kwonlyargs)}
+        for index, name in enumerate(self.params):
+            self._bind(name, [Taint("param", name, index, (fn.display,))])
+            if name in SOURCE_PARAMS:
+                self._bind(name, [Taint("source", f"parameter '{name}'", -1, (fn.display,))])
+        for name, index in self.kwonly.items():
+            self._bind(name, [Taint("param", name, index, (fn.display,))])
+            if name in SOURCE_PARAMS:
+                self._bind(name, [Taint("source", f"parameter '{name}'", -1, (fn.display,))])
+
+    def run(self) -> bool:
+        for _ in range(_MAX_PASSES):
+            before = {name: set(cell) for name, cell in self.env.items()}
+            for stmt in self.fn.node.body:
+                self._exec(stmt)
+            after = {name: set(cell) for name, cell in self.env.items()}
+            if before == after:
+                break
+        stored = self.engine.summaries[self.fn.qualname]
+        if stored.freeze() != self.summary.freeze():
+            self.engine.summaries[self.fn.qualname] = self.summary
+            self.changed = True
+        return self.changed
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _bind(self, name: str, taints: Iterable[Taint]) -> None:
+        # Env growth is local to this pass; only global state (summaries,
+        # attribute taint, findings) drives the outer fixpoint.
+        _merge(self.env.setdefault(name, {}), taints)
+
+    def _taints(self, cell: dict[tuple[str, str, int], Taint] | None) -> list[Taint]:
+        return list(cell.values()) if cell else []
+
+    def _hit(self, code: str, label: str, node: ast.AST, taints: Iterable[Taint]) -> None:
+        hit = SinkHit(
+            code=code,
+            sink_label=label,
+            path=self.fn.module.path,
+            line=node.lineno,
+            col=node.col_offset,
+            chain=(self.fn.display,),
+        )
+        self._record_hit(hit, taints)
+
+    def _record_hit(self, hit: SinkHit, taints: Iterable[Taint]) -> None:
+        for taint in taints:
+            if taint.kind == "source":
+                if self.engine.report(taint, hit):
+                    self.changed = True
+            else:
+                self.summary.param_sinks.setdefault(taint.index, set()).add(hit)
+
+    # -- statements --------------------------------------------------------------------
+
+    def _exec(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            taints = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, taints)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(stmt.target, self._eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            self._assign(stmt.target, self._eval(stmt.value))
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._return(stmt)
+        elif isinstance(stmt, ast.Raise):
+            self._raise(stmt)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, ast.For):
+            self._assign_loop(stmt.target, stmt.iter)
+            for sub in [*stmt.body, *stmt.orelse]:
+                self._exec(sub)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            for sub in [*stmt.body, *stmt.orelse]:
+                self._exec(sub)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test)
+            for sub in [*stmt.body, *stmt.orelse]:
+                self._exec(sub)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                taints = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, taints)
+            for sub in stmt.body:
+                self._exec(sub)
+        elif isinstance(stmt, ast.Try):
+            for sub in [*stmt.body, *stmt.orelse, *stmt.finalbody]:
+                self._exec(sub)
+            for handler in stmt.handlers:
+                for sub in handler.body:
+                    self._exec(sub)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # Nested scopes: walk for sink side effects; closure variables
+            # share this env, which is the right over-approximation.
+            for sub in stmt.body:
+                self._exec(sub)
+        elif isinstance(stmt, ast.Delete):
+            pass
+        else:
+            for sub in ast.iter_child_nodes(stmt):
+                if isinstance(sub, ast.stmt):
+                    self._exec(sub)
+                elif isinstance(sub, ast.expr):
+                    self._eval(sub)
+
+    def _assign(self, target: ast.expr, taints: list[Taint]) -> None:
+        if isinstance(target, ast.Name):
+            self._bind(target.id, taints)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, taints)
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, taints)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and self.fn.cls is not None
+        ):
+            sources = [taint for taint in taints if taint.kind == "source"]
+            if sources:
+                cell = self.engine.attr_taints.setdefault(
+                    (self.fn.cls.qualname, target.attr), {}
+                )
+                if _merge(cell, sources):
+                    self.changed = True
+
+    def _assign_loop(self, target: ast.expr, source: ast.expr) -> None:
+        """Bind a loop target; ``zip``/``enumerate`` unpack elementwise.
+
+        Smearing every iterable's taint over every tuple element turns
+        ``for index, key in zip(blocks, keys)`` into a tainted ``index``,
+        which then poisons unrelated error messages — the one structured
+        idiom worth modelling precisely.
+        """
+        if (
+            isinstance(target, ast.Tuple)
+            and isinstance(source, ast.Call)
+            and isinstance(source.func, ast.Name)
+            and all(keyword.arg == "strict" for keyword in source.keywords)
+        ):
+            if source.func.id == "zip" and len(source.args) == len(target.elts):
+                for element, arg in zip(target.elts, source.args, strict=True):
+                    self._assign(element, self._eval(arg))
+                return
+            if (
+                source.func.id == "enumerate"
+                and len(target.elts) == 2
+                and len(source.args) >= 1
+            ):
+                self._assign(target.elts[0], [])
+                self._assign(target.elts[1], self._eval(source.args[0]))
+                return
+        self._assign(target, self._eval(source))
+
+    def _return(self, stmt: ast.Return) -> None:
+        assert stmt.value is not None
+        taints = self._eval(stmt.value)
+        if self.fn.name in ("__repr__", "__str__") and taints:
+            self._hit(SEC_FORMAT, f"{self.fn.name}() output", stmt, taints)
+        for taint in taints:
+            if taint.kind == "param":
+                self.summary.returns_param.add(taint.index)
+            else:
+                _merge(self.summary.return_taints, [taint])
+
+    def _raise(self, stmt: ast.Raise) -> None:
+        if stmt.exc is None:
+            return
+        if isinstance(stmt.exc, ast.Call):
+            taints: list[Taint] = []
+            for arg in stmt.exc.args:
+                taints.extend(self._eval(arg))
+            for keyword in stmt.exc.keywords:
+                taints.extend(self._eval(keyword.value))
+            # The call itself still needs evaluating (nested sinks).
+            self._eval(stmt.exc)
+        else:
+            taints = self._eval(stmt.exc)
+        if taints:
+            self._hit(SEC_FLOW, "exception message", stmt, taints)
+
+    # -- expressions -------------------------------------------------------------------
+
+    def _eval(self, node: ast.expr) -> list[Taint]:
+        if isinstance(node, ast.Name):
+            return self._taints(self.env.get(node.id))
+        if isinstance(node, ast.Constant):
+            return []
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Subscript):
+            self._eval(node.slice)
+            return self._eval(node.value)
+        if isinstance(node, ast.JoinedStr):
+            taints: list[Taint] = []
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    taints.extend(self._eval(value.value))
+            if taints:
+                self._hit(SEC_FORMAT, "f-string interpolation", node, taints)
+            return taints
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left)
+            right = self._eval(node.right)
+            if (
+                isinstance(node.op, ast.Mod)
+                and isinstance(node.left, (ast.Constant, ast.JoinedStr))
+                and right
+            ):
+                self._hit(SEC_FORMAT, "%-formatting", node, right)
+            return left + right
+        if isinstance(node, ast.Compare):
+            self._eval(node.left)
+            for comparator in node.comparators:
+                self._eval(comparator)
+            return []  # equality checks observe, they do not reveal
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            for generator in node.generators:
+                self._assign_loop(generator.target, generator.iter)
+                for condition in generator.ifs:
+                    self._eval(condition)
+            taints = []
+            if isinstance(node, ast.DictComp):
+                taints.extend(self._eval(node.key))
+                taints.extend(self._eval(node.value))
+            else:
+                taints.extend(self._eval(node.elt))
+            return taints
+        if isinstance(node, ast.Lambda):
+            return []
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            return self._eval(node.value)
+        if isinstance(node, ast.Yield):
+            return self._eval(node.value) if node.value is not None else []
+        # Generic fallback: union over child expressions.
+        taints = []
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                taints.extend(self._eval(child))
+        return taints
+
+    def _eval_attribute(self, node: ast.Attribute) -> list[Taint]:
+        self._eval(node.value)
+        taints: list[Taint] = []
+        if node.attr in SOURCE_ATTRS:
+            taints.append(
+                Taint("source", f"secret attribute '{_expr_text(node)}'", -1, (self.fn.display,))
+            )
+        receiver = self.graph._receiver_class(self.fn, node.value, self._locals())
+        if receiver is not None:
+            for ancestor in self.graph.mro(receiver):
+                cell = self.engine.attr_taints.get((ancestor.qualname, node.attr))
+                if cell:
+                    taints.extend(_extend(cell.values(), self.fn.display))
+        return taints
+
+    def _locals(self) -> dict[str, str]:
+        cached = getattr(self, "_locals_cache", None)
+        if cached is None:
+            cached = self.graph._local_types(self.fn)
+            self._locals_cache = cached
+        return cached
+
+    def _eval_call(self, node: ast.Call) -> list[Taint]:
+        site = self.fn.call_index.get(id(node))
+        dotted = self.fn.module.resolve(node.func)
+
+        # Sanitizers: the sealed result is clean whatever went in.
+        if dotted is not None and dotted.startswith(SANITIZER_MODULES):
+            self._eval_args(node)
+            return []
+        name = site.name if site is not None else ""
+        if site is not None and site.is_attribute and name in SANITIZER_CALLS:
+            self._eval_args(node)
+            return []
+        if isinstance(node.func, ast.Name) and node.func.id in DECLASSIFIERS:
+            self._eval_args(node)
+            return []
+
+        arg_taints = self._eval_args(node)
+        all_taints = [taint for taints in arg_taints.values() for taint in taints]
+
+        # String-formatting / logging sinks (SEC002).
+        if isinstance(node.func, ast.Name) and node.func.id in FORMAT_BUILTINS and all_taints:
+            self._hit(SEC_FORMAT, f"{node.func.id}()", node, all_taints)
+        if site is not None and site.is_attribute:
+            if name == "format" and all_taints:
+                self._hit(SEC_FORMAT, "str.format()", node, all_taints)
+            if name in LOG_METHODS and all_taints and self._is_logging(site, dotted):
+                self._hit(SEC_FORMAT, f"logging.{name}()", node, all_taints)
+
+        # Device / trace / os sinks (SEC001).
+        flow_label = self._flow_sink_label(site, dotted)
+        if flow_label is not None and all_taints:
+            self._hit(SEC_FLOW, flow_label, node, all_taints)
+
+        # Plaintext sources.
+        if site is not None and site.is_attribute and name in SOURCE_CALLS:
+            return [Taint("source", f"{name}() plaintext", -1, (self.fn.display,))]
+
+        # Project-resolved calls: apply callee summaries.
+        if site is not None and site.targets:
+            return self._apply_targets(node, site, arg_taints)
+
+        # Unresolved: conservative pass-through, receiver included.
+        passthrough = list(all_taints)
+        if isinstance(node.func, ast.Attribute):
+            passthrough.extend(self._eval(node.func.value))
+        return passthrough
+
+    def _eval_args(self, node: ast.Call) -> dict[object, list[Taint]]:
+        taints: dict[object, list[Taint]] = {}
+        for position, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                taints[position] = self._eval(arg.value)
+            else:
+                taints[position] = self._eval(arg)
+        for keyword in node.keywords:
+            taints[keyword.arg] = self._eval(keyword.value)
+        return taints
+
+    def _is_logging(self, site: CallSite, dotted: str | None) -> bool:
+        if dotted is not None and (dotted == "logging" or dotted.startswith("logging.")):
+            return True
+        root = site.receiver.split(".")[-1] if site.receiver else ""
+        return root in LOG_RECEIVERS
+
+    def _flow_sink_label(self, site: CallSite | None, dotted: str | None) -> str | None:
+        if dotted == "os.write":
+            return "os.write()"
+        if site is None:
+            return None
+        if site.is_attribute and site.name in DEVICE_SINK_NAMES:
+            return f"device write '{site.name}'"
+        for target, _bound in site.targets:
+            if target.cls is None:
+                continue
+            if site.name in TRACE_SINK_METHODS and any(
+                ancestor.name == "IoTrace" for ancestor in self.graph.mro(target.cls)
+            ):
+                return f"IoTrace.{site.name}()"
+            if site.name in BACKEND_WRITE_METHODS and self.engine.is_backend(target.cls):
+                return f"backend {site.name}()"
+        return None
+
+    def _apply_targets(
+        self, node: ast.Call, site: CallSite, arg_taints: dict[object, list[Taint]]
+    ) -> list[Taint]:
+        out: dict[tuple[str, str, int], Taint] = {}
+        receiver_taints: list[Taint] = []
+        if isinstance(node.func, ast.Attribute):
+            receiver_taints = self._eval(node.func.value)
+        for target, bound in site.targets:
+            summary = self.engine.summaries.get(target.qualname)
+            if summary is None:
+                continue
+            constructor = target.name == "__init__" and not site.name == "__init__"
+            offset = 1 if (bound or constructor) else 0
+            target_params = _param_names(target)
+            bindings: list[tuple[int, list[Taint]]] = []
+            if (bound and receiver_taints) and len(target_params) > 0:
+                bindings.append((0, receiver_taints))
+            for key, taints in arg_taints.items():
+                if not taints:
+                    continue
+                if isinstance(key, int):
+                    index = key + offset
+                elif key is None:
+                    continue  # **kwargs expansion: no precise binding
+                else:
+                    try:
+                        index = target_params.index(key)
+                    except ValueError:
+                        continue
+                bindings.append((index, taints))
+            for index, taints in bindings:
+                for hit in summary.param_sinks.get(index, ()):  # leaks inside the callee
+                    promoted = replace(hit, chain=(self.fn.display,) + hit.chain)
+                    for taint in taints:
+                        if taint.kind == "source":
+                            if self.engine.report(taint, hit):
+                                self.changed = True
+                        else:
+                            self.summary.param_sinks.setdefault(taint.index, set()).add(promoted)
+                if index in summary.returns_param and not constructor:
+                    _merge(out, _extend(taints, self.fn.display))
+            if not constructor:
+                _merge(out, _extend(summary.return_taints.values(), self.fn.display))
+        return list(out.values())
+
+
+def _param_names(fn: FunctionNode) -> list[str]:
+    args = fn.node.args
+    names = [arg.arg for arg in [*args.posonlyargs, *args.args]]
+    names.extend(arg.arg for arg in args.kwonlyargs)
+    return names

@@ -5,6 +5,8 @@ from repro.lint.rules import (  # noqa: F401  -- imported for registration side 
     concurrency,
     entropy,
     exceptions,
+    locks,
     planpurity,
+    taint,
     tracing,
 )

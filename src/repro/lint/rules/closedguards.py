@@ -148,6 +148,17 @@ def _calls_guard(method: ast.FunctionDef | ast.AsyncFunctionDef, guards: frozens
 class ClosedGuardRule(Rule):
     code = "CLS001"
     summary = "public lifecycle methods without a closed-state guard"
+    contract = (
+        "Every public I/O method on the guarded storage classes checks "
+        "the closed flag before touching the device, so use-after-close "
+        "raises instead of corrupting the volume image."
+    )
+    rationale = (
+        "Crash recovery (PR 7) images a 'seized' device after the "
+        "process dies; a lifecycle method that keeps writing past "
+        "close() would fake durability evidence."
+    )
+    dynamic_suite = "tests/test_closed_guards.py, tests/test_crash_recovery.py"
 
     def check(self, module: SourceModule) -> Iterable[Finding]:
         specs = [spec for spec in GUARD_SPECS if module.path.endswith(spec.module_suffix)]

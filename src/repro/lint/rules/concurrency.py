@@ -63,6 +63,17 @@ def _enters_tripwire(method: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
 class ConcurrencyTripwireRule(Rule):
     code = "CON001"
     summary = "mutating agent primitives missing the _exclusive tripwire"
+    contract = (
+        "Every mutating agent primitive enters the _exclusive() "
+        "tripwire, so unsynchronised concurrent mutation of header "
+        "chains is detected at run time rather than corrupting state."
+    )
+    rationale = (
+        "The concurrent engine (PR 5) serialises agent work per user; "
+        "the tripwire is the canary that proves the scheduler never "
+        "lets two mutations interleave."
+    )
+    dynamic_suite = "tests/test_concurrent.py, tests/test_agents.py"
 
     def check(self, module: SourceModule) -> Iterable[Finding]:
         if not module.path.endswith(AGENT_MODULES):

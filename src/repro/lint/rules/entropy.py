@@ -43,6 +43,18 @@ def _is_banned_module(dotted: str) -> bool:
 class EntropyRule(Rule):
     code = "ENT001"
     summary = "entropy and wall-clock time outside the Sha256Prng seam"
+    contract = (
+        "All randomness and wall-clock reads flow through the seeded "
+        "Sha256Prng seam in crypto/prng.py; random, numpy.random, "
+        "os.urandom, secrets, and time.time are banned everywhere else."
+    )
+    rationale = (
+        "Deniability requires free blocks indistinguishable from "
+        "ciphertext and every experiment byte-replayable; one stray "
+        "entropy source breaks both the dummy-traffic distribution and "
+        "replay determinism."
+    )
+    dynamic_suite = "tests/test_prng_and_keys.py, tests/test_properties.py"
 
     def check(self, module: SourceModule) -> Iterable[Finding]:
         if module.path.endswith(WHITELISTED_FILES):

@@ -59,6 +59,17 @@ def _reraises_or_uses(handler: ast.ExceptHandler) -> bool:
 class BroadExceptRule(Rule):
     code = "EXC001"
     summary = "broad except clauses that could swallow InjectedCrashError"
+    contract = (
+        "Broad except clauses either re-raise or record the failure on "
+        "a future; none may silently swallow InjectedCrashError."
+    )
+    rationale = (
+        "Fault injection models a dead process by letting "
+        "InjectedCrashError unwind the stack; a swallowing handler "
+        "would let the 'dead' process keep issuing I/O and fake "
+        "crash-consistency results."
+    )
+    dynamic_suite = "tests/test_crash_recovery.py, tests/test_durability.py"
 
     def check(self, module: SourceModule) -> Iterable[Finding]:
         return list(self._walk(module))

@@ -1,0 +1,668 @@
+"""LCK001-LCK003 — static lock discipline for the concurrent engine.
+
+PR 5's engine runs one scheduler thread against many client threads;
+its safety argument is a lock discipline the dynamic tests can only
+sample.  These rules check it over the whole-program call graph:
+
+* **Inventory.**  A *lock* is any attribute assigned
+  ``threading.Lock()`` / ``RLock()`` / ``Condition()`` / ``Semaphore()``.
+  ``Condition(self.x)`` shares ``x``'s underlying lock, so the pair is
+  canonicalised to one lock — ``with self._cond`` and
+  ``with self._queue_lock`` are the *same* acquisition.
+* **LCK001 — lock-order cycles.**  An edge A→B is recorded whenever B
+  is acquired while A may be held (lexically, or propagated to the
+  callee through every call site).  A cycle — including re-acquiring a
+  non-reentrant lock already held — is a potential deadlock.
+* **LCK002 — blocking while holding a foreign lock.**  ``.wait()`` /
+  ``.wait_for()``, ``time.sleep`` and backend device I/O must not run
+  while holding a lock — except a condition's own lock, which ``wait``
+  releases.  Must-hold sets propagate interprocedurally: a private
+  helper whose every caller holds the lock inherits it.
+* **LCK003 — unlocked shared writes (a lightweight race detector).**
+  Classes that start a thread (``threading.Thread(target=self.x)``) and
+  classes implementing the ``BlockBackend`` protocol (driven by the
+  engine's scheduler thread) have their methods partitioned into a
+  *scheduler* role (reachable from the thread target / the device
+  surface) and a *client* role (reachable from other public methods).
+  An attribute written in both roles with no common lock across the two
+  sites is a data race.  ``__init__`` is exempt (publication
+  happens-before the thread start).
+
+Read-side races and ``.join`` on untyped receivers are out of scope;
+the dynamic suite covers those.  Must-hold uses *intersection* over
+call sites (misses nothing a caller could break), and public methods
+are assumed callable lock-free from outside.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.lint.core import Finding, Project, ProjectRule, register
+from repro.lint.graph import CallGraph, CallSite, ClassInfo, FunctionNode
+
+LOCK_FACTORIES = {
+    "threading.Lock": "Lock",
+    "threading.RLock": "RLock",
+    "threading.Condition": "Condition",
+    "threading.Semaphore": "Semaphore",
+    "threading.BoundedSemaphore": "Semaphore",
+}
+
+#: Blocking call names on lock-ish receivers.
+WAIT_METHODS = frozenset({"wait", "wait_for"})
+
+#: Device-surface methods: calling these blocks on (modelled) hardware.
+DEVICE_CALL_NAMES = frozenset(
+    {"read_block", "read_blocks", "write_block", "write_blocks", "read_write_blocks"}
+)
+BACKEND_BLOCKING = frozenset({"read", "write", "read_many", "write_many", "fill_random", "flush"})
+
+#: The device half of the BlockBackend surface — the engine's scheduler
+#: thread is the only caller, so these seed the scheduler role.
+PROTOCOL_SCHEDULER_METHODS = frozenset({"read", "write", "read_many", "write_many"})
+
+LockId = tuple[str, str]  # (class qualname, attribute name), canonicalised
+
+
+def _lock_display(lock: LockId) -> str:
+    cls, attr = lock
+    return f"{cls.rsplit('.', 1)[-1]}.{attr}"
+
+
+@dataclass
+class _Inventory:
+    """All locks in the project, with Condition → underlying aliasing."""
+
+    kinds: dict[LockId, str] = field(default_factory=dict)
+    canonical: dict[LockId, LockId] = field(default_factory=dict)
+
+    def canon(self, lock: LockId) -> LockId:
+        seen = set()
+        while lock in self.canonical and lock not in seen:
+            seen.add(lock)
+            lock = self.canonical[lock]
+        return lock
+
+    def kind(self, lock: LockId) -> str:
+        return self.kinds.get(lock, "Lock")
+
+
+@dataclass
+class _Acquire:
+    lock: LockId
+    held_before: frozenset[LockId]
+    fn: FunctionNode
+    node: ast.AST
+
+
+@dataclass
+class _Blocking:
+    label: str
+    waited: LockId | None
+    held: frozenset[LockId]
+    fn: FunctionNode
+    node: ast.AST
+
+
+@dataclass
+class _Write:
+    attr: str
+    held: frozenset[LockId]
+    fn: FunctionNode
+    node: ast.AST
+
+
+class _LockModel:
+    """One shared walk collecting acquisitions, call-site held-sets,
+    blocking operations and ``self.*`` writes, then the interprocedural
+    must/may entry held-sets all three rules consume."""
+
+    def __init__(self, graph: CallGraph):
+        self.graph = graph
+        self.inventory = self._build_inventory()
+        self.acquires: list[_Acquire] = []
+        self.blocking: list[_Blocking] = []
+        self.writes: dict[str, list[_Write]] = {}  # fn qualname → writes
+        self.call_held: dict[str, list[tuple[CallSite, frozenset[LockId]]]] = {}
+        for fn in graph.functions.values():
+            self._walk_function(fn)
+        self.must_entry = self._entry_sets(intersect=True)
+        self.may_entry = self._entry_sets(intersect=False)
+
+    # -- inventory ---------------------------------------------------------------------
+
+    def _build_inventory(self) -> _Inventory:
+        inventory = _Inventory()
+        pending_alias: list[tuple[LockId, ast.expr, ClassInfo]] = []
+        for info in self.graph.classes.values():
+            for method in info.methods.values():
+                for stmt in ast.walk(method.node):
+                    if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                        continue
+                    target = stmt.targets[0]
+                    if (
+                        not isinstance(target, ast.Attribute)
+                        or not isinstance(target.value, ast.Name)
+                        or target.value.id != "self"
+                        or not isinstance(stmt.value, ast.Call)
+                    ):
+                        continue
+                    dotted = info.module.resolve(stmt.value.func)
+                    kind = LOCK_FACTORIES.get(dotted or "")
+                    if kind is None:
+                        continue
+                    lock = (info.qualname, target.attr)
+                    inventory.kinds[lock] = kind
+                    if kind == "Condition" and stmt.value.args:
+                        pending_alias.append((lock, stmt.value.args[0], info))
+        for lock, arg, info in pending_alias:
+            if (
+                isinstance(arg, ast.Attribute)
+                and isinstance(arg.value, ast.Name)
+                and arg.value.id == "self"
+            ):
+                underlying = (info.qualname, arg.attr)
+                if underlying in inventory.kinds:
+                    inventory.canonical[lock] = underlying
+        return inventory
+
+    def _lock_at(self, fn: FunctionNode, expr: ast.expr) -> LockId | None:
+        """The canonical lock an expression denotes, or None."""
+        if not isinstance(expr, ast.Attribute):
+            return None
+        receiver = self.graph._receiver_class(fn, expr.value, self._locals(fn))
+        if receiver is None:
+            return None
+        for ancestor in self.graph.mro(receiver):
+            lock = (ancestor.qualname, expr.attr)
+            if lock in self.inventory.kinds:
+                return self.inventory.canon(lock)
+        return None
+
+    def _locals(self, fn: FunctionNode) -> dict[str, str]:
+        cached = getattr(fn, "_lock_locals", None)
+        if cached is None:
+            cached = self.graph._local_types(fn)
+            fn._lock_locals = cached  # type: ignore[attr-defined]
+        return cached
+
+    # -- per-function walk -------------------------------------------------------------
+
+    def _walk_function(self, fn: FunctionNode) -> None:
+        self.call_held.setdefault(fn.qualname, [])
+        self.writes.setdefault(fn.qualname, [])
+        for stmt in fn.node.body:
+            self._walk_stmt(fn, stmt, frozenset())
+
+    def _walk_stmt(self, fn: FunctionNode, stmt: ast.stmt, held: frozenset[LockId]) -> None:
+        if isinstance(stmt, ast.With):
+            inner = held
+            for item in stmt.items:
+                self._walk_expr(fn, item.context_expr, held)
+                lock = self._lock_at(fn, item.context_expr)
+                if lock is not None:
+                    self.acquires.append(_Acquire(lock, inner, fn, item.context_expr))
+                    inner = inner | {lock}
+            for sub in stmt.body:
+                self._walk_stmt(fn, sub, inner)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested def does not run where it is defined; its body is
+            # walked with an empty held-set (the closure may escape).
+            for sub in stmt.body:
+                self._walk_stmt(fn, sub, frozenset())
+            return
+        self._record_writes(fn, stmt, held)
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self._walk_stmt(fn, child, held)
+            elif isinstance(child, ast.expr):
+                self._walk_expr(fn, child, held)
+
+    def _record_writes(self, fn: FunctionNode, stmt: ast.stmt, held: frozenset[LockId]) -> None:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.Delete):
+            targets = list(stmt.targets)
+        for target in targets:
+            self._record_write_target(fn, target, held)
+
+    def _record_write_target(
+        self, fn: FunctionNode, target: ast.expr, held: frozenset[LockId]
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record_write_target(fn, element, held)
+            return
+        if isinstance(target, ast.Starred):
+            self._record_write_target(fn, target.value, held)
+            return
+        node: ast.expr = target
+        if isinstance(node, ast.Subscript):
+            node = node.value  # ``self.x[k] = v`` / ``del self.x[k]`` mutate x
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            lock = (fn.cls.qualname, node.attr) if fn.cls is not None else None
+            if lock is not None and self.inventory.canon(lock) in self.inventory.kinds:
+                return  # assigning the lock attribute itself (init)
+            self.writes[fn.qualname].append(_Write(node.attr, held, fn, target))
+
+    def _walk_expr(self, fn: FunctionNode, expr: ast.expr, held: frozenset[LockId]) -> None:
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            site = fn.call_index.get(id(node))
+            if site is not None:
+                self.call_held[fn.qualname].append((site, held))
+            self._check_blocking(fn, node, site, held)
+
+    def _check_blocking(
+        self,
+        fn: FunctionNode,
+        node: ast.Call,
+        site: CallSite | None,
+        held: frozenset[LockId],
+    ) -> None:
+        func = node.func
+        dotted = fn.module.resolve(func)
+        if dotted == "time.sleep":
+            self.blocking.append(_Blocking("time.sleep()", None, held, fn, node))
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr in WAIT_METHODS:
+            waited = self._lock_at(fn, func.value)
+            label = f"{site.receiver}.{func.attr}()" if site is not None else f"{func.attr}()"
+            self.blocking.append(_Blocking(label, waited, held, fn, node))
+            return
+        if func.attr in DEVICE_CALL_NAMES:
+            self.blocking.append(_Blocking(f"device I/O '{func.attr}'", None, held, fn, node))
+            return
+        if site is not None and func.attr in BACKEND_BLOCKING:
+            for target, _bound in site.targets:
+                if target.cls is not None and _is_backend(self.graph, target.cls):
+                    self.blocking.append(
+                        _Blocking(f"backend device call '{func.attr}'", None, held, fn, node)
+                    )
+                    return
+
+    # -- interprocedural entry held-sets -----------------------------------------------
+
+    def _thread_targets(self) -> set[str]:
+        """Methods handed to ``threading.Thread(target=self.x)``: lock-free roots."""
+        cached = getattr(self, "_thread_targets_cache", None)
+        if cached is not None:
+            return cached
+        targets: set[str] = set()
+        for fn in self.graph.functions.values():
+            if fn.cls is None:
+                continue
+            for call in ast.walk(fn.node):
+                if (
+                    isinstance(call, ast.Call)
+                    and fn.module.resolve(call.func) == "threading.Thread"
+                ):
+                    for keyword in call.keywords:
+                        if (
+                            keyword.arg == "target"
+                            and isinstance(keyword.value, ast.Attribute)
+                            and isinstance(keyword.value.value, ast.Name)
+                            and keyword.value.value.id == "self"
+                            and keyword.value.attr in fn.cls.methods
+                        ):
+                            targets.add(fn.cls.methods[keyword.value.attr].qualname)
+        self._thread_targets_cache = targets
+        return targets
+
+    def _entry_sets(self, *, intersect: bool) -> dict[str, frozenset[LockId]]:
+        """Locks held at entry: must (∩ over call sites) or may (∪)."""
+        called: set[str] = set()
+        for sites in self.call_held.values():
+            for site, _held in sites:
+                for target, _bound in site.targets:
+                    called.add(target.qualname)
+        entry: dict[str, frozenset[LockId] | None] = {}
+        for qualname, fn in self.graph.functions.items():
+            if intersect and (
+                not fn.name.startswith("_")
+                or qualname not in called
+                or qualname in self._thread_targets()
+            ):
+                # Public surface, uncalled roots (thread targets, entry
+                # points): callable lock-free from outside.
+                entry[qualname] = frozenset()
+            else:
+                entry[qualname] = None if intersect else frozenset()
+        for _ in range(len(self.graph.functions)):
+            changed = False
+            for qualname, sites in self.call_held.items():
+                caller_entry = entry[qualname]
+                for site, held in sites:
+                    contribution: frozenset[LockId] | None
+                    if caller_entry is None:
+                        contribution = None if intersect else held
+                    else:
+                        contribution = held | caller_entry
+                    if contribution is None:
+                        continue
+                    for target, _bound in site.targets:
+                        current = entry.get(target.qualname, frozenset())
+                        if current is not None and intersect and not current:
+                            continue  # already pinned to ∅ (public or resolved)
+                        if intersect:
+                            updated = contribution if current is None else current & contribution
+                        else:
+                            updated = (current or frozenset()) | contribution
+                        if updated != current:
+                            entry[target.qualname] = updated
+                            changed = True
+            if not changed:
+                break
+        return {
+            qualname: (value if value is not None else frozenset())
+            for qualname, value in entry.items()
+        }
+
+
+def _is_property(fn: FunctionNode) -> bool:
+    return any(
+        isinstance(dec, ast.Name) and dec.id == "property" for dec in fn.node.decorator_list
+    )
+
+
+def _is_classmethod(fn: FunctionNode) -> bool:
+    return any(
+        isinstance(dec, ast.Name) and dec.id in ("classmethod", "staticmethod")
+        for dec in fn.node.decorator_list
+    )
+
+
+def _is_backend(graph: CallGraph, cls: ClassInfo) -> bool:
+    for info in graph.classes.values():
+        if info.name == "BlockBackend" and info.is_protocol:
+            conformers = {c.qualname for c in graph.conformers(info)}
+            return cls.qualname in conformers or any(
+                ancestor.qualname in conformers for ancestor in graph.mro(cls)
+            )
+    return False
+
+
+def _model(project: Project) -> _LockModel:
+    model = getattr(project, "_lock_model", None)
+    if model is None:
+        model = _LockModel(project.graph)
+        project._lock_model = model  # type: ignore[attr-defined]
+    return model
+
+
+@register
+class LockOrderRule(ProjectRule):
+    code = "LCK001"
+    summary = "lock acquisition cycles (potential deadlock)"
+    contract = (
+        "The may-hold graph over every threading primitive in the tree "
+        "is acyclic, and no non-reentrant lock is acquired while "
+        "already held."
+    )
+    rationale = (
+        "The engine's scheduler thread and its client threads share "
+        "several locks; an ABBA cycle that only bites under a rare "
+        "interleaving would hang CI nondeterministically instead of "
+        "failing a test."
+    )
+    dynamic_suite = "tests/test_concurrent.py (stress interleavings)"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        model = _model(project)
+        findings: list[Finding] = []
+        edges: dict[LockId, dict[LockId, _Acquire]] = {}
+        for acquire in model.acquires:
+            outer = acquire.held_before | model.may_entry.get(acquire.fn.qualname, frozenset())
+            if acquire.lock in outer and model.inventory.kind(acquire.lock) not in (
+                "RLock",
+                "Semaphore",
+            ):
+                findings.append(
+                    self.finding(
+                        acquire.fn.module,
+                        acquire.node,
+                        f"'{_lock_display(acquire.lock)}' re-acquired while already held "
+                        f"in {acquire.fn.display} "
+                        f"({model.inventory.kind(acquire.lock)} is not reentrant); "
+                        "this self-deadlocks the holding thread",
+                    )
+                )
+            for held in outer:
+                if held != acquire.lock:
+                    edges.setdefault(held, {}).setdefault(acquire.lock, acquire)
+        findings.extend(self._cycles(edges))
+        return sorted(set(findings))
+
+    def _cycles(self, edges: dict[LockId, dict[LockId, _Acquire]]) -> list[Finding]:
+        findings: list[Finding] = []
+        reported: set[frozenset[LockId]] = set()
+        for start in edges:
+            path: list[LockId] = []
+            self._dfs(start, start, edges, path, set(), reported, findings)
+        return findings
+
+    def _dfs(
+        self,
+        start: LockId,
+        node: LockId,
+        edges: dict[LockId, dict[LockId, _Acquire]],
+        path: list[LockId],
+        visiting: set[LockId],
+        reported: set[frozenset[LockId]],
+        findings: list[Finding],
+    ) -> None:
+        path.append(node)
+        visiting.add(node)
+        for nxt, acquire in edges.get(node, {}).items():
+            if nxt == start and len(path) > 1:
+                cycle_key = frozenset(path)
+                if cycle_key not in reported:
+                    reported.add(cycle_key)
+                    names = " -> ".join(_lock_display(lock) for lock in [*path, start])
+                    witnesses = "; ".join(
+                        f"{edges[a][b].fn.display} takes {_lock_display(b)} "
+                        f"holding {_lock_display(a)}"
+                        for a, b in zip([*path, start][:-1], [*path, start][1:], strict=True)
+                        if a in edges and b in edges[a]
+                    )
+                    findings.append(
+                        self.finding(
+                            acquire.fn.module,
+                            acquire.node,
+                            f"lock-order cycle {names} ({witnesses}); two threads "
+                            "taking these locks in opposite orders deadlock",
+                        )
+                    )
+            elif nxt not in visiting:
+                self._dfs(start, nxt, edges, path, visiting, reported, findings)
+        path.pop()
+        visiting.discard(node)
+
+
+@register
+class BlockingUnderLockRule(ProjectRule):
+    code = "LCK002"
+    summary = "blocking operations while holding a foreign lock"
+    contract = (
+        "No function sleeps, waits on a condition, or performs device "
+        "I/O while holding a lock other than the one it is waiting on."
+    )
+    rationale = (
+        "Quantum scheduling assumes device I/O happens outside the "
+        "queue lock; holding it through a blocking call serialises the "
+        "engine and turns the fairness benchmarks into noise."
+    )
+    dynamic_suite = "tests/test_concurrent.py (latency/fairness)"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        model = _model(project)
+        findings: list[Finding] = []
+        for blocking in model.blocking:
+            effective = blocking.held | model.must_entry.get(
+                blocking.fn.qualname, frozenset()
+            )
+            if blocking.waited is not None:
+                # Condition.wait releases its own lock while sleeping.
+                effective = effective - {blocking.waited}
+            if not effective:
+                continue
+            names = ", ".join(sorted(_lock_display(lock) for lock in effective))
+            inherited = effective - blocking.held
+            via = (
+                " (held at every call site of this helper)"
+                if inherited and not blocking.held
+                else ""
+            )
+            findings.append(
+                self.finding(
+                    blocking.fn.module,
+                    blocking.node,
+                    f"blocking {blocking.label} in {blocking.fn.display} while "
+                    f"holding {names}{via}; every other thread needing that lock "
+                    "stalls for the full wait",
+                )
+            )
+        return sorted(set(findings))
+
+
+@register
+class SharedWriteRule(ProjectRule):
+    code = "LCK003"
+    summary = "unlocked writes to attributes shared across threads"
+    contract = (
+        "Any attribute written by both a scheduler-role thread and a "
+        "client-role thread is written under a common lock on every "
+        "path."
+    )
+    rationale = (
+        "Torn counters corrupt exactly the bookkeeping the fault "
+        "injector relies on for deterministic crash points — the "
+        "FaultInjectingBackend call counter was this rule's first "
+        "in-tree catch."
+    )
+    dynamic_suite = "tests/test_storage.py (multi-threaded fault-injection determinism)"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        model = _model(project)
+        graph = project.graph
+        findings: list[Finding] = []
+        for info, scheduler_seeds, client_seeds, origin in self._roled_classes(graph):
+            scheduler = self._role(graph, info, scheduler_seeds)
+            clients = self._role(graph, info, client_seeds)
+            by_attr: dict[str, tuple[list[_Write], list[_Write]]] = {}
+            for role_index, members in ((0, scheduler), (1, clients)):
+                for qualname in members:
+                    fn = graph.functions[qualname]
+                    if fn.name == "__init__":
+                        continue
+                    for write in model.writes.get(qualname, []):
+                        sites = by_attr.setdefault(write.attr, ([], []))
+                        effective = write.held | model.must_entry.get(qualname, frozenset())
+                        sites[role_index].append(
+                            _Write(write.attr, effective, fn, write.node)
+                        )
+            for attr, (sched_writes, client_writes) in sorted(by_attr.items()):
+                conflict = self._conflict(sched_writes, client_writes)
+                if conflict is None:
+                    continue
+                sched, client = conflict
+                sched_chain = " -> ".join(scheduler[sched.fn.qualname])
+                client_chain = " -> ".join(clients[client.fn.qualname])
+                findings.append(
+                    self.finding(
+                        sched.fn.module,
+                        sched.node,
+                        f"attribute '{attr}' of {info.name} is written by the "
+                        f"{origin} thread ({sched_chain}, line {sched.node.lineno}) "
+                        f"and a client thread ({client_chain}, line "
+                        f"{client.node.lineno}) with no common lock; concurrent "
+                        "writes race",
+                    )
+                )
+        return sorted(set(findings))
+
+    def _roled_classes(self, graph: CallGraph):
+        for fn in graph.functions.values():
+            if fn.cls is None:
+                continue
+            for call in ast.walk(fn.node):
+                if not isinstance(call, ast.Call):
+                    continue
+                if fn.module.resolve(call.func) != "threading.Thread":
+                    continue
+                for keyword in call.keywords:
+                    if (
+                        keyword.arg == "target"
+                        and isinstance(keyword.value, ast.Attribute)
+                        and isinstance(keyword.value.value, ast.Name)
+                        and keyword.value.value.id == "self"
+                        and keyword.value.attr in fn.cls.methods
+                    ):
+                        seeds = [fn.cls.methods[keyword.value.attr].qualname]
+                        publics = [
+                            m.qualname
+                            for name, m in fn.cls.methods.items()
+                            if not name.startswith("_") and m.qualname not in seeds
+                        ]
+                        yield fn.cls, seeds, publics, "scheduler"
+        for info in graph.classes.values():
+            if info.is_protocol or not _is_backend(graph, info):
+                continue
+            device = [
+                m.qualname for n, m in info.methods.items() if n in PROTOCOL_SCHEDULER_METHODS
+            ]
+            protocol_names = self._protocol_names(graph)
+            others = [
+                m.qualname
+                for name, m in info.methods.items()
+                if not name.startswith("_")
+                and name not in protocol_names
+                and not _is_property(m)
+                and not _is_classmethod(m)
+            ]
+            if device and others:
+                yield info, device, others, "device (scheduler)"
+
+    @staticmethod
+    def _protocol_names(graph: CallGraph) -> frozenset[str]:
+        for info in graph.classes.values():
+            if info.name == "BlockBackend" and info.is_protocol:
+                return frozenset(info.methods)
+        return frozenset()
+
+    @staticmethod
+    def _role(
+        graph: CallGraph, info: ClassInfo, seeds: list[str]
+    ) -> dict[str, tuple[str, ...]]:
+        chains = graph.reachable(seeds)
+        return {
+            qualname: chain
+            for qualname, chain in chains.items()
+            if graph.functions[qualname].cls is info
+        }
+
+    @staticmethod
+    def _conflict(
+        sched_writes: list[_Write], client_writes: list[_Write]
+    ) -> tuple[_Write, _Write] | None:
+        for sched in sched_writes:
+            for client in client_writes:
+                if sched.node is client.node:
+                    continue
+                if not (sched.held & client.held):
+                    return sched, client
+        return None

@@ -3,14 +3,16 @@
 PR 6's contract: a ``plan_*`` function returns an
 :class:`~repro.core.plan.IoPlan` describing device work, and only the
 execution layer (``execute_runs``, the engine's ``_flush_plans``) may
-touch the device.  This rule walks each module's intra-file call graph:
-a function whose name marks it as a planner, plus everything it reaches
-through ``self.method()`` and bare-name calls, must contain no call to
-the device primitives.
+touch the device.  PR 8 enforced this intra-module; this version walks
+the whole-program :class:`~repro.lint.graph.CallGraph` instead, so a
+planner that reaches the device through a helper in *another* module —
+through an import alias, a ``self.``-dispatched method, or a typed
+attribute like ``self.volume.read_header()`` — is flagged with the full
+cross-module chain.
 
-Findings attach to the offending call site and name the call chain from
-the planner, so a violation three helpers deep is still one actionable
-line.
+Findings attach to the offending call site and name the chain from the
+planner (``Session.plan_write -> StegAgent._load -> read_blocks``), so
+a violation three modules deep is still one actionable line.
 """
 
 from __future__ import annotations
@@ -18,7 +20,7 @@ from __future__ import annotations
 import ast
 from typing import Iterable
 
-from repro.lint.core import Finding, Rule, SourceModule, register
+from repro.lint.core import Finding, Project, ProjectRule, register
 
 #: The device primitives (RawStorage / StegDevice surface).
 DEVICE_METHODS = frozenset(
@@ -30,81 +32,77 @@ def _is_planner(name: str) -> bool:
     return name == "plan" or name.startswith(("plan_", "_plan_", "_plan"))
 
 
-class _FunctionInfo:
-    """One function/method and the calls its body makes."""
-
-    def __init__(self, node: ast.FunctionDef | ast.AsyncFunctionDef, owner: str | None):
-        self.node = node
-        self.owner = owner  # class name for methods, None at module level
-        self.self_calls: set[str] = set()
-        self.bare_calls: set[str] = set()
-        self.device_calls: list[tuple[str, ast.Call]] = []
-        for sub in ast.walk(node):
-            if not isinstance(sub, ast.Call):
-                continue
-            func = sub.func
-            if isinstance(func, ast.Attribute):
-                if func.attr in DEVICE_METHODS:
-                    self.device_calls.append((func.attr, sub))
-                elif isinstance(func.value, ast.Name) and func.value.id == "self":
-                    self.self_calls.add(func.attr)
-            elif isinstance(func, ast.Name):
-                if func.id in DEVICE_METHODS:
-                    self.device_calls.append((func.id, sub))
-                else:
-                    self.bare_calls.add(func.id)
-
-
 @register
-class PlanPurityRule(Rule):
+class PlanPurityRule(ProjectRule):
     code = "PLN001"
-    summary = "plan_* functions (and their callees) performing device I/O"
+    summary = "plan_* functions (and their transitive callees) performing device I/O"
+    contract = (
+        "plan_* functions return an IoPlan describing device work and "
+        "never perform it — not directly and not through any transitive "
+        "callee in any module; only the execution layer touches blocks."
+    )
+    rationale = (
+        "The plan/fuse/execute split (PR 6) lets the kernel batch and "
+        "reorder I/O and lets the snapshot-diff adversary reason about "
+        "exactly which writes a plan issues; a planner that sneaks in "
+        "device I/O invalidates both."
+    )
+    dynamic_suite = "tests/test_plan_kernel.py, tests/test_batched_io.py"
 
-    def check(self, module: SourceModule) -> Iterable[Finding]:
-        functions: dict[tuple[str | None, str], _FunctionInfo] = {}
-        for node in module.tree.body:
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                functions[(None, node.name)] = _FunctionInfo(node, None)
-            elif isinstance(node, ast.ClassDef):
-                for item in node.body:
-                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                        functions[(node.name, item.name)] = _FunctionInfo(item, node.name)
-
-        findings: dict[tuple[int, int], Finding] = {}
-        for (_owner, name), info in functions.items():
-            if not _is_planner(name):
-                continue
-            self._trace(module, functions, info, [name], set(), findings)
-        return sorted(findings.values())
-
-    def _trace(
-        self,
-        module: SourceModule,
-        functions: dict[tuple[str | None, str], _FunctionInfo],
-        info: _FunctionInfo,
-        chain: list[str],
-        visited: set[tuple[str | None, str]],
-        findings: dict[tuple[int, int], Finding],
-    ) -> None:
-        key = (info.owner, info.node.name)
-        if key in visited:
-            return
-        visited.add(key)
-        for method, call in info.device_calls:
-            location = (call.lineno, call.col_offset)
-            if location not in findings:
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        graph = project.graph
+        planners = [
+            qualname for qualname, fn in graph.functions.items() if _is_planner(fn.name)
+        ]
+        reached = self._reachable(graph, planners)
+        findings: dict[tuple[str, int, int], Finding] = {}
+        for qualname, chain in reached.items():
+            fn = graph.functions[qualname]
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if isinstance(func, ast.Attribute):
+                    method = func.attr
+                elif isinstance(func, ast.Name):
+                    method = func.id
+                else:
+                    continue
+                if method not in DEVICE_METHODS:
+                    continue
+                location = (fn.module.path, node.lineno, node.col_offset)
                 via = " -> ".join(chain)
                 findings[location] = self.finding(
-                    module,
-                    call,
+                    fn.module,
+                    node,
                     f"device I/O '{method}' reachable from planner '{chain[0]}' "
                     f"(call chain: {via}); planners must only describe I/O in an IoPlan",
                 )
-        for attr in sorted(info.self_calls):
-            callee = functions.get((info.owner, attr))
-            if callee is not None:
-                self._trace(module, functions, callee, chain + [attr], visited, findings)
-        for name in sorted(info.bare_calls):
-            callee = functions.get((None, name))
-            if callee is not None:
-                self._trace(module, functions, callee, chain + [name], visited, findings)
+        return sorted(findings.values())
+
+    def _reachable(self, graph, seeds: list[str]) -> dict[str, tuple[str, ...]]:
+        """BFS with witness chains that honours justified pragmas.
+
+        A ``# repro-lint: ignore[PLN001]`` on a *call* line declares that
+        boundary crossing sound, so traversal stops there: the callee is
+        not condemned through an edge a reviewer already signed off on.
+        """
+        chains: dict[str, tuple[str, ...]] = {}
+        frontier: list[str] = []
+        for seed in seeds:
+            fn = graph.functions.get(seed)
+            if fn is not None and seed not in chains:
+                chains[seed] = (fn.display,)
+                frontier.append(seed)
+        while frontier:
+            current = frontier.pop(0)
+            fn = graph.functions[current]
+            chain = chains[current]
+            for site in fn.calls:
+                if self.code in fn.module.suppressions.get(site.call.lineno, ()):
+                    continue
+                for target, _bound in site.targets:
+                    if target.qualname not in chains:
+                        chains[target.qualname] = chain + (target.display,)
+                        frontier.append(target.qualname)
+        return chains

@@ -1,0 +1,154 @@
+"""SEC001/SEC002 — secret material must be sealed before it is observable.
+
+Both rules consume one shared :class:`~repro.lint.dataflow.TaintEngine`
+run per lint invocation (cached on the :class:`Project`):
+
+* **SEC001** — a source (key attribute, ``fak_entropy``, decrypted
+  plaintext) reaches an adversary-observable sink — a backend write, a
+  trace row, ``os.write``, an exception message — without passing
+  through a cipher seal or a hash.  The finding reports the full
+  function chain from the source read to the sink call.
+* **SEC002** — secret material reaches string formatting at all:
+  f-strings, ``str()``/``repr()``/``format()``/``print``, ``%``
+  interpolation, logging calls, or a ``__repr__``/``__str__`` return.
+  Also flagged syntactically: a ``@dataclass`` with a secret-named
+  field (``secret``, ``header_key``, ``content_key``, ``key`` …) whose
+  auto-generated ``repr`` would print the key bytes — declare it with
+  ``field(repr=False)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.core import Finding, Project, ProjectRule, register
+from repro.lint.dataflow import SEC_FLOW, SEC_FORMAT, SOURCE_ATTRS, TaintEngine, TaintFinding
+
+
+def _taint_findings(project: Project) -> list[TaintFinding]:
+    cached = getattr(project, "_taint_findings", None)
+    if cached is None:
+        cached = TaintEngine(project.graph).run()
+        project._taint_findings = cached  # type: ignore[attr-defined]
+    return cached
+
+
+@register
+class SecretFlowRule(ProjectRule):
+    code = SEC_FLOW
+    summary = "unsanitized secret flows to device, trace, or exception sinks"
+    contract = (
+        "Key and plaintext material never reaches a device write, an "
+        "IoTrace record, or an exception message without first passing "
+        "through the volume cipher (seal/encrypt) or a hash."
+    )
+    rationale = (
+        "The deniability argument is that a seized disk shows only "
+        "ciphertext and random bytes; the dynamic snapshot-diff "
+        "adversary samples executions, this rule proves the property "
+        "for every interprocedural path."
+    )
+    dynamic_suite = "tests/test_seized_disk.py, tests/test_attacks.py"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        for flow in _taint_findings(project):
+            if flow.code != self.code:
+                continue
+            chain = " -> ".join(flow.chain)
+            yield Finding(
+                flow.path,
+                flow.line,
+                flow.col,
+                self.code,
+                f"unsanitized secret flow: {flow.source_label} reaches "
+                f"{flow.sink_label} (flow chain: {chain}); seal with the volume "
+                "cipher or hash before it crosses the crypto boundary",
+            )
+
+
+@register
+class SecretFormatRule(ProjectRule):
+    code = SEC_FORMAT
+    summary = "secret material reaching string formatting, repr, or logging"
+    contract = (
+        "Secrets are never formatted, logged, printed, or repr'd — "
+        "including through dataclass auto-generated __repr__; secret "
+        "fields must be declared with field(repr=False)."
+    )
+    rationale = (
+        "Debug output routinely lands in CI logs, shell history, and "
+        "core dumps — surfaces the threat model treats as seizable; a "
+        "key that can be str()'d is a key that leaks."
+    )
+    dynamic_suite = "tests/test_seized_disk.py, tests/test_prng_and_keys.py"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        for flow in _taint_findings(project):
+            if flow.code != self.code:
+                continue
+            chain = " -> ".join(flow.chain)
+            yield Finding(
+                flow.path,
+                flow.line,
+                flow.col,
+                self.code,
+                f"secret material reaches {flow.sink_label} (flow chain: {chain}); "
+                "keys and plaintext must never be formatted, logged, or repr'd",
+            )
+        for module in project.modules:
+            yield from self._dataclass_reprs(module)
+
+    def _dataclass_reprs(self, module) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or not _auto_repr_dataclass(node):
+                continue
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                    and stmt.target.id in SOURCE_ATTRS
+                    and not _repr_suppressed(stmt.value)
+                ):
+                    yield self.finding(
+                        module,
+                        stmt,
+                        f"dataclass auto-repr exposes secret field "
+                        f"'{node.name}.{stmt.target.id}'; declare it with "
+                        "field(repr=False) so debug output never prints key bytes",
+                    )
+
+
+def _auto_repr_dataclass(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        if isinstance(dec, ast.Name) and dec.id == "dataclass":
+            return True
+        if isinstance(dec, ast.Call):
+            func = dec.func
+            name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+            if name != "dataclass":
+                continue
+            for keyword in dec.keywords:
+                if (
+                    keyword.arg == "repr"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is False
+                ):
+                    return False
+            return True
+    return False
+
+
+def _repr_suppressed(value: ast.expr | None) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+    if name != "field":
+        return False
+    return any(
+        keyword.arg == "repr"
+        and isinstance(keyword.value, ast.Constant)
+        and keyword.value.value is False
+        for keyword in value.keywords
+    )

@@ -38,6 +38,16 @@ def _is_trace_record(call: ast.Call) -> bool:
 class TraceBatchingRule(Rule):
     code = "TRC001"
     summary = "per-event trace.record() calls inside loops"
+    contract = (
+        "Hot loops emit trace events through the columnar record_many "
+        "batch API, never one record() call per event."
+    )
+    rationale = (
+        "The benchmark floors assume columnar tracing; per-event "
+        "appends regress the measured overhead and skew the replay "
+        "timelines the analysis notebooks consume."
+    )
+    dynamic_suite = "tests/test_trace_columnar.py, benchmarks/"
 
     def check(self, module: SourceModule) -> Iterable[Finding]:
         return list(self._walk(module.tree, in_loop=False, module=module))

@@ -36,8 +36,8 @@ class HiddenFile:
 
     header: FileHeader
     fak: FileAccessKey
-    header_key: bytes
-    content_key: bytes | None
+    header_key: bytes = field(repr=False)
+    content_key: bytes | None = field(repr=False)
     dirty: bool = False
     owner: str = ""
     _open_streams: set[str] = field(default_factory=set)

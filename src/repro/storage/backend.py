@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import mmap
 import os
+import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
 
@@ -324,6 +325,7 @@ class FaultInjectingBackend:
 
     def __init__(self, inner: BlockBackend):
         self.inner = inner
+        self._state_lock = threading.Lock()
         self.calls = 0
         self.crashed = False
         self._crash_at: int | None = None
@@ -333,15 +335,17 @@ class FaultInjectingBackend:
         """Schedule a crash at device-call index ``crash_at`` from now."""
         if crash_at < 0:
             raise ValueError(f"crash_at must be >= 0, got {crash_at}")
-        self.calls = 0
-        self.crashed = False
-        self._crash_at = crash_at
-        self._torn = torn
+        with self._state_lock:
+            self.calls = 0
+            self.crashed = False
+            self._crash_at = crash_at
+            self._torn = torn
 
     def disarm(self) -> None:
         """Cancel any scheduled crash (the counter keeps running)."""
-        self._crash_at = None
-        self._torn = None
+        with self._state_lock:
+            self._crash_at = None
+            self._torn = None
 
     @property
     def block_size(self) -> int:
@@ -357,13 +361,16 @@ class FaultInjectingBackend:
 
     def _tick(self) -> bool:
         """Count one device call; return True when it is the doomed one."""
-        if self.crashed:
-            raise InjectedCrashError("backend crashed; the dead process issues no further I/O")
-        call, self.calls = self.calls, self.calls + 1
-        if self._crash_at is not None and call == self._crash_at:
-            self.crashed = True
-            return True
-        return False
+        with self._state_lock:
+            if self.crashed:
+                raise InjectedCrashError(
+                    "backend crashed; the dead process issues no further I/O"
+                )
+            call, self.calls = self.calls, self.calls + 1
+            if self._crash_at is not None and call == self._crash_at:
+                self.crashed = True
+                return True
+            return False
 
     def _crash(self) -> InjectedCrashError:
         return InjectedCrashError(f"injected crash at device call {self.calls - 1}")

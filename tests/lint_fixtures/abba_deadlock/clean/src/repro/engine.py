@@ -1,0 +1,20 @@
+"""Sanitized twin: both paths take the locks in the same order."""
+
+import threading
+
+
+class Engine:
+    def __init__(self):
+        self._queue_lock = threading.Lock()
+        self._append_lock = threading.Lock()
+        self.jobs = []
+
+    def submit(self, job):
+        with self._queue_lock:
+            with self._append_lock:
+                self.jobs.append(job)
+
+    def drain(self):
+        with self._queue_lock:
+            with self._append_lock:
+                return list(self.jobs)

@@ -1,0 +1,20 @@
+"""Deliberate LCK001 defect: queue/append locks taken in opposite orders."""
+
+import threading
+
+
+class Engine:
+    def __init__(self):
+        self._queue_lock = threading.Lock()
+        self._append_lock = threading.Lock()
+        self.jobs = []
+
+    def submit(self, job):
+        with self._queue_lock:
+            with self._append_lock:
+                self.jobs.append(job)
+
+    def drain(self):
+        with self._append_lock:
+            with self._queue_lock:
+                return list(self.jobs)

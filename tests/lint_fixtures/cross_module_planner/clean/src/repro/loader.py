@@ -1,0 +1,5 @@
+"""The helper module; reachable only from execution paths here."""
+
+
+def load_header(storage):
+    return storage.read_block(0)

@@ -1,0 +1,19 @@
+"""Sanitized twin: the planner only describes I/O — plus a pragma'd
+twin whose justified suppression cuts traversal at the reviewed edge."""
+
+from repro.loader import load_header
+
+
+class Session:
+    def plan_write(self, storage):
+        return [("write", 0)]
+
+    def execute(self, storage):
+        return load_header(storage)
+
+
+class AuditedSession:
+    def plan_write(self, storage):
+        # repro-lint: ignore[PLN001] -- fixture: header load is metadata-only and mutates nothing; reviewed boundary
+        load_header(storage)
+        return [("write", 0)]

@@ -1,0 +1,5 @@
+"""The helper module the defective planner routes its device read through."""
+
+
+def load_header(storage):
+    return storage.read_block(0)

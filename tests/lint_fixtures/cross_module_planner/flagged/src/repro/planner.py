@@ -1,0 +1,10 @@
+"""Deliberate PLN001 defect: the planner reaches device I/O through a
+helper that lives in a *different* module."""
+
+from repro.loader import load_header
+
+
+class Session:
+    def plan_write(self, storage):
+        load_header(storage)
+        return [("write", 0)]

@@ -1,0 +1,12 @@
+"""Deliberate SEC001 defect: the rejected key's bytes land in the
+exception message, which propagates to logs and CI output."""
+
+
+class KeyStore:
+    def __init__(self):
+        self._known = {}
+
+    def register(self, name, key):
+        if name in self._known:
+            raise ValueError(key)
+        self._known[name] = key

@@ -1,0 +1,18 @@
+"""Sanitized twin: the repr names the session without its key bytes and
+the dataclass declares its secret field with ``field(repr=False)``."""
+
+from dataclasses import dataclass, field
+
+
+class Session:
+    def __init__(self, key):
+        self._key = key
+
+    def __repr__(self):
+        return "Session(key=<sealed>)"
+
+
+@dataclass
+class Credentials:
+    name: str
+    secret: bytes = field(repr=False)

@@ -1,0 +1,18 @@
+"""Deliberate SEC002 defects: a hand-written __repr__ interpolating the
+key, and a dataclass whose auto-repr would print its secret field."""
+
+from dataclasses import dataclass
+
+
+class Session:
+    def __init__(self, key):
+        self._key = key
+
+    def __repr__(self):
+        return f"Session(key={self._key})"
+
+
+@dataclass
+class Credentials:
+    name: str
+    secret: bytes

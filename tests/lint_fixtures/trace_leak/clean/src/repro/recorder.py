@@ -1,0 +1,34 @@
+"""Sanitized twin: entropy is sealed by the cipher before it reaches
+the trace — plus a pragma'd twin documenting a reviewed exception."""
+
+
+class IoTrace:
+    def __init__(self):
+        self.events = []
+
+    def record(self, op, payload):
+        self.events.append((op, payload))
+
+
+class Cipher:
+    def encrypt(self, data):
+        return bytes(data)
+
+
+class Recorder:
+    def __init__(self):
+        self._trace = IoTrace()
+        self._cipher = Cipher()
+
+    def log_update(self, fak_entropy):
+        sealed = self._cipher.encrypt(fak_entropy)
+        self._trace.record("update", sealed)
+
+
+class AuditedRecorder:
+    def __init__(self):
+        self._trace = IoTrace()
+
+    def log_update(self, fak_entropy):
+        # repro-lint: ignore[SEC001] -- fixture: this trace instance is in-memory only and wiped before any snapshot
+        self._trace.record("update", fak_entropy)

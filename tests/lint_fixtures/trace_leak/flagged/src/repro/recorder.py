@@ -1,0 +1,18 @@
+"""Deliberate SEC001 defect: raw FAK entropy recorded into the trace,
+which the threat model treats as seizable alongside the disk image."""
+
+
+class IoTrace:
+    def __init__(self):
+        self.events = []
+
+    def record(self, op, payload):
+        self.events.append((op, payload))
+
+
+class Recorder:
+    def __init__(self):
+        self._trace = IoTrace()
+
+    def log_update(self, fak_entropy):
+        self._trace.record("update", fak_entropy)

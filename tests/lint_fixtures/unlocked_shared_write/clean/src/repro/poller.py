@@ -1,0 +1,40 @@
+"""Sanitized twin: both roles take the state lock around the shared
+counter — plus a pragma'd twin documenting a reviewed exception."""
+
+import threading
+
+
+class Poller:
+    def __init__(self):
+        self._state_lock = threading.Lock()
+        self._thread = None
+        self.ticks = 0
+
+    def start(self):
+        self._thread = threading.Thread(target=self._loop)
+        self._thread.start()
+
+    def _loop(self):
+        with self._state_lock:
+            self.ticks = self.ticks + 1
+
+    def reset(self):
+        with self._state_lock:
+            self.ticks = 0
+
+
+class AuditedPoller:
+    def __init__(self):
+        self._thread = None
+        self.ticks = 0
+
+    def start(self):
+        self._thread = threading.Thread(target=self._loop)
+        self._thread.start()
+
+    def _loop(self):
+        # repro-lint: ignore[LCK003] -- fixture: reset() is documented as start()-time only, before the thread exists
+        self.ticks = self.ticks + 1
+
+    def reset(self):
+        self.ticks = 0

@@ -1,0 +1,21 @@
+"""Deliberate LCK003 defect: the poller thread and client callers both
+write ``ticks`` with no common lock, so increments tear under load."""
+
+import threading
+
+
+class Poller:
+    def __init__(self):
+        self._state_lock = threading.Lock()
+        self._thread = None
+        self.ticks = 0
+
+    def start(self):
+        self._thread = threading.Thread(target=self._loop)
+        self._thread.start()
+
+    def _loop(self):
+        self.ticks = self.ticks + 1
+
+    def reset(self):
+        self.ticks = 0

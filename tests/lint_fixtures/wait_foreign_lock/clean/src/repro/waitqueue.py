@@ -1,0 +1,38 @@
+"""Sanitized twin: the condition wraps the queue lock, so waiting
+releases exactly the lock the waiter holds — plus a pragma'd twin
+whose suppression documents a reviewed exception."""
+
+import threading
+
+
+class WaitQueue:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self.items = []
+
+    def put(self, item):
+        with self._cond:
+            self.items.append(item)
+            self._cond.notify()
+
+    def take(self):
+        with self._cond:
+            while not self.items:
+                self._cond.wait()
+            return self.items.pop()
+
+
+class AuditedWaitQueue:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition()
+        self.items = []
+
+    def take(self):
+        with self._lock:
+            with self._cond:
+                while not self.items:
+                    # repro-lint: ignore[LCK002] -- fixture: _lock is private to take(); no other thread contends it
+                    self._cond.wait()
+                return self.items.pop()

@@ -1,0 +1,23 @@
+"""Deliberate LCK002 defect: waiting on a condition while holding an
+unrelated lock stalls every thread needing that lock for the full wait."""
+
+import threading
+
+
+class WaitQueue:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition()
+        self.items = []
+
+    def put(self, item):
+        with self._cond:
+            self.items.append(item)
+            self._cond.notify()
+
+    def take(self):
+        with self._lock:
+            with self._cond:
+                while not self.items:
+                    self._cond.wait()
+                return self.items.pop()

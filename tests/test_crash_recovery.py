@@ -292,6 +292,69 @@ class TestFaultInjection:
         backend.flush()
         assert backend.calls == 4
 
+    def test_counter_is_exact_under_concurrent_device_calls(self):
+        """LCK003's first in-tree catch: the call counter must not tear.
+
+        N threads each issue M device calls; the counter must land on
+        exactly N*M.  Before ``_tick`` took the state lock this lost
+        increments under load, making ``crash_at`` sweeps
+        nondeterministic.
+        """
+        import threading
+
+        num_threads, calls_each = 8, 200
+        backend = FaultInjectingBackend(make_backend(num_blocks=32))
+        barrier = threading.Barrier(num_threads)
+
+        def worker(thread_index: int) -> None:
+            barrier.wait()
+            for call in range(calls_each):
+                backend.read((thread_index + call) % 32)
+
+        threads = [
+            threading.Thread(target=worker, args=(index,)) for index in range(num_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert backend.calls == num_threads * calls_each
+
+    def test_armed_crash_fires_exactly_once_across_threads(self):
+        """Exactly one thread draws the doomed call; the rest see a
+        dead backend, and the counter freezes at ``crash_at + 1``
+        because played-dead calls never tick."""
+        import threading
+
+        num_threads, calls_each = 8, 100
+        crash_at = 137
+        backend = FaultInjectingBackend(make_backend(num_blocks=32))
+        backend.arm(crash_at=crash_at)
+        outcomes: list[str] = []
+        barrier = threading.Barrier(num_threads)
+
+        def worker(thread_index: int) -> None:
+            barrier.wait()
+            for call in range(calls_each):
+                try:
+                    backend.read((thread_index + call) % 32)
+                except InjectedCrashError as error:
+                    outcomes.append(str(error))
+
+        threads = [
+            threading.Thread(target=worker, args=(index,)) for index in range(num_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert backend.crashed
+        assert backend.calls == crash_at + 1
+        doomed = [message for message in outcomes if "injected crash" in message]
+        assert doomed == [f"injected crash at device call {crash_at}"]
+
     def test_crash_fires_at_exact_index(self):
         backend = FaultInjectingBackend(make_backend())
         backend.arm(crash_at=2)

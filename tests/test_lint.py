@@ -199,7 +199,10 @@ class TestFrameworkBehaviour:
             "        return self.storage.write_blocks([], [])\n"
         )
         findings = lint_source(source, "src/repro/fixture.py")
-        assert any(f.code == "PLN001" and "plan_write -> _helper" in f.message for f in findings)
+        assert any(
+            f.code == "PLN001" and "Thing.plan_write -> Thing._helper" in f.message
+            for f in findings
+        )
 
     def test_closed_guard_rule_flags_missing_class(self):
         source = "class SomethingElse:\n    pass\n"
@@ -261,6 +264,18 @@ class TestCli:
         payload = json.loads(capsys.readouterr().out)
         assert payload[0]["code"] == "ENT001"
         assert payload[0]["line"] == 1
+
+    def test_explain_prints_contract_for_every_code(self, capsys):
+        codes = [*registered_rules(), PRAGMA_CODE, SYNTAX_CODE]
+        for code in codes:
+            assert main(["--explain", code]) == 0
+            out = capsys.readouterr().out
+            assert out.startswith(f"{code}:")
+            assert "contract:" in out and "rationale:" in out and "dynamic:" in out
+
+    def test_explain_unknown_code_exits_two(self, capsys):
+        assert main(["--explain", "ZZZ999"]) == 2
+        assert "known codes" in capsys.readouterr().out
 
     def test_clean_tree_exits_zero(self, tmp_path, capsys):
         package = tmp_path / "src" / "repro"

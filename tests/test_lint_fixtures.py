@@ -1,0 +1,86 @@
+"""The deliberate-defect fixture packages under ``tests/lint_fixtures/``.
+
+Every interprocedural rule introduced by the whole-program analyses has
+a committed package pair: a flagged variant the rule must catch (with
+the full call/flow chain in the message) and a sanitized/pragma'd twin
+that lints to zero findings.  The packages live outside ``src/`` so the
+real tree stays clean while the defects stay reviewable in-repo.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.core import lint_paths
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+#: case directory -> the rule code its flagged package must trip.
+CASES = {
+    "abba_deadlock": "LCK001",
+    "wait_foreign_lock": "LCK002",
+    "unlocked_shared_write": "LCK003",
+    "trace_leak": "SEC001",
+    "exception_leak": "SEC001",
+    "secret_repr": "SEC002",
+    "cross_module_planner": "PLN001",
+}
+
+
+def _lint(case: str, variant: str):
+    return lint_paths([FIXTURES / case / variant])
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_flagged_package_is_flagged(case):
+    findings = _lint(case, "flagged")
+    assert CASES[case] in {finding.code for finding in findings}
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_clean_twin_is_clean(case):
+    assert _lint(case, "clean") == []
+
+
+class TestFindingQuality:
+    """The messages must be actionable: chains, roles, and witnesses."""
+
+    def test_abba_cycle_names_both_witnesses(self):
+        (finding,) = _lint("abba_deadlock", "flagged")
+        assert "Engine.submit takes" in finding.message
+        assert "Engine.drain takes" in finding.message
+        assert "opposite orders deadlock" in finding.message
+
+    def test_wait_finding_names_the_foreign_lock(self):
+        (finding,) = _lint("wait_foreign_lock", "flagged")
+        assert "WaitQueue._lock" in finding.message
+        assert "self._cond.wait()" in finding.message
+
+    def test_shared_write_finding_names_both_roles(self):
+        (finding,) = _lint("unlocked_shared_write", "flagged")
+        assert "scheduler thread (Poller._loop" in finding.message
+        assert "client thread (Poller.reset" in finding.message
+
+    def test_trace_leak_carries_the_flow_chain(self):
+        (finding,) = _lint("trace_leak", "flagged")
+        assert "parameter 'fak_entropy'" in finding.message
+        assert "IoTrace.record()" in finding.message
+        assert "Recorder.log_update" in finding.message
+
+    def test_exception_leak_names_the_sink(self):
+        (finding,) = _lint("exception_leak", "flagged")
+        assert "exception message" in finding.message
+        assert "KeyStore.register" in finding.message
+
+    def test_secret_repr_catches_both_shapes(self):
+        findings = _lint("secret_repr", "flagged")
+        messages = " | ".join(finding.message for finding in findings)
+        assert "__repr__() output" in messages
+        assert "dataclass auto-repr exposes secret field 'Credentials.secret'" in messages
+
+    def test_cross_module_chain_spans_both_modules(self):
+        (finding,) = _lint("cross_module_planner", "flagged")
+        assert finding.path.endswith("loader.py"), "finding lands on the I/O site"
+        assert "Session.plan_write -> load_header" in finding.message
