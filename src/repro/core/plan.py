@@ -260,7 +260,9 @@ def _execute_reseal_batch_run(
     positions_by_key: dict[bytes, list[int]] = {}
     for position, step in enumerate(steps):
         positions_by_key.setdefault(step.key, []).append(position)
-    datas: list[bytes | None] = [None] * len(steps)
+    # Every position belongs to exactly one key group, so each empty
+    # placeholder is overwritten before the batched write.
+    datas: list[bytes] = [b""] * len(steps)
     for key, positions in positions_by_key.items():
         cipher = cipher_for(key)
         plaintexts = cipher.decrypt_many(

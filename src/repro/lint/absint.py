@@ -1,0 +1,179 @@
+"""Generic abstract interpretation over :mod:`repro.lint.cfg` graphs.
+
+PR 9's dataflow was a fact accumulator; the typestate and obliviousness
+rules need *join-over-paths*: "on the path through the ``except`` arm
+this backend is closed, on the fall-through it is open, so after the
+merge it *may* be closed".  This module supplies the one engine both
+rule families share:
+
+* :class:`Domain` is the client contract — a lattice (``join``,
+  optional ``widen``) plus a per-node ``transfer`` function;
+* :func:`interpret` runs the classic worklist algorithm to a fixpoint:
+  states merge at CFG join points, loop heads widen after
+  :attr:`Domain.widen_after` visits so infinite-ascent domains (the
+  step-count intervals of OBL002) still terminate, and ``exc`` edges
+  propagate the *pre*-state of their source (the exception interrupted
+  the statement, so its effect must not be assumed);
+* a ``region`` restriction confines the run to one control-dependence
+  region (a branch arm up to its immediate post-dominator), which is
+  how OBL002 measures each arm of a secret branch in isolation;
+* :func:`fixpoint_summaries` iterates a per-function summariser over
+  the call graph's SCCs in reverse-topological order until each cyclic
+  component stabilises — the interprocedural layer reused from PR 9,
+  now shared by close-effect and secret-return summaries.
+
+States are treated as immutable values: ``transfer`` must return a new
+state, never mutate its argument, and ``None`` is reserved by the
+engine for "unreachable" (bottom).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Generic, TypeVar
+
+from repro.lint.cfg import EDGE_EXC, CfgNode, ControlFlowGraph, Edge
+
+if TYPE_CHECKING:
+    from repro.lint.graph import CallGraph, FunctionNode
+
+S = TypeVar("S")
+T = TypeVar("T")
+
+
+class Domain(Generic[S]):
+    """Client contract for :func:`interpret`.
+
+    Subclasses provide the lattice and the transfer function.  The
+    default ``widen`` falls back to ``join`` (correct for finite
+    lattices such as typestate sets); domains of infinite height
+    (intervals) override it to force convergence.
+    """
+
+    #: After this many joins at the same node the engine switches from
+    #: ``join`` to ``widen``.  Three keeps short chains precise (a loop
+    #: body is usually stable by its third visit) while bounding work.
+    widen_after: int = 3
+
+    def entry_state(self, cfg: ControlFlowGraph) -> S:
+        raise NotImplementedError
+
+    def join(self, left: S, right: S) -> S:
+        raise NotImplementedError
+
+    def widen(self, older: S, newer: S) -> S:
+        return self.join(older, newer)
+
+    def transfer(self, node: CfgNode, state: S, cfg: ControlFlowGraph) -> S:
+        raise NotImplementedError
+
+    def edge_state(self, edge: Edge, pre: S, post: S) -> S:
+        """State carried by one outgoing edge.
+
+        ``exc`` edges carry the pre-state — the exception fired *during*
+        the node, so its effect may not have happened.  Everything else
+        (including ``unwind``, which models control continuing *after* a
+        finally/``__exit__`` completed) carries the post-state.  Domains
+        may override to refine further, e.g. branch-arm filtering on
+        ``true``/``false`` edges.
+        """
+        return pre if edge.kind == EDGE_EXC else post
+
+
+@dataclass
+class Interpretation(Generic[S]):
+    """Fixpoint result: per-node pre/post states (absent = unreachable)."""
+
+    pre: dict[int, S]
+    post: dict[int, S]
+
+    def state_before(self, index: int) -> S | None:
+        return self.pre.get(index)
+
+    def state_after(self, index: int) -> S | None:
+        return self.post.get(index)
+
+
+def interpret(
+    cfg: ControlFlowGraph,
+    domain: Domain[S],
+    *,
+    entry: int | None = None,
+    entry_state: S | None = None,
+    region: set[int] | None = None,
+) -> Interpretation[S]:
+    """Run ``domain`` over ``cfg`` to a fixpoint (worklist algorithm).
+
+    ``entry``/``entry_state`` override the start point (default: the
+    CFG entry with ``domain.entry_state``).  With ``region`` given, the
+    walk never leaves ``region ∪ {entry}`` — states are still computed
+    *at* the boundary nodes' entries but not propagated past them.
+    """
+    start = cfg.entry if entry is None else entry
+    start_state = domain.entry_state(cfg) if entry_state is None else entry_state
+    pre: dict[int, S] = {start: start_state}
+    post: dict[int, S] = {}
+    visits: dict[int, int] = {}
+    worklist: list[int] = [start]
+    queued: set[int] = {start}
+    while worklist:
+        index = worklist.pop(0)
+        queued.discard(index)
+        state = pre[index]
+        visits[index] = visits.get(index, 0) + 1
+        new_post = domain.transfer(cfg.nodes[index], state, cfg)
+        if index in post and post[index] == new_post:
+            # Same outgoing state as last time: successors already saw it.
+            continue
+        post[index] = new_post
+        for edge in cfg.succs(index):
+            if region is not None and edge.dst not in region and edge.dst != start:
+                continue
+            carried = domain.edge_state(edge, state, new_post)
+            old = pre.get(edge.dst)
+            if old is None:
+                merged = carried
+            else:
+                merged = domain.join(old, carried)
+                if visits.get(edge.dst, 0) >= domain.widen_after:
+                    # Loop heads and oft-revisited joins widen so domains
+                    # of infinite height (intervals) terminate.
+                    merged = domain.widen(old, merged)
+            if old is None or merged != old:
+                pre[edge.dst] = merged
+                if edge.dst not in queued:
+                    queued.add(edge.dst)
+                    worklist.append(edge.dst)
+    return Interpretation(pre=pre, post=post)
+
+
+def fixpoint_summaries(
+    graph: "CallGraph",
+    initial: Callable[["FunctionNode"], T],
+    analyze: Callable[["FunctionNode", dict[str, T]], T],
+    *,
+    max_rounds: int = 8,
+) -> dict[str, T]:
+    """Interprocedural fixpoint: one summary per function, SCC by SCC.
+
+    ``graph.sccs()`` yields components callee-first, so by the time a
+    component is analysed every (acyclic) callee summary is final;
+    within a cyclic component the summariser re-runs until its members
+    stop changing (or ``max_rounds``, a safety valve for pathological
+    recursion — summaries are may-facts, so stopping early only loses
+    precision, never soundness of the clean direction).
+    """
+    summaries: dict[str, T] = {}
+    for component in graph.sccs():
+        for qualname in component:
+            summaries[qualname] = initial(graph.functions[qualname])
+        for _round in range(max_rounds):
+            changed = False
+            for qualname in component:
+                updated = analyze(graph.functions[qualname], summaries)
+                if updated != summaries[qualname]:
+                    summaries[qualname] = updated
+                    changed = True
+            if not changed:
+                break
+    return summaries

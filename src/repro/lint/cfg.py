@@ -1,0 +1,568 @@
+"""Per-function control-flow graphs over the raw ``ast``.
+
+PR 9's analyses were *flow-insensitive*: the taint engine accumulates
+facts over a whole function body, so it can prove "this value never
+reaches that sink" but not "this value is closed *on this path* and
+used on the next line".  The lifecycle-typestate rules (TYP001/TYP002)
+and the implicit-flow obliviousness rules (OBL001/OBL002) both need
+paths, so this module builds the substrate once per function:
+
+* one :class:`CfgNode` per simple statement, plus branch nodes for
+  ``if``/``while``/``for``/``match`` tests, synthetic ``handler`` /
+  ``finally`` / ``with-exit`` / ``join`` nodes for the structured
+  constructs, and three distinguished nodes — ``entry``, ``exit``
+  (normal returns) and ``exc-exit`` (the function unwinding on an
+  exception);
+* edges are labelled: ``next``, ``true``/``false`` (branch arms),
+  ``back`` (loop back edges), ``exc`` (an exception raised *during* the
+  source node) and ``unwind`` (exceptional control *continuing* after
+  the source node, e.g. a ``finally`` block re-raising).  ``return`` /
+  ``break`` / ``continue`` route through every enclosing ``finally``
+  block and ``with`` exit before reaching their targets, and a
+  statement that can plausibly raise (calls, ``raise``, ``assert``)
+  gets an ``exc`` edge to the innermost handler, finally, or
+  ``with``-exit — or straight to ``exc-exit`` when nothing encloses it;
+* :meth:`ControlFlowGraph.dominators` and
+  :meth:`ControlFlowGraph.postdominators` run the standard iterative
+  set algorithm.  Post-dominators are computed over the *normal* edges
+  only (``exc``/``unwind`` excluded): the obliviousness rules define a
+  secret-tainted region as "from the branch to its immediate
+  post-dominator", and exceptional unwinding would otherwise collapse
+  every region into the whole function.
+
+The abstract interpreter (:mod:`repro.lint.absint`) relies on one edge
+contract: ``exc`` edges carry the *pre*-state of their source node (the
+exception interrupted the node), every other kind carries the
+*post*-state.
+
+The one deliberate over-approximation: a shared ``finally`` subgraph
+joins every way of entering it (normal completion, return, break,
+exception), so its exit fans out to every pending continuation.  Paths
+that pair the wrong entry with the wrong exit are infeasible but
+harmless — every client analysis here is a may-analysis, and a
+justified pragma settles the rare false positive.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+#: Edge labels (the ``kind`` of each edge).
+EDGE_NEXT = "next"
+EDGE_TRUE = "true"
+EDGE_FALSE = "false"
+EDGE_BACK = "back"
+EDGE_EXC = "exc"
+EDGE_UNWIND = "unwind"
+
+#: Edge kinds excluded from post-dominator computation and regions.
+EXCEPTIONAL_KINDS = frozenset({EDGE_EXC, EDGE_UNWIND})
+
+#: Node kinds.
+NODE_ENTRY = "entry"
+NODE_EXIT = "exit"
+NODE_EXC_EXIT = "exc-exit"
+NODE_STMT = "stmt"
+NODE_BRANCH = "branch"
+NODE_HANDLER = "handler"
+NODE_FINALLY = "finally"
+NODE_WITH_EXIT = "with-exit"
+NODE_JOIN = "join"
+
+_LOOP_TYPES = (ast.While, ast.For, ast.AsyncFor)
+
+
+def _handler_catches_all(handler: ast.ExceptHandler) -> bool:
+    """Whether a handler provably matches every exception.
+
+    Bare ``except:`` and ``except BaseException:`` cannot be bypassed,
+    so they get no "no handler matched" unwind edge.
+    """
+    if handler.type is None:
+        return True
+    node = handler.type
+    return isinstance(node, ast.Name) and node.id == "BaseException"
+
+
+@dataclass
+class CfgNode:
+    """One program point: a statement, a branch test, or a synthetic join."""
+
+    index: int
+    kind: str
+    stmt: ast.stmt | None = None
+
+    @property
+    def line(self) -> int:
+        return self.stmt.lineno if self.stmt is not None else 0
+
+    def describe(self) -> str:
+        """Compact stable label the tests assert against (``L4``, ``exit``)."""
+        if self.stmt is None:
+            return self.kind
+        if self.kind in (NODE_HANDLER, NODE_FINALLY, NODE_WITH_EXIT):
+            return f"{self.kind}@L{self.stmt.lineno}"
+        return f"L{self.stmt.lineno}"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A labelled directed edge between two node indices."""
+
+    src: int
+    dst: int
+    kind: str
+
+
+@dataclass
+class _Frame:
+    """One enclosing abrupt-exit router: a ``finally`` or a ``with`` exit.
+
+    ``pending`` holds ``(target, owner_depth, kind)`` triples: control
+    that entered this frame abruptly must, once the frame's body
+    completes, keep routing outward until it reaches the frame at
+    ``owner_depth`` — and only then jump to ``target`` with ``kind``.
+    """
+
+    entry: int
+    pending: set[tuple[int, int, str]] = field(default_factory=set)
+
+
+class ControlFlowGraph:
+    """CFG for one function body, with dominator/post-dominator queries."""
+
+    def __init__(self, fn: ast.FunctionDef | ast.AsyncFunctionDef):
+        self.fn = fn
+        self.nodes: list[CfgNode] = []
+        self._succs: list[list[Edge]] = []
+        self._preds: list[list[Edge]] = []
+        self.entry = self._new_node(NODE_ENTRY)
+        self.exit = self._new_node(NODE_EXIT)
+        self.exc_exit = self._new_node(NODE_EXC_EXIT)
+        _Builder(self).build()
+        self._doms: dict[int, frozenset[int]] | None = None
+        self._postdoms: dict[int, frozenset[int]] | None = None
+
+    # -- construction helpers (used by _Builder) ---------------------------------------
+
+    def _new_node(self, kind: str, stmt: ast.stmt | None = None) -> int:
+        node = CfgNode(index=len(self.nodes), kind=kind, stmt=stmt)
+        self.nodes.append(node)
+        self._succs.append([])
+        self._preds.append([])
+        return node.index
+
+    def _add_edge(self, src: int, dst: int, kind: str) -> None:
+        for edge in self._succs[src]:
+            if edge.dst == dst and edge.kind == kind:
+                return
+        edge = Edge(src, dst, kind)
+        self._succs[src].append(edge)
+        self._preds[dst].append(edge)
+
+    # -- queries -----------------------------------------------------------------------
+
+    def succs(self, index: int) -> Sequence[Edge]:
+        return self._succs[index]
+
+    def preds(self, index: int) -> Sequence[Edge]:
+        return self._preds[index]
+
+    def statement_nodes(self) -> Iterator[CfgNode]:
+        for node in self.nodes:
+            if node.stmt is not None:
+                yield node
+
+    def reachable(self, start: int | None = None, *, include_exc: bool = True) -> set[int]:
+        """Node indices reachable from ``start`` (default: entry)."""
+        frontier = [self.entry if start is None else start]
+        seen: set[int] = set(frontier)
+        while frontier:
+            current = frontier.pop()
+            for edge in self._succs[current]:
+                if not include_exc and edge.kind in EXCEPTIONAL_KINDS:
+                    continue
+                if edge.dst not in seen:
+                    seen.add(edge.dst)
+                    frontier.append(edge.dst)
+        return seen
+
+    def dominators(self) -> dict[int, frozenset[int]]:
+        """Node → the set of nodes dominating it (all edges, from entry)."""
+        if self._doms is None:
+            self._doms = self._solve(
+                start=self.entry,
+                forward=lambda n: [e.dst for e in self._succs[n]],
+                backward=lambda n: [e.src for e in self._preds[n]],
+            )
+        return self._doms
+
+    def postdominators(self) -> dict[int, frozenset[int]]:
+        """Node → the set of nodes post-dominating it.
+
+        Computed over normal edges only: ``exc``/``unwind`` edges are
+        excluded, so a region "branch → immediate post-dominator" means
+        "until the two arms re-join on the non-exceptional walk of the
+        function".  Nodes with no normal path to ``exit`` are absent.
+        """
+        if self._postdoms is None:
+            self._postdoms = self._solve(
+                start=self.exit,
+                forward=lambda n: [
+                    e.src for e in self._preds[n] if e.kind not in EXCEPTIONAL_KINDS
+                ],
+                backward=lambda n: [
+                    e.dst for e in self._succs[n] if e.kind not in EXCEPTIONAL_KINDS
+                ],
+            )
+        return self._postdoms
+
+    def ipostdom(self, index: int) -> int | None:
+        """Immediate post-dominator of a node, or ``None``.
+
+        ``None`` means the node has no proper post-dominator on the
+        normal-edge graph (it cannot reach ``exit``, e.g. inside
+        ``while True`` without ``break``); callers must treat the whole
+        rest of the function as the region.
+        """
+        postdoms = self.postdominators()
+        mine = postdoms.get(index)
+        if mine is None:
+            return None
+        proper = set(mine) - {index}
+        if not proper:
+            return None
+        # The immediate post-dominator is the unique member of `proper`
+        # whose own post-dominator set covers all of `proper` — i.e. the
+        # first join every path out of `index` must cross.
+        for candidate in proper:
+            candidate_set = postdoms.get(candidate)
+            if candidate_set is not None and proper <= candidate_set:
+                return candidate
+        return None
+
+    def region_between(self, branch: int, stop: int | None) -> set[int]:
+        """Nodes reachable from ``branch``'s arms without crossing ``stop``.
+
+        This is the (approximate) control-dependence region of a branch:
+        everything whose execution is decided by the branch outcome,
+        walked over normal edges only.  ``stop`` is typically
+        ``ipostdom(branch)``; with ``None`` the region extends to the
+        end of the function.
+        """
+        region: set[int] = set()
+        frontier = [
+            e.dst for e in self._succs[branch] if e.kind not in EXCEPTIONAL_KINDS
+        ]
+        while frontier:
+            current = frontier.pop()
+            if current in region or current == stop or current == branch:
+                continue
+            region.add(current)
+            for edge in self._succs[current]:
+                if edge.kind not in EXCEPTIONAL_KINDS:
+                    frontier.append(edge.dst)
+        return region
+
+    def _solve(
+        self,
+        start: int,
+        forward: Callable[[int], list[int]],
+        backward: Callable[[int], list[int]],
+    ) -> dict[int, frozenset[int]]:
+        """Iterative dominance: dom(n) = {n} ∪ ⋂ dom(pred(n)).
+
+        ``forward`` enumerates the flow successors of a node in the
+        direction being solved (actual successors for dominators,
+        actual predecessors for post-dominators); ``backward`` is the
+        reverse relation.
+        """
+        order: list[int] = []
+        seen = {start}
+        frontier = [start]
+        while frontier:  # BFS order converges fast on these small graphs
+            current = frontier.pop(0)
+            order.append(current)
+            for nxt in forward(current):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        everything = frozenset(seen)
+        dom: dict[int, frozenset[int]] = {n: everything for n in seen}
+        dom[start] = frozenset({start})
+        changed = True
+        while changed:
+            changed = False
+            for n in order:
+                if n == start:
+                    continue
+                incoming = [dom[p] for p in backward(n) if p in dom]
+                if incoming:
+                    new = frozenset.intersection(*incoming) | {n}
+                else:
+                    new = frozenset({n})
+                if new != dom[n]:
+                    dom[n] = new
+                    changed = True
+        return dom
+
+
+def _expr_may_raise(*exprs: ast.expr | None) -> bool:
+    for expr in exprs:
+        if expr is None:
+            continue
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.Call, ast.Subscript)):
+                return True
+    return False
+
+
+def _may_raise(stmt: ast.stmt) -> bool:
+    """Whether a statement can plausibly raise mid-function.
+
+    The filter keeps the exception-edge count linear and the typestate
+    leak check focused: calls, subscripts, explicit raises and
+    assertions unwind; pure rebinding of constants does not.
+    """
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.Call, ast.Subscript)):
+            return True
+    return False
+
+
+#: Dangling edge: (source node, edge kind) waiting for its destination.
+_Dangling = tuple[int, str]
+
+
+class _Builder:
+    """Single-pass recursive CFG construction with finally/with routing."""
+
+    def __init__(self, cfg: ControlFlowGraph):
+        self.cfg = cfg
+        #: Stack of abrupt-exit routers: try-with-finally and with frames.
+        self.frames: list[_Frame] = []
+        #: Stack of (loop head, break join node, frame depth at entry).
+        self.loops: list[tuple[int, int, int]] = []
+        #: Stack of exception-edge target lists (innermost last).
+        self.exc_targets: list[list[int]] = [[cfg.exc_exit]]
+
+    def build(self) -> None:
+        dangling = self._body(self.cfg.fn.body, [(self.cfg.entry, EDGE_NEXT)])
+        self._connect(dangling, self.cfg.exit)
+
+    # -- plumbing ----------------------------------------------------------------------
+
+    def _connect(self, dangling: list[_Dangling], dst: int) -> None:
+        for src, kind in dangling:
+            self.cfg._add_edge(src, dst, kind)
+
+    def _exc_edges(self, node: int) -> None:
+        for target in self.exc_targets[-1]:
+            self.cfg._add_edge(node, target, EDGE_EXC)
+
+    def _route_abrupt(self, node: int, kind: str, target: int, owner_depth: int) -> None:
+        """Send abrupt control from ``node`` toward ``target``.
+
+        Crosses every finally/with frame between the current depth and
+        ``owner_depth``; with none in between, jumps straight there.
+        """
+        if len(self.frames) > owner_depth:
+            frame = self.frames[-1]
+            self.cfg._add_edge(node, frame.entry, kind)
+            frame.pending.add((target, owner_depth, kind))
+        else:
+            self.cfg._add_edge(node, target, kind)
+
+    def _drain_frame(self, frame: _Frame, dangling: list[_Dangling]) -> None:
+        """Propagate a completed frame's pending abrupt exits outward.
+
+        Must be called *after* the frame is popped: ``self.frames`` then
+        holds only the frames still enclosing the continuation.
+        """
+        for target, owner_depth, kind in frame.pending:
+            if len(self.frames) > owner_depth:
+                outer = self.frames[-1]
+                for src, _orig in dangling:
+                    self.cfg._add_edge(src, outer.entry, kind)
+                outer.pending.add((target, owner_depth, kind))
+            else:
+                for src, _orig in dangling:
+                    self.cfg._add_edge(src, target, kind)
+
+    # -- statement dispatch ------------------------------------------------------------
+
+    def _body(self, stmts: Sequence[ast.stmt], dangling: list[_Dangling]) -> list[_Dangling]:
+        for stmt in stmts:
+            dangling = self._stmt(stmt, dangling)
+        return dangling
+
+    def _stmt(self, stmt: ast.stmt, dangling: list[_Dangling]) -> list[_Dangling]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, dangling)
+        if isinstance(stmt, _LOOP_TYPES):
+            return self._loop(stmt, dangling)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, dangling)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, dangling)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, dangling)
+        if isinstance(stmt, ast.Return):
+            node = self._simple(stmt, dangling)
+            self._route_abrupt(node, EDGE_NEXT, self.cfg.exit, 0)
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self._simple(stmt, dangling)
+            _head, break_join, depth = self.loops[-1]
+            self._route_abrupt(node, EDGE_NEXT, break_join, depth)
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self._simple(stmt, dangling)
+            head, _break_join, depth = self.loops[-1]
+            self._route_abrupt(node, EDGE_BACK, head, depth)
+            return []
+        if isinstance(stmt, ast.Raise):
+            self._simple(stmt, dangling)  # its exc edges are the only way out
+            return []
+        # Simple statement (assignments, expressions, pass, nested defs…).
+        node = self._simple(stmt, dangling)
+        return [(node, EDGE_NEXT)]
+
+    def _simple(self, stmt: ast.stmt, dangling: list[_Dangling]) -> int:
+        node = self.cfg._new_node(NODE_STMT, stmt)
+        self._connect(dangling, node)
+        if _may_raise(stmt):
+            self._exc_edges(node)
+        return node
+
+    def _if(self, stmt: ast.If, dangling: list[_Dangling]) -> list[_Dangling]:
+        test = self.cfg._new_node(NODE_BRANCH, stmt)
+        self._connect(dangling, test)
+        if _expr_may_raise(stmt.test):
+            self._exc_edges(test)
+        out = self._body(stmt.body, [(test, EDGE_TRUE)])
+        out += self._body(stmt.orelse, [(test, EDGE_FALSE)])
+        return out
+
+    def _loop(
+        self, stmt: ast.While | ast.For | ast.AsyncFor, dangling: list[_Dangling]
+    ) -> list[_Dangling]:
+        head = self.cfg._new_node(NODE_BRANCH, stmt)
+        self._connect(dangling, head)
+        if isinstance(stmt, ast.While):
+            if _expr_may_raise(stmt.test):
+                self._exc_edges(head)
+        else:
+            if _expr_may_raise(stmt.iter):
+                self._exc_edges(head)
+        break_join = self.cfg._new_node(NODE_JOIN)
+        self.loops.append((head, break_join, len(self.frames)))
+        body_out = self._body(stmt.body, [(head, EDGE_TRUE)])
+        self.loops.pop()
+        for src, _kind in body_out:
+            self.cfg._add_edge(src, head, EDGE_BACK)
+        out = self._body(stmt.orelse, [(head, EDGE_FALSE)])
+        if self.cfg._preds[break_join]:
+            out.append((break_join, EDGE_NEXT))
+        return out
+
+    def _match(self, stmt: ast.Match, dangling: list[_Dangling]) -> list[_Dangling]:
+        subject = self.cfg._new_node(NODE_BRANCH, stmt)
+        self._connect(dangling, subject)
+        if _expr_may_raise(stmt.subject):
+            self._exc_edges(subject)
+        out: list[_Dangling] = []
+        for case in stmt.cases:
+            out += self._body(case.body, [(subject, EDGE_TRUE)])
+        # Conservatively assume no case may match (a wildcard makes this
+        # edge dead, but pruning it needs pattern reasoning).
+        out.append((subject, EDGE_FALSE))
+        return out
+
+    def _with(self, stmt: ast.With | ast.AsyncWith, dangling: list[_Dangling]) -> list[_Dangling]:
+        enter = self.cfg._new_node(NODE_STMT, stmt)
+        self._connect(dangling, enter)
+        self._exc_edges(enter)  # context-manager construction can raise
+        exit_node = self.cfg._new_node(NODE_WITH_EXIT, stmt)
+        # __exit__ re-raises on the exceptional path: post-state flows on.
+        for target in self.exc_targets[-1]:
+            self.cfg._add_edge(exit_node, target, EDGE_UNWIND)
+        frame = _Frame(entry=exit_node)
+        self.frames.append(frame)
+        self.exc_targets.append([exit_node])
+        body_out = self._body(stmt.body, [(enter, EDGE_NEXT)])
+        self.exc_targets.pop()
+        self.frames.pop()
+        self._connect(body_out, exit_node)
+        out: list[_Dangling] = [(exit_node, EDGE_NEXT)]
+        self._drain_frame(frame, out)
+        return out
+
+    def _try(self, stmt: ast.Try, dangling: list[_Dangling]) -> list[_Dangling]:
+        outer_exc = list(self.exc_targets[-1])
+        entry_depth = len(self.frames)
+        handler_nodes = [
+            self.cfg._new_node(NODE_HANDLER, handler) for handler in stmt.handlers
+        ]
+        fin_entry: int | None = None
+        frame: _Frame | None = None
+        if stmt.finalbody:
+            fin_entry = self.cfg._new_node(NODE_FINALLY, stmt)
+            frame = _Frame(entry=fin_entry)
+
+        # Exceptions in the body dispatch to the handlers; with a
+        # finally they may also bypass them (no handler matches) and
+        # keep unwinding after the finally runs.
+        body_targets = list(handler_nodes)
+        if fin_entry is not None:
+            body_targets.append(fin_entry)
+            assert frame is not None
+            for target in outer_exc:
+                frame.pending.add((target, entry_depth, EDGE_UNWIND))
+        self.exc_targets.append(body_targets)
+        if frame is not None:
+            self.frames.append(frame)
+        body_out = self._body(stmt.body, dangling)
+        self.exc_targets.pop()
+
+        # The else clause and the handler bodies see this try's finally
+        # (their exceptions still run it) but not its handlers.
+        if fin_entry is not None:
+            self.exc_targets.append([fin_entry])
+        body_out = self._body(stmt.orelse, body_out)
+        handler_out: list[_Dangling] = []
+        for node, handler in zip(handler_nodes, stmt.handlers, strict=True):
+            handler_out += self._body(handler.body, [(node, EDGE_NEXT)])
+        # When every handler's type can be bypassed, the exception may
+        # match none of them and keep unwinding — through the finally
+        # when there is one.  One unwind edge from the last handler node
+        # suffices: it carries the same joined body state as any other.
+        if handler_nodes and not any(map(_handler_catches_all, stmt.handlers)):
+            node = handler_nodes[-1]
+            if fin_entry is not None:
+                self.cfg._add_edge(node, fin_entry, EDGE_UNWIND)
+            else:
+                for target in outer_exc:
+                    self.cfg._add_edge(node, target, EDGE_UNWIND)
+        if fin_entry is not None:
+            self.exc_targets.pop()
+        if frame is not None:
+            self.frames.pop()
+
+        if fin_entry is None:
+            return body_out + handler_out
+
+        self._connect(body_out + handler_out, fin_entry)
+        fin_out = self._body(stmt.finalbody, [(fin_entry, EDGE_NEXT)])
+        assert frame is not None
+        self._drain_frame(frame, fin_out)
+        return fin_out
+
+
+def build_cfg(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> ControlFlowGraph:
+    """Build (and fully wire) the CFG for one function definition."""
+    return ControlFlowGraph(fn)

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 from pathlib import Path
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.lint.core import PRAGMA_CODE, SYNTAX_CODE, Finding, lint_paths, registered_rules
 
@@ -73,6 +74,86 @@ def _github(findings: list[Finding]) -> str:
     )
 
 
+#: Lines named by an embedded witness chain ("witness path: L9 -> L12").
+_WITNESS = re.compile(r"witness path: (L\d+(?: -> L\d+)*)")
+
+
+def _witness_lines(message: str) -> list[int]:
+    match = _WITNESS.search(message)
+    if match is None:
+        return []
+    return [int(label[1:]) for label in match.group(1).split(" -> ")]
+
+
+def _location(
+    path: str, line: int, col: int = 0, text: str | None = None
+) -> dict[str, Any]:
+    location: dict[str, Any] = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path},
+            "region": {"startLine": line, "startColumn": col + 1},
+        }
+    }
+    if text is not None:
+        location["message"] = {"text": text}
+    return location
+
+
+def _sarif(findings: list[Finding]) -> str:
+    """SARIF 2.1.0: rule metadata plus witness chains as relatedLocations."""
+    rules = registered_rules()
+    rule_ids = sorted({*rules, *_FRAMEWORK_EXPLANATIONS})
+    driver_rules: list[dict[str, Any]] = []
+    for code in rule_ids:
+        if code in _FRAMEWORK_EXPLANATIONS:
+            summary, contract, rationale, _suite = _FRAMEWORK_EXPLANATIONS[code]
+        else:
+            rule = rules[code]
+            summary, contract, rationale = rule.summary, rule.contract, rule.rationale
+        driver_rules.append(
+            {
+                "id": code,
+                "shortDescription": {"text": summary},
+                "fullDescription": {"text": contract},
+                "help": {"text": rationale},
+            }
+        )
+    index = {code: position for position, code in enumerate(rule_ids)}
+    results: list[dict[str, Any]] = []
+    for finding in findings:
+        result: dict[str, Any] = {
+            "ruleId": finding.code,
+            "ruleIndex": index.get(finding.code, -1),
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [_location(finding.path, finding.line, finding.col)],
+        }
+        witness = _witness_lines(finding.message)
+        if witness:
+            result["relatedLocations"] = [
+                _location(finding.path, line, text=f"witness step {step + 1}")
+                for step, line in enumerate(witness)
+            ]
+        results.append(result)
+    document: dict[str, Any] = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": driver_rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)
+
+
 def explain(code: str) -> str | None:
     """Render the contract/rationale/test-suite card for one code."""
     if code in _FRAMEWORK_EXPLANATIONS:
@@ -107,7 +188,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json", "github"),
+        choices=("human", "json", "github", "sarif"),
         default="human",
         help="output format (default: human)",
     )
@@ -136,6 +217,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         output = _github(findings)
         if output:
             print(output)
+    elif args.format == "sarif":
+        print(_sarif(findings))
     else:
         print(_human(findings, len(rules)))
     return 1 if findings else 0

@@ -135,6 +135,9 @@ class SourceModule:
     from_aliases: dict[str, str] = field(default_factory=dict)
     suppressions: dict[int, set[str]] = field(default_factory=dict)
     pragma_findings: list[Finding] = field(default_factory=list)
+    #: Continuation line → first line of the enclosing statement, for
+    #: every statement that spans more than one physical line.
+    anchors: dict[int, int] = field(default_factory=dict)
 
     @classmethod
     def parse(cls, text: str, path: str) -> "SourceModule":
@@ -142,7 +145,40 @@ class SourceModule:
         module = cls(path=Path(path).as_posix(), text=text, tree=tree)
         module._collect_imports()
         module._collect_pragmas()
+        module._collect_anchors()
         return module
+
+    def _collect_anchors(self) -> None:
+        """Map every continuation line of a statement to its first line.
+
+        A compound statement anchors only its *header* (the lines before
+        its first body statement): the body statements anchor
+        themselves.  The map drives two behaviours: findings reported on
+        a continuation line are re-anchored to the statement's first
+        line, and a pragma on the first line therefore covers the whole
+        statement.
+        """
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            body = getattr(node, "body", None)
+            if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+                span_end = body[0].lineno - 1
+            else:
+                span_end = node.end_lineno or node.lineno
+            for line in range(node.lineno + 1, span_end + 1):
+                self.anchors.setdefault(line, node.lineno)
+
+    def anchor(self, line: int) -> int:
+        """First line of the statement containing ``line``."""
+        return self.anchors.get(line, line)
+
+    def anchored(self, finding: Finding) -> Finding:
+        """The finding re-anchored to its statement's first line."""
+        line = self.anchor(finding.line)
+        if line == finding.line:
+            return finding
+        return Finding(finding.path, line, finding.col, finding.code, finding.message)
 
     def _collect_imports(self) -> None:
         for node in ast.walk(self.tree):
@@ -215,7 +251,10 @@ class SourceModule:
     def suppressed(self, finding: Finding) -> bool:
         if finding.code == PRAGMA_CODE:
             return False
-        return finding.code in self.suppressions.get(finding.line, ())
+        for line in {finding.line, self.anchor(finding.line)}:
+            if finding.code in self.suppressions.get(line, ()):
+                return True
+        return False
 
 
 @dataclass
@@ -278,7 +317,13 @@ def lint_sources(
         else:
             for module in modules:
                 findings.extend(rule.check(module))
-    return sorted(finding for finding in findings if not project.suppressed(finding))
+    anchored: list[Finding] = []
+    for finding in findings:
+        module = project.module_for(finding.path)
+        if module is not None and finding.code != PRAGMA_CODE:
+            finding = module.anchored(finding)
+        anchored.append(finding)
+    return sorted(finding for finding in anchored if not project.suppressed(finding))
 
 
 def lint_source(

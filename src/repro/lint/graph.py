@@ -38,6 +38,7 @@ from pathlib import PurePosixPath
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 if TYPE_CHECKING:
+    from repro.lint.cfg import ControlFlowGraph
     from repro.lint.core import SourceModule
 
 #: Attribute names too generic for the name-based fallback: linking
@@ -208,6 +209,7 @@ class CallGraph:
         self._resolve_calls()
         self._sccs: list[list[str]] | None = None
         self._scc_of: dict[str, int] = {}
+        self._cfg_cache: dict[str, "ControlFlowGraph"] = {}
 
     # -- construction ----------------------------------------------------------------
 
@@ -563,6 +565,23 @@ class CallGraph:
         tail_fn = self.functions.get(dotted)
         if tail_fn is not None:
             site.targets.append((tail_fn, False))
+
+    # -- control-flow graphs -----------------------------------------------------------
+
+    def cfg_of(self, qualname: str) -> "ControlFlowGraph":
+        """The (cached) control-flow graph of one function.
+
+        Post-dominators and regions are lazily computed on the returned
+        graph; caching here lets the typestate and obliviousness rules
+        share one CFG (and its dominator solutions) per function.
+        """
+        cached = self._cfg_cache.get(qualname)
+        if cached is None:
+            from repro.lint.cfg import build_cfg
+
+            cached = build_cfg(self.functions[qualname].node)
+            self._cfg_cache[qualname] = cached
+        return cached
 
     # -- SCC condensation and reachability --------------------------------------------
 

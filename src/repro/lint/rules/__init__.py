@@ -6,7 +6,9 @@ from repro.lint.rules import (  # noqa: F401  -- imported for registration side 
     entropy,
     exceptions,
     locks,
+    obliviousness,
     planpurity,
     taint,
     tracing,
+    typestate,
 )

@@ -1,0 +1,655 @@
+"""OBL001/OBL002 — device access must be control-flow independent of secrets.
+
+SEC001 catches secret *data* reaching a sink; these rules catch secret
+*decisions*.  The paper's deniability argument needs the observable
+access pattern — which blocks, how many, in what order — to be a
+function of public inputs only, so even ``if key_matches: extra_write()``
+(no secret byte ever touches the device) breaks the contract: the
+adversary counts writes.
+
+The mechanism is classic implicit-flow tracking rebuilt on the CFG:
+
+* a branch whose test reads secret-tainted data taints the program
+  counter for the branch's control-dependence region — every node from
+  the branch up to (excluding) its immediate post-dominator;
+* **OBL001** flags any observable event inside such a region: a device
+  write, a backend write, a trace record, a plan-step construction, or
+  a PRNG draw (draw *count* is observable through every later value of
+  the shared deterministic stream), with the finding carrying the
+  branch → sink witness path;
+* **OBL002** measures planners (``plan*`` methods): each arm of a
+  secret branch gets an interval count of plan-step emissions via the
+  widened interval domain; arms whose intervals cannot overlap emit
+  observably different plans, which is a shape leak even if every
+  individual step looks innocent.
+
+Taint is comparison-propagating: ``key == probe`` is public *data* (a
+bool) but branching on it IS the leak, so for PC purposes comparisons
+keep taint — except ``is None``/``is not None`` presence checks, the
+idiom for "is there a hidden volume *configured*", which is public by
+construction here (the decoy password always configures one).
+Functions returning secrets propagate through
+:func:`~repro.lint.absint.fixpoint_summaries` call-graph summaries.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.lint.absint import Domain, fixpoint_summaries, interpret
+from repro.lint.cfg import (
+    EDGE_FALSE,
+    EDGE_TRUE,
+    EXCEPTIONAL_KINDS,
+    NODE_BRANCH,
+    CfgNode,
+    ControlFlowGraph,
+)
+from repro.lint.core import Finding, Project, ProjectRule, register
+from repro.lint.dataflow import (
+    DEVICE_SINK_NAMES,
+    SANITIZER_CALLS,
+    SOURCE_ATTRS,
+    SOURCE_CALLS,
+    SOURCE_PARAMS,
+    TRACE_SINK_METHODS,
+)
+from repro.lint.graph import CallGraph, FunctionNode, _expr_text
+
+OBL_SINK = "OBL001"
+OBL_SHAPE = "OBL002"
+
+#: Plan-step constructors; building one is an emission event.
+STEP_CONSTRUCTORS = frozenset({"ReadStep", "WriteStep", "CycleStep", "ResealStep"})
+
+#: Sha256Prng draw methods; the draw *count* shifts the shared stream.
+PRNG_METHODS = frozenset(
+    {
+        "random_bytes",
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "shuffle",
+        "sample",
+        "permutation",
+        "expovariate",
+        "gauss",
+        "spawn",
+    }
+)
+
+#: Receiver spellings that denote the deterministic PRNG stream.
+PRNG_RECEIVERS = frozenset({"prng", "rng", "_prng", "_rng"})
+
+#: Observers whose output is public even when the input is secret
+#: (structure, not content).  Narrower than the data-taint list: for PC
+#: purposes ``bool``/``hash``/``int`` of a secret still leaks bits.
+PC_DECLASSIFIERS = frozenset({"len", "type", "isinstance", "id"})
+
+_MAX_TAINT_PASSES = 4
+
+
+# --------------------------------------------------------------------------------------
+# Secret taint (comparison-propagating, interprocedural via summaries)
+# --------------------------------------------------------------------------------------
+
+
+def _is_none_check(node: ast.Compare) -> bool:
+    return all(isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops) and all(
+        isinstance(comp, ast.Constant) and comp.value is None for comp in node.comparators
+    )
+
+
+#: One taint label: the literal ``"secret"`` or ``("param", position)``.
+Label = str | tuple[str, int]
+Labels = frozenset[Label]
+
+_SECRET = "secret"
+_EMPTY: Labels = frozenset()
+_SECRET_ONLY: Labels = frozenset({_SECRET})
+
+
+@dataclass(frozen=True)
+class _FlowSummary:
+    """How a function's return value relates to its inputs."""
+
+    returns_secret: bool
+    #: Parameter positions whose taint flows to the return value.
+    returns_params: frozenset[int]
+
+
+_CLEAN_SUMMARY = _FlowSummary(False, frozenset())
+
+
+class _TaintScan:
+    """Flow-insensitive label propagation for one function body.
+
+    Every local carries a label set: ``"secret"`` for secret-derived
+    data plus the positions of parameters it may depend on.  The param
+    labels power the interprocedural :class:`_FlowSummary` — a resolved
+    call is tainted by exactly the arguments the callee's summary says
+    flow to its return, never by mere argument *presence* (so
+    ``seal_payloads(key, ...)`` stays clean: the key goes in, only
+    ciphertext comes out).
+    """
+
+    def __init__(self, fn: FunctionNode, summaries: dict[str, _FlowSummary] | None):
+        self.fn = fn
+        self.summaries = summaries or {}
+        self.labels: dict[str, Labels] = {}
+        self.param_names: list[str] = [
+            arg.arg
+            for arg in [
+                *fn.node.args.posonlyargs,
+                *fn.node.args.args,
+                *fn.node.args.kwonlyargs,
+            ]
+        ]
+        for index, name in enumerate(self.param_names):
+            labels = {("param", index)}
+            if name in SOURCE_PARAMS:
+                labels.add(_SECRET)
+            self.labels[name] = frozenset(labels)
+        for _ in range(_MAX_TAINT_PASSES):
+            before = dict(self.labels)
+            self._pass()
+            if self.labels == before:
+                break
+
+    def _pass(self) -> None:
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, ast.Assign):
+                labels = self.labels_of(node.value)
+                if labels:
+                    for target in node.targets:
+                        self._label_target(target, labels)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                labels = self.labels_of(node.value)
+                if labels:
+                    self._label_target(node.target, labels)
+            elif isinstance(node, ast.AugAssign):
+                labels = self.labels_of(node.value)
+                if labels:
+                    self._label_target(node.target, labels)
+
+    def _label_target(self, target: ast.expr, labels: Labels) -> None:
+        if isinstance(target, ast.Name):
+            self.labels[target.id] = self.labels.get(target.id, _EMPTY) | labels
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._label_target(element, labels)
+        elif isinstance(target, ast.Starred):
+            self._label_target(target.value, labels)
+
+    def is_tainted(self, expr: ast.expr | None) -> bool:
+        """Whether an expression may carry secret-derived information."""
+        return _SECRET in self.labels_of(expr)
+
+    def any_secret(self) -> bool:
+        """Whether any local in this function carries the secret label."""
+        return any(_SECRET in labels for labels in self.labels.values())
+
+    def labels_of(self, expr: ast.expr | None) -> Labels:
+        if expr is None or isinstance(expr, ast.Constant):
+            return _EMPTY
+        if isinstance(expr, ast.Name):
+            return self.labels.get(expr.id, _EMPTY)
+        if isinstance(expr, ast.Attribute):
+            base = self.labels_of(expr.value)
+            if expr.attr in SOURCE_ATTRS:
+                return base | _SECRET_ONLY
+            return base
+        if isinstance(expr, ast.Compare):
+            if _is_none_check(expr):
+                return _EMPTY
+            out = self.labels_of(expr.left)
+            for comp in expr.comparators:
+                out |= self.labels_of(comp)
+            return out
+        if isinstance(expr, ast.Call):
+            return self._call_labels(expr)
+        if isinstance(expr, ast.BoolOp):
+            out = _EMPTY
+            for value in expr.values:
+                out |= self.labels_of(value)
+            return out
+        if isinstance(expr, ast.UnaryOp):
+            return self.labels_of(expr.operand)
+        if isinstance(expr, ast.BinOp):
+            return self.labels_of(expr.left) | self.labels_of(expr.right)
+        if isinstance(expr, (ast.Subscript, ast.Starred, ast.Await)):
+            return self.labels_of(expr.value)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            out = _EMPTY
+            for element in expr.elts:
+                out |= self.labels_of(element)
+            return out
+        if isinstance(expr, ast.IfExp):
+            return (
+                self.labels_of(expr.test)
+                | self.labels_of(expr.body)
+                | self.labels_of(expr.orelse)
+            )
+        return _EMPTY
+
+    def _call_labels(self, expr: ast.Call) -> Labels:
+        func = expr.func
+        name = ""
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in PC_DECLASSIFIERS or name in SANITIZER_CALLS:
+            return _EMPTY
+        if name in SOURCE_CALLS:
+            return _SECRET_ONLY
+        site = self.fn.call_index.get(id(expr))
+        if site is not None and site.targets:
+            out = _EMPTY
+            for target, bound in site.targets:
+                summary = self.summaries.get(target.qualname, _CLEAN_SUMMARY)
+                if summary.returns_secret:
+                    out |= _SECRET_ONLY
+                offset = 1 if bound else 0
+                if bound and 0 in summary.returns_params and isinstance(
+                    func, ast.Attribute
+                ):
+                    out |= self.labels_of(func.value)
+                for position, arg in enumerate(expr.args):
+                    if position + offset in summary.returns_params:
+                        arg_expr = arg.value if isinstance(arg, ast.Starred) else arg
+                        out |= self.labels_of(arg_expr)
+            return out
+        # Unresolved call: conservative pass-through of args + receiver.
+        out = _EMPTY
+        for arg in expr.args:
+            out |= self.labels_of(arg.value if isinstance(arg, ast.Starred) else arg)
+        for keyword in expr.keywords:
+            out |= self.labels_of(keyword.value)
+        if isinstance(func, ast.Attribute):
+            out |= self.labels_of(func.value)
+        return out
+
+
+def _secret_summaries(graph: CallGraph) -> dict[str, _FlowSummary]:
+    """qualname → how secrets/parameters flow to the return value."""
+
+    def analyze(fn: FunctionNode, summaries: dict[str, _FlowSummary]) -> _FlowSummary:
+        scan = _TaintScan(fn, summaries)
+        returns_secret = False
+        returns_params: set[int] = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                labels = scan.labels_of(node.value)
+                if _SECRET in labels:
+                    returns_secret = True
+                returns_params.update(
+                    label[1]
+                    for label in labels
+                    if isinstance(label, tuple) and label[0] == "param"
+                )
+        return _FlowSummary(returns_secret, frozenset(returns_params))
+
+    return fixpoint_summaries(graph, lambda fn: _CLEAN_SUMMARY, analyze)
+
+
+# --------------------------------------------------------------------------------------
+# Sinks
+# --------------------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Sink:
+    line: int
+    col: int
+    label: str
+
+
+def _sinks_in(fn: FunctionNode, stmt: ast.stmt) -> list[_Sink]:
+    """Observable events a CFG node's own statement performs."""
+    from repro.lint.rules.typestate import _header_exprs
+
+    headers = _header_exprs(stmt)
+    roots: list[ast.AST] = list(headers) if headers is not None else [stmt]
+    sinks: list[_Sink] = []
+    stack = roots
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.Lambda):
+            continue
+        if isinstance(current, ast.Call):
+            label = _sink_label(fn, current)
+            if label is not None:
+                sinks.append(_Sink(current.lineno, current.col_offset, label))
+        stack.extend(ast.iter_child_nodes(current))
+    return sinks
+
+
+def _sink_label(fn: FunctionNode, call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id in STEP_CONSTRUCTORS:
+            return f"plan step {func.id}(...)"
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    name = func.attr
+    receiver = _expr_text(func.value)
+    tail = receiver.rsplit(".", 1)[-1] if receiver else ""
+    if name in DEVICE_SINK_NAMES:
+        return f"device call .{name}()"
+    if name in STEP_CONSTRUCTORS:
+        return f"plan step {name}(...)"
+    if name in PRNG_METHODS and tail in PRNG_RECEIVERS:
+        return f"PRNG draw {tail}.{name}()"
+    site = fn.call_index.get(id(call))
+    if site is not None:
+        for target, _bound in site.targets:
+            if target.cls is None:
+                continue
+            if name in TRACE_SINK_METHODS and target.cls.name == "IoTrace":
+                return f"trace record .{name}()"
+            if name in PRNG_METHODS and target.cls.name == "Sha256Prng":
+                return f"PRNG draw .{name}()"
+    return None
+
+
+def _is_planner(fn: FunctionNode) -> bool:
+    name = fn.name
+    return name == "plan" or name.startswith(("plan_", "_plan_", "_plan"))
+
+
+# --------------------------------------------------------------------------------------
+# OBL002: interval count of step emissions per branch arm
+# --------------------------------------------------------------------------------------
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class _Interval:
+    lo: int
+    hi: float  # int or math.inf after widening
+
+    def plus(self, n: int) -> "_Interval":
+        return _Interval(self.lo + n, self.hi + n)
+
+    def disjoint_from(self, other: "_Interval") -> bool:
+        return self.hi < other.lo or other.hi < self.lo
+
+
+class _CountDomain(Domain[_Interval]):
+    """Interval of plan-step emissions along paths through a region."""
+
+    widen_after = 3
+
+    def __init__(self, fn: FunctionNode):
+        self.fn = fn
+
+    def entry_state(self, cfg: ControlFlowGraph) -> _Interval:
+        return _Interval(0, 0)
+
+    def join(self, left: _Interval, right: _Interval) -> _Interval:
+        return _Interval(min(left.lo, right.lo), max(left.hi, right.hi))
+
+    def widen(self, older: _Interval, newer: _Interval) -> _Interval:
+        lo = newer.lo if newer.lo >= older.lo else 0
+        hi = newer.hi if newer.hi <= older.hi else _INF
+        return _Interval(lo, hi)
+
+    def transfer(self, node: CfgNode, state: _Interval, cfg: ControlFlowGraph) -> _Interval:
+        if node.stmt is None:
+            return state
+        emitted = sum(
+            1
+            for sink in _sinks_in(self.fn, node.stmt)
+            if sink.label.startswith("plan step")
+        )
+        return state.plus(emitted) if emitted else state
+
+
+def _arm_counts(
+    fn: FunctionNode, cfg: ControlFlowGraph, branch: int, stop: int | None
+) -> dict[str, _Interval] | None:
+    """Step-emission interval per arm of a branch, or ``None`` if unusable."""
+    region = cfg.region_between(branch, stop)
+    if stop is not None:
+        region = region | {stop}
+    arms: dict[str, _Interval] = {}
+    domain = _CountDomain(fn)
+    for edge in cfg.succs(branch):
+        if edge.kind not in (EDGE_TRUE, EDGE_FALSE):
+            continue
+        if stop is not None and edge.dst == stop:
+            # Empty arm: control falls straight to the join.
+            interval = _Interval(0, 0)
+        else:
+            result = interpret(
+                cfg,
+                domain,
+                entry=edge.dst,
+                entry_state=_Interval(0, 0),
+                region=region,
+            )
+            if stop is None:
+                # No join point: measure at function exit instead.
+                interval = result.state_before(cfg.exit) or result.state_after(edge.dst)
+            else:
+                interval = result.state_before(stop)
+            if interval is None:
+                return None  # arm never reaches the join (raise/return)
+        held = arms.get(edge.kind)
+        arms[edge.kind] = interval if held is None else domain.join(held, interval)
+    if len(arms) < 2:
+        return None
+    return arms
+
+
+# --------------------------------------------------------------------------------------
+# The rules
+# --------------------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _OblReport:
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+
+def _witness(cfg: ControlFlowGraph, branch: int, region: set[int], sink_line: int) -> str:
+    """Shortest normal-edge node path branch → the sink's node, as lines."""
+    target = None
+    for index in region:
+        node = cfg.nodes[index]
+        if node.stmt is not None and node.line == sink_line:
+            target = index
+            break
+    if target is None:
+        return f"L{cfg.nodes[branch].line} -> L{sink_line}"
+    parents: dict[int, int] = {branch: branch}
+    frontier = [branch]
+    while frontier:
+        current = frontier.pop(0)
+        if current == target:
+            break
+        for edge in cfg.succs(current):
+            if edge.kind in EXCEPTIONAL_KINDS:
+                continue
+            if edge.dst not in parents and (edge.dst in region or edge.dst == target):
+                parents[edge.dst] = current
+                frontier.append(edge.dst)
+    chain: list[int] = []
+    current = target
+    while current != branch and current in parents:
+        chain.append(current)
+        current = parents[current]
+    chain.append(branch)
+    lines: list[str] = []
+    for index in reversed(chain):
+        label = f"L{cfg.nodes[index].line}"
+        if not lines or lines[-1] != label:
+            lines.append(label)
+    return " -> ".join(lines)
+
+
+def _analyze_project(project: Project) -> dict[str, list[_OblReport]]:
+    cached = getattr(project, "_obliviousness_reports", None)
+    if cached is not None:
+        return cached
+    graph = project.graph
+    secret_returning = _secret_summaries(graph)
+    reports: dict[str, list[_OblReport]] = {OBL_SINK: [], OBL_SHAPE: []}
+    for qualname in sorted(graph.functions):
+        fn = graph.functions[qualname]
+        scan = _TaintScan(fn, secret_returning)
+        if not scan.any_secret() and not _has_secret_syntax(fn, scan):
+            continue
+        cfg = graph.cfg_of(qualname)
+        reachable = cfg.reachable()
+        for node in cfg.nodes:
+            if node.kind != NODE_BRANCH or node.index not in reachable:
+                continue
+            test = _branch_test(node.stmt)
+            if test is None or not scan.is_tainted(test):
+                continue
+            stop = cfg.ipostdom(node.index)
+            region = cfg.region_between(node.index, stop)
+            condition = _condition_text(test)
+            for index in sorted(region):
+                region_node = cfg.nodes[index]
+                if region_node.stmt is None:
+                    continue
+                for sink in _sinks_in(fn, region_node.stmt):
+                    witness = _witness(cfg, node.index, region, sink.line)
+                    reports[OBL_SINK].append(
+                        _OblReport(
+                            OBL_SINK,
+                            fn.module.path,
+                            sink.line,
+                            sink.col,
+                            f"secret-dependent control flow: {sink.label} at line "
+                            f"{sink.line} executes only when the secret-derived "
+                            f"condition '{condition}' (line {node.line}) holds; "
+                            f"witness path: {witness} [in {fn.display}]",
+                        )
+                    )
+            if _is_planner(fn):
+                arms = _arm_counts(fn, cfg, node.index, stop)
+                if arms is not None:
+                    true_arm = arms.get(EDGE_TRUE)
+                    false_arm = arms.get(EDGE_FALSE)
+                    if (
+                        true_arm is not None
+                        and false_arm is not None
+                        and true_arm.disjoint_from(false_arm)
+                    ):
+                        reports[OBL_SHAPE].append(
+                            _OblReport(
+                                OBL_SHAPE,
+                                fn.module.path,
+                                node.line,
+                                0,
+                                f"secret-shaped plan: '{fn.display}' emits "
+                                f"{_fmt(true_arm)} plan steps when "
+                                f"'{condition}' holds but {_fmt(false_arm)} "
+                                "otherwise; an adversary counting device "
+                                "operations distinguishes the two — pad the "
+                                f"arms to equal step counts [in {fn.display}]",
+                            )
+                        )
+    for code in reports:
+        reports[code].sort(key=lambda r: (r.path, r.line, r.col, r.message))
+    project._obliviousness_reports = reports  # type: ignore[attr-defined]
+    return reports
+
+
+def _fmt(interval: _Interval) -> str:
+    if interval.lo == interval.hi:
+        return str(interval.lo)
+    hi = "∞" if interval.hi == _INF else str(int(interval.hi))
+    return f"{interval.lo}..{hi}"
+
+
+def _condition_text(test: ast.expr) -> str:
+    text = ast.unparse(test)
+    return text if len(text) <= 60 else text[:57] + "..."
+
+
+def _branch_test(stmt: ast.stmt | None) -> ast.expr | None:
+    if isinstance(stmt, (ast.If, ast.While)):
+        return stmt.test
+    if isinstance(stmt, ast.Match):
+        return stmt.subject
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return stmt.iter
+    return None
+
+
+def _has_secret_syntax(fn: FunctionNode, scan: _TaintScan) -> bool:
+    """Fast pre-filter: does the body read any secret source at all?"""
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Attribute) and node.attr in SOURCE_ATTRS:
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else ""
+            )
+            if name in SOURCE_CALLS:
+                return True
+            site = fn.call_index.get(id(node))
+            if site is not None and any(
+                scan.summaries.get(target.qualname, _CLEAN_SUMMARY).returns_secret
+                for target, _bound in site.targets
+            ):
+                return True
+    return False
+
+
+class _OblRule(ProjectRule):
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        for report in _analyze_project(project)[self.code]:
+            yield Finding(report.path, report.line, report.col, self.code, report.message)
+
+
+@register
+class SecretBranchSinkRule(_OblRule):
+    code = OBL_SINK
+    summary = "observable event control-dependent on a secret"
+    contract = (
+        "No device call, plan-step emission, trace record, or PRNG draw "
+        "is control-dependent on secret-derived data: branching on a "
+        "secret must not change what the adversary can observe."
+    )
+    rationale = (
+        "The access pattern is part of the adversary's view; a write "
+        "that happens only when a key matches is a one-bit oracle even "
+        "though no secret byte is ever written — the snapshot-diff and "
+        "trace-equivalence tests sample this, the rule proves it per "
+        "branch region."
+    )
+    dynamic_suite = "tests/test_attacks.py, tests/test_oblivious.py"
+
+
+@register
+class SecretPlanShapeRule(_OblRule):
+    code = OBL_SHAPE
+    summary = "planner emits secret-dependent step counts across branch arms"
+    contract = (
+        "Every planner emits the same number of plan steps on both arms "
+        "of any secret-dependent conditional, so the IoPlan shape is a "
+        "function of public inputs only."
+    )
+    rationale = (
+        "Plans are replayed against the device; two arms with provably "
+        "different step counts give the adversary a calibrated counter "
+        "for the secret bit — the chi-square seized-disk test would "
+        "need luck to catch it, the interval analysis proves it."
+    )
+    dynamic_suite = "tests/test_seized_disk.py, tests/test_plan_kernel.py"

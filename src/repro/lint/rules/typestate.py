@@ -1,0 +1,801 @@
+"""TYP001/TYP002 — lifecycle typestate over the control-flow graph.
+
+CLS001 proves every lifecycle *callee* guards against the closed state;
+these rules prove the *call sites*: no path through a function may use
+a ``RawStorage``/``MmapFileBackend``/``JournalBackend``/
+``HiddenVolumeService``/``Session``/``ConcurrentVolumeService`` value
+after closing it, double-close a non-idempotent object, skip
+``recover()`` between ``JournalBackend.open()`` and the first real use,
+or let an exception edge escape with a locally-owned backend still open.
+
+Each tracked value (a local name or a ``self.`` field) carries a set of
+abstract states — ``created``, ``open``, ``flushed``, ``closed``,
+``recovering`` — through :func:`repro.lint.absint.interpret`, joining at
+CFG merges, so "closed in the except arm, open on the fall-through"
+yields *may be closed* after the merge, which is exactly the fact a
+may-warning needs.  Close effects cross function boundaries through
+:func:`~repro.lint.absint.fixpoint_summaries`: a helper that closes its
+parameter (or ``self``) transitions the caller's argument too.
+
+Double-close is only reported when the resolved ``close`` body is not
+*annotated idempotent* — a docstring containing "idempotent" or a
+leading early-return guard (``if self._closed: return``), the two
+spellings the tree actually uses.  The leak check (TYP002) fires when a
+locally created, non-escaping value is still open on an edge into the
+exceptional exit while some path does close it — the classic
+"close() at the end, exception skips it" shape; ``with`` bodies and
+``finally`` blocks route those edges through the closing code, so the
+fix the finding suggests also silences it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.lint.absint import Domain, fixpoint_summaries, interpret
+from repro.lint.cfg import (
+    EDGE_EXC,
+    NODE_WITH_EXIT,
+    CfgNode,
+    ControlFlowGraph,
+    Edge,
+)
+from repro.lint.core import Finding, Project, ProjectRule, register
+from repro.lint.graph import CallGraph, ClassInfo, FunctionNode
+from repro.lint.rules.closedguards import GUARD_SPECS
+
+TYP_USE = "TYP001"
+TYP_LEAK = "TYP002"
+
+#: Abstract lifecycle states.
+CREATED = "created"
+OPEN = "open"
+FLUSHED = "flushed"
+CLOSED = "closed"
+RECOVERING = "recovering"
+
+#: States in which the object is usable.
+_USABLE = frozenset({CREATED, OPEN, FLUSHED})
+
+#: Methods that (re)open, per state they establish; ``open`` on the
+#: journal lands in ``recovering`` — `recover()` must run before use.
+_OPENER_STATES = {"create": OPEN, "open": OPEN, "recover": OPEN}
+_JOURNAL_OPENER_STATES = {"create": OPEN, "open": RECOVERING, "recover": OPEN}
+
+_FLUSHERS = frozenset({"flush", "sync"})
+
+_DEFAULT_CLOSERS = frozenset({"close"})
+_SESSION_CLOSERS = frozenset({"close", "logout"})
+
+#: Constructors that yield a ready-to-use object vs. a shell that still
+#: needs ``create()``/``open()`` (the file-backed classes).
+_CONSTRUCTOR_STATES = {
+    "RawStorage": OPEN,
+    "MmapFileBackend": CREATED,
+    "JournalBackend": CREATED,
+    "HiddenVolumeService": OPEN,
+    "Session": OPEN,
+    "ConcurrentVolumeService": OPEN,
+}
+
+_SAFE_WHEN_CLOSED = {spec.class_name: spec.whitelist | {"closed"} for spec in GUARD_SPECS}
+
+_MAX_STATES_PER_PATH = 12
+
+
+def _closers_for(class_name: str) -> frozenset[str]:
+    return _SESSION_CLOSERS if class_name == "Session" else _DEFAULT_CLOSERS
+
+
+def _opener_states(class_name: str) -> dict[str, str]:
+    return _JOURNAL_OPENER_STATES if class_name == "JournalBackend" else _OPENER_STATES
+
+
+#: One abstract fact: an access path may be in ``state`` since ``line``.
+Fact = tuple[str, str, int]
+#: Domain state: the frozenset of facts (absent path = untracked).
+Env = frozenset[Fact]
+
+
+def _states_of(env: Env, path: str) -> set[tuple[str, int]]:
+    return {(state, line) for p, state, line in env if p == path}
+
+
+def _set_path(env: Env, path: str, state: str, line: int) -> Env:
+    return frozenset(f for f in env if f[0] != path) | {(path, state, line)}
+
+
+def _drop_path(env: Env, path: str) -> Env:
+    return frozenset(f for f in env if f[0] != path)
+
+
+def _path_of(expr: ast.expr) -> str | None:
+    """Access path of a receiver expression: ``x`` or ``self.attr``."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return f"self.{expr.attr}"
+    return None
+
+
+@dataclass(frozen=True)
+class _Creation:
+    """How a value was created by an expression, if lifecycle-typed."""
+
+    class_name: str
+    state: str
+
+
+class _Lifecycle:
+    """Project-wide context shared by both rules: types and summaries."""
+
+    def __init__(self, graph: CallGraph):
+        self.graph = graph
+        self.classes: dict[str, ClassInfo] = {
+            info.qualname: info
+            for info in graph.classes.values()
+            if self._lifecycle_name(info) is not None
+        }
+        #: qualname → frozenset of parameter indices the function may
+        #: close (0 is ``self`` for bound methods).
+        self.close_effects: dict[str, frozenset[int]] = fixpoint_summaries(
+            graph, lambda fn: frozenset(), self._close_summary
+        )
+        #: close methods proven idempotent, by class qualname.
+        self._idempotent: dict[str, bool] = {}
+
+    def _lifecycle_name(self, info: ClassInfo) -> str | None:
+        if info.name in _CONSTRUCTOR_STATES:
+            return info.name
+        for ancestor in self.graph.mro(info):
+            if ancestor.name in _CONSTRUCTOR_STATES:
+                return ancestor.name
+        return None
+
+    def lifecycle_class(self, info: ClassInfo | None) -> str | None:
+        if info is None:
+            return None
+        if info.qualname in self.classes:
+            return self._lifecycle_name(info)
+        return None
+
+    def class_of_path(self, fn: FunctionNode, path: str) -> str | None:
+        """Lifecycle class name of an access path, or ``None``."""
+        types = self._path_types(fn)
+        return types.get(path)
+
+    def _path_types(self, fn: FunctionNode) -> dict[str, str]:
+        cached = getattr(fn, "_lifecycle_path_types", None)
+        if cached is not None:
+            return cached
+        types: dict[str, str] = {}
+        for name, qualname in self.graph._local_types(fn).items():
+            lifecycle = self.lifecycle_class(self.graph.classes.get(qualname))
+            if lifecycle is not None:
+                types[name] = lifecycle
+        if fn.cls is not None:
+            own = self.lifecycle_class(fn.cls)
+            if own is not None:
+                types["self"] = own
+            for ancestor in self.graph.mro(fn.cls):
+                for attr, qualname in ancestor.attr_types.items():
+                    lifecycle = self.lifecycle_class(self.graph.classes.get(qualname))
+                    if lifecycle is not None:
+                        types.setdefault(f"self.{attr}", lifecycle)
+        # Classmethod factories (``JournalBackend.open(path)``) are not
+        # typed by the call graph's local inference; add them here.
+        for stmt in ast.walk(fn.node):
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+            ):
+                creation = self.creation_of(fn, stmt.value)
+                if creation is not None:
+                    types.setdefault(stmt.targets[0].id, creation.class_name)
+        fn._lifecycle_path_types = types  # type: ignore[attr-defined]
+        return types
+
+    def creation_of(self, fn: FunctionNode, expr: ast.expr) -> _Creation | None:
+        """Lifecycle creation an expression performs, if recognisable."""
+        if not isinstance(expr, ast.Call):
+            return None
+        func = expr.func
+        # Direct constructor: ``RawStorage(...)``.
+        dotted = fn.module.resolve(func)
+        if dotted is None and isinstance(func, ast.Name):
+            dotted = func.id
+        if dotted is not None:
+            info = self.graph._class_for_dotted(dotted)
+            lifecycle = self.lifecycle_class(info)
+            if lifecycle is not None:
+                return _Creation(lifecycle, _CONSTRUCTOR_STATES[lifecycle])
+        # Classmethod factory: ``MmapFileBackend.open(path)``.
+        if isinstance(func, ast.Attribute):
+            base = fn.module.resolve(func.value)
+            if base is None and isinstance(func.value, ast.Name):
+                base = func.value.id
+            if base is not None:
+                info = self.graph._class_for_dotted(base)
+                lifecycle = self.lifecycle_class(info)
+                if lifecycle is not None:
+                    state = _opener_states(lifecycle).get(func.attr)
+                    if state is not None:
+                        return _Creation(lifecycle, state)
+        # Factory function resolved through the call graph, whose return
+        # value the summaries know to be a freshly opened object.
+        site = fn.call_index.get(id(expr))
+        if site is not None:
+            for target, _bound in site.targets:
+                returned = self.returns_lifecycle(target)
+                if returned is not None:
+                    return returned
+        return None
+
+    def returns_lifecycle(self, fn: FunctionNode) -> _Creation | None:
+        """Whether a function returns a freshly created lifecycle value."""
+        cached = getattr(fn, "_lifecycle_returns", "unset")
+        if cached != "unset":
+            return cached  # type: ignore[return-value]
+        # Seed before recursing: a self-recursive factory resolves to
+        # "unknown" instead of looping.
+        fn._lifecycle_returns = None  # type: ignore[attr-defined]
+        result: _Creation | None = None
+        if fn.name not in ("__init__",):
+            for stmt in ast.walk(fn.node):
+                if isinstance(stmt, ast.Return) and stmt.value is not None:
+                    creation = self.creation_of(fn, stmt.value)
+                    if creation is not None:
+                        result = creation
+                        break
+        fn._lifecycle_returns = result  # type: ignore[attr-defined]
+        return result
+
+    def close_is_idempotent(self, class_name: str, closer: str) -> bool:
+        """Whether ``class_name.closer()`` tolerates repeated calls.
+
+        Detected from the resolved method body: a docstring containing
+        "idempotent" or a leading ``if <flag>: return`` guard.
+        """
+        key = f"{class_name}.{closer}"
+        cached = self._idempotent.get(key)
+        if cached is not None:
+            return cached
+        verdicts: list[bool] = []
+        for info in self.graph.classes.values():
+            if self._lifecycle_name(info) != class_name:
+                continue
+            method = info.methods.get(closer)
+            if method is not None:
+                verdicts.append(_annotated_idempotent(method.node))
+        # Unknown bodies (class not in the linted set) default to
+        # idempotent: may-warnings need evidence, not absence of it.
+        result = all(verdicts) if verdicts else True
+        self._idempotent[key] = result
+        return result
+
+    def _close_summary(
+        self, fn: FunctionNode, summaries: dict[str, frozenset[int]]
+    ) -> frozenset[int]:
+        params = _param_names(fn)
+        positions = {name: index for index, name in enumerate(params)}
+        closed: set[int] = set(summaries.get(fn.qualname, frozenset()))
+        for call in ast.walk(fn.node):
+            if not isinstance(call, ast.Call):
+                continue
+            func = call.func
+            if isinstance(func, ast.Attribute):
+                path = _path_of(func.value)
+                if path is not None:
+                    owner = self.class_of_path(fn, path)
+                    if (
+                        owner is not None
+                        and func.attr in _closers_for(owner)
+                        and path in positions
+                    ):
+                        closed.add(positions[path])
+            site = fn.call_index.get(id(call))
+            if site is None or not site.targets:
+                continue
+            for target, bound in site.targets:
+                effect = summaries.get(target.qualname)
+                if not effect:
+                    continue
+                offset = 1 if bound else 0
+                if bound and 0 in effect and isinstance(func, ast.Attribute):
+                    receiver_path = _path_of(func.value)
+                    if receiver_path in positions:
+                        closed.add(positions[receiver_path])
+                for arg_index, arg in enumerate(call.args):
+                    if isinstance(arg, ast.Name) and arg.id in positions:
+                        if arg_index + offset in effect:
+                            closed.add(positions[arg.id])
+        return frozenset(closed)
+
+
+def _param_names(fn: FunctionNode) -> list[str]:
+    args = fn.node.args
+    return [arg.arg for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]]
+
+
+def _annotated_idempotent(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    doc = ast.get_docstring(node)
+    if doc is not None and "idempotent" in doc.lower():
+        return True
+    body = node.body
+    if body and isinstance(body[0], ast.Expr) and isinstance(body[0].value, ast.Constant):
+        body = body[1:]  # skip the docstring
+    if body and isinstance(body[0], ast.If):
+        guard = body[0]
+        if guard.body and isinstance(guard.body[0], ast.Return) and not guard.orelse:
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class _Report:
+    """One deduplicated finding candidate from the typestate walk."""
+
+    code: str
+    line: int
+    col: int
+    message: str
+
+
+class _TypestateDomain(Domain[Env]):
+    """Lifecycle facts per access path; checks fire inside ``transfer``."""
+
+    def __init__(self, analysis: "_FunctionTypestate"):
+        self.analysis = analysis
+
+    def entry_state(self, cfg: ControlFlowGraph) -> Env:
+        return self.analysis.entry_env
+
+    def join(self, left: Env, right: Env) -> Env:
+        merged = left | right
+        # Cap per-path fact growth (distinct lines accumulate in loops).
+        by_path: dict[tuple[str, str], list[Fact]] = {}
+        for fact in merged:
+            by_path.setdefault((fact[0], fact[1]), []).append(fact)
+        kept: set[Fact] = set()
+        for facts in by_path.values():
+            facts.sort(key=lambda f: f[2])
+            kept.update(facts[:_MAX_STATES_PER_PATH])
+        return frozenset(kept)
+
+    def transfer(self, node: CfgNode, state: Env, cfg: ControlFlowGraph) -> Env:
+        return self.analysis.transfer(node, state)
+
+    def edge_state(self, edge: Edge, pre: Env, post: Env) -> Env:
+        """Exc edges carry pre-state, except for discharges.
+
+        A ``close()`` that raises mid-way still ends the caller's
+        ownership; carrying the stale open fact would launder it through
+        every enclosing ``finally`` and flag the close site as a leak.
+        A path counts as discharged when the node leaves it closed or
+        forgets it entirely.
+        """
+        if edge.kind != EDGE_EXC:
+            return post
+        post_states: dict[str, set[str]] = {}
+        for path, state, _line in post:
+            post_states.setdefault(path, set()).add(state)
+        kept: set[Fact] = set()
+        discharged: set[str] = set()
+        for fact in pre:
+            if post_states.get(fact[0], set()) <= {CLOSED}:
+                discharged.add(fact[0])
+            else:
+                kept.add(fact)
+        kept.update(fact for fact in post if fact[0] in discharged)
+        return frozenset(kept)
+
+
+class _FunctionTypestate:
+    """Typestate interpretation of one function body."""
+
+    def __init__(self, context: _Lifecycle, fn: FunctionNode):
+        self.context = context
+        self.graph = context.graph
+        self.fn = fn
+        self.reports: dict[tuple[str, int, str], _Report] = {}
+        self.entry_env = self._entry_env()
+        #: Paths the checker may not warn about (state unknown).
+        self.escaped = _escaped_names(fn.node)
+        self.created_lines: dict[str, int] = {}
+
+    def _entry_env(self) -> Env:
+        facts: set[Fact] = set()
+        closer_names = set()
+        if self.fn.cls is not None:
+            own = self.context.lifecycle_class(self.fn.cls)
+            if own is not None:
+                closer_names = _closers_for(own)
+        for path in _param_names(self.fn):
+            lifecycle = self.context.class_of_path(self.fn, path)
+            if lifecycle is None:
+                continue
+            if path == "self" and (
+                self.fn.name in closer_names or self.fn.name.startswith("_")
+            ):
+                # Teardown helpers legitimately run on a closing object.
+                continue
+            facts.add((path, OPEN, self.fn.node.lineno))
+        return frozenset(facts)
+
+    # -- the transfer function ---------------------------------------------------------
+
+    def transfer(self, node: CfgNode, env: Env) -> Env:
+        stmt = node.stmt
+        if stmt is None:
+            return env
+        if node.kind == NODE_WITH_EXIT and isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                path = (
+                    _path_of(item.optional_vars) if item.optional_vars is not None else None
+                )
+                if path is None:
+                    path = _path_of(item.context_expr)
+                if path is not None and self.context.class_of_path(self.fn, path):
+                    env = _set_path(env, path, CLOSED, stmt.lineno)
+            return env
+        env = self._apply_calls(stmt, env)
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            env = self._apply_assign(stmt.targets[0], stmt.value, stmt.lineno, env)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            env = self._apply_assign(stmt.target, stmt.value, stmt.lineno, env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    env = self._apply_assign(
+                        item.optional_vars, item.context_expr, stmt.lineno, env
+                    )
+        return env
+
+    def _apply_assign(
+        self, target: ast.expr, value: ast.expr, line: int, env: Env
+    ) -> Env:
+        path = _path_of(target)
+        if path is None:
+            return env
+        creation = self.context.creation_of(self.fn, value)
+        if creation is not None:
+            if not path.startswith("self."):
+                self.created_lines.setdefault(path, line)
+            return _set_path(env, path, creation.state, line)
+        source = _path_of(value)
+        if source is not None:
+            facts = _states_of(env, source)
+            if facts:
+                env = _drop_path(env, path)
+                return env | {(path, state, fact_line) for state, fact_line in facts}
+        if self.context.class_of_path(self.fn, path) is not None:
+            # Reassigned from something we cannot see: forget.
+            return _drop_path(env, path)
+        return env
+
+    def _apply_calls(self, stmt: ast.stmt, env: Env) -> Env:
+        for call in _calls_in(stmt):
+            env = self._apply_call(call, stmt, env)
+        return env
+
+    def _apply_call(self, call: ast.Call, stmt: ast.stmt, env: Env) -> Env:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            path = _path_of(func.value)
+            if path is not None:
+                owner = self.context.class_of_path(self.fn, path)
+                if owner is not None:
+                    env = self._apply_method(call, stmt, path, owner, func.attr, env)
+            elif func.attr in _DEFAULT_CLOSERS and isinstance(func.value, ast.Attribute):
+                # Manual component teardown (``svc.storage.close()``):
+                # the owner's obligation is being discharged below the
+                # facade's abstraction — stop tracking the owner rather
+                # than claim it is cleanly closed.
+                base = _path_of(func.value.value)
+                if (
+                    base is not None
+                    and self.context.class_of_path(self.fn, base) is not None
+                    and _states_of(env, base)
+                ):
+                    env = _drop_path(env, base)
+        # Callee close-effects on tracked arguments.
+        site = self.fn.call_index.get(id(call))
+        if site is not None:
+            for target, bound in site.targets:
+                effect = self.context.close_effects.get(target.qualname)
+                if not effect:
+                    continue
+                offset = 1 if bound else 0
+                if bound and 0 in effect and isinstance(func, ast.Attribute):
+                    receiver = _path_of(func.value)
+                    if receiver is not None and _states_of(env, receiver):
+                        env = _set_path(env, receiver, CLOSED, stmt.lineno)
+                for arg_index, arg in enumerate(call.args):
+                    arg_path = _path_of(arg)
+                    if (
+                        arg_path is not None
+                        and arg_index + offset in effect
+                        and _states_of(env, arg_path)
+                    ):
+                        env = _set_path(env, arg_path, CLOSED, stmt.lineno)
+        return env
+
+    def _apply_method(
+        self,
+        call: ast.Call,
+        stmt: ast.stmt,
+        path: str,
+        owner: str,
+        method: str,
+        env: Env,
+    ) -> Env:
+        states = _states_of(env, path)
+        line, col = call.lineno, call.col_offset
+        openers = _opener_states(owner)
+        if method in _closers_for(owner):
+            closed_states = {(s, ln) for s, ln in states if s == CLOSED}
+            if closed_states and not self.context.close_is_idempotent(owner, method):
+                first = min(ln for _s, ln in closed_states)
+                self._report(
+                    TYP_LEAK,
+                    line,
+                    col,
+                    f"double close: {owner} value '{path}' may already be closed "
+                    f"(closed at line {first}) and {owner}.{method}() is not "
+                    "annotated idempotent; guard the second call or add an "
+                    "early-return guard to the close body",
+                )
+            return _set_path(env, path, CLOSED, stmt.lineno)
+        if method in openers:
+            return _set_path(env, path, openers[method], stmt.lineno)
+        if method in _FLUSHERS:
+            env = self._checked_use(path, owner, method, states, line, col, env)
+            if any(s in _USABLE for s, _ in states):
+                kept = frozenset(f for f in env if f[0] != path or f[1] not in _USABLE)
+                return kept | {(path, FLUSHED, stmt.lineno)}
+            return env
+        if method in _SAFE_WHEN_CLOSED.get(owner, frozenset()) or method.startswith("__"):
+            return env
+        return self._checked_use(path, owner, method, states, line, col, env)
+
+    def _checked_use(
+        self,
+        path: str,
+        owner: str,
+        method: str,
+        states: set[tuple[str, int]],
+        line: int,
+        col: int,
+        env: Env,
+    ) -> Env:
+        closed = [ln for s, ln in states if s == CLOSED]
+        if closed:
+            self._report(
+                TYP_USE,
+                line,
+                col,
+                f"use after close: {owner} value '{path}' may be closed "
+                f"(closed at line {min(closed)}) when '.{method}()' is called; "
+                "re-open it or restructure so no path closes it first",
+            )
+        recovering = [ln for s, ln in states if s == RECOVERING]
+        if recovering and owner == "JournalBackend":
+            self._report(
+                TYP_USE,
+                line,
+                col,
+                f"journal used before recovery: '{path}' comes from "
+                f"JournalBackend.open() at line {min(recovering)} and "
+                f"'.{method}()' runs before recover(); a crash-recovered "
+                "journal must replay its intent log first",
+            )
+        return env
+
+    def _report(self, code: str, line: int, col: int, message: str) -> None:
+        self.reports.setdefault((code, line, message), _Report(code, line, col, message))
+
+    # -- the leak check ----------------------------------------------------------------
+
+    def check_leaks(self, cfg: ControlFlowGraph, domain: _TypestateDomain) -> None:
+        result = interpret(cfg, domain)
+        ever_closed: set[str] = set()
+        for env in result.post.values():
+            for path, state, _line in env:
+                if state == CLOSED:
+                    ever_closed.add(path)
+        reported: set[str] = set()
+        for edge in cfg.preds(cfg.exc_exit):
+            pre = result.state_before(edge.src)
+            post = result.state_after(edge.src)
+            if pre is None or post is None:
+                continue
+            carried = domain.edge_state(edge, pre, post)
+            for path, state, opened_line in sorted(carried):
+                if state not in (OPEN, FLUSHED, RECOVERING):
+                    continue
+                if path in reported or path not in self.created_lines:
+                    continue
+                if path in self.escaped or path not in ever_closed:
+                    continue
+                owner = self.context.class_of_path(self.fn, path) or "lifecycle"
+                node = cfg.nodes[edge.src]
+                leak_line = node.line or opened_line
+                reported.add(path)
+                self._report(
+                    TYP_LEAK,
+                    leak_line,
+                    0,
+                    f"exception leak: {owner} value '{path}' (created at line "
+                    f"{self.created_lines[path]}) is still open when the "
+                    f"exception raised at line {leak_line} unwinds; close it "
+                    "in a finally block or hold it in a with statement",
+                )
+
+
+def _header_exprs(stmt: ast.AST) -> list[ast.expr] | None:
+    """Expressions a compound statement's own CFG node evaluates.
+
+    ``None`` means the statement is simple: walk all of it.  Bodies of
+    compounds have their own CFG nodes, so walking them here would
+    apply every call effect twice (and at the wrong program point).
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, (ast.Try, ast.ExceptHandler)):
+        return []
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return []
+    return None
+
+
+def _calls_in(stmt: ast.stmt) -> Iterator[ast.Call]:
+    """Calls the statement's own CFG node evaluates (not nested scopes)."""
+    headers = _header_exprs(stmt)
+    roots: list[ast.AST] = list(headers) if headers is not None else [stmt]
+    stack = roots
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.Lambda):
+            continue
+        if isinstance(current, ast.Call):
+            yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _escaped_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Local names whose object may outlive the function.
+
+    Returned/yielded values, attribute/subscript stores, container
+    literals, and argument positions all hand the object to code this
+    function cannot see; the leak check skips them, trading recall for a
+    zero-noise warning.
+    """
+    escaped: set[str] = set()
+
+    def note(expr: ast.expr | None) -> None:
+        if expr is None:
+            return
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Name):
+                escaped.add(sub.id)
+
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.Return, ast.Yield, ast.YieldFrom)):
+            note(sub.value)
+        elif isinstance(sub, ast.Assign):
+            for target in sub.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    note(sub.value)
+            if isinstance(sub.value, (ast.Tuple, ast.List, ast.Dict, ast.Set)):
+                note(sub.value)
+        elif isinstance(sub, ast.Call):
+            for arg in sub.args:
+                if not isinstance(arg, ast.Name):
+                    continue
+                func = sub.func
+                closerish = isinstance(func, ast.Attribute) and func.attr in (
+                    "close",
+                    "append",  # container growth still escapes
+                )
+                if closerish and func.attr == "close":
+                    continue
+                escaped.add(arg.id)
+            for keyword in sub.keywords:
+                note(keyword.value)
+    return escaped
+
+
+def _function_reports(context: _Lifecycle, fn: FunctionNode) -> list[_Report]:
+    types = context._path_types(fn)
+    if not types:
+        return []
+    analysis = _FunctionTypestate(context, fn)
+    domain = _TypestateDomain(analysis)
+    cfg = context.graph.cfg_of(fn.qualname)
+    analysis.check_leaks(cfg, domain)
+    return sorted(analysis.reports.values(), key=lambda r: (r.line, r.col, r.message))
+
+
+def _lifecycle_context(project: Project) -> _Lifecycle:
+    cached = getattr(project, "_lifecycle_context", None)
+    if cached is None:
+        cached = _Lifecycle(project.graph)
+        project._lifecycle_context = cached  # type: ignore[attr-defined]
+    return cached
+
+
+def _all_reports(project: Project) -> dict[str, list[tuple[FunctionNode, _Report]]]:
+    cached = getattr(project, "_typestate_reports", None)
+    if cached is None:
+        context = _lifecycle_context(project)
+        cached = {TYP_USE: [], TYP_LEAK: []}
+        for qualname in sorted(context.graph.functions):
+            fn = context.graph.functions[qualname]
+            for report in _function_reports(context, fn):
+                cached[report.code].append((fn, report))
+        project._typestate_reports = cached  # type: ignore[attr-defined]
+    return cached
+
+
+class _TypestateRule(ProjectRule):
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        for fn, report in _all_reports(project)[self.code]:
+            yield Finding(
+                fn.module.path,
+                report.line,
+                report.col,
+                self.code,
+                f"{report.message} [in {fn.display}]",
+            )
+
+
+@register
+class UseAfterCloseRule(_TypestateRule):
+    code = TYP_USE
+    summary = "lifecycle value may be used after close or before recovery"
+    contract = (
+        "No path through any function uses a RawStorage, MmapFileBackend, "
+        "JournalBackend, HiddenVolumeService, Session, or "
+        "ConcurrentVolumeService value after a closer ran, nor a "
+        "crash-opened journal before recover() replays its intent log."
+    )
+    rationale = (
+        "CLS001 makes the callee raise; this rule removes the raise "
+        "from the reachable set — a closed backend reached on any path "
+        "would otherwise surface as a runtime ClosedError in exactly "
+        "the crash-recovery scenarios the paper's durability argument "
+        "depends on."
+    )
+    dynamic_suite = "tests/test_closed_guards.py, tests/test_crash_recovery.py"
+
+
+@register
+class LifecycleLeakRule(_TypestateRule):
+    code = TYP_LEAK
+    summary = "double-close without idempotence, or open value leaked on an exception edge"
+    contract = (
+        "A lifecycle value is closed at most once unless its close body "
+        "is annotated idempotent, and a locally created value that some "
+        "path closes is closed on *every* path, exception edges "
+        "included (with/finally count as closing)."
+    )
+    rationale = (
+        "A leaked mmap keeps the plaintext view alive past logout and a "
+        "non-idempotent double close corrupts teardown ordering; both "
+        "undermine the seized-disk argument precisely on the error "
+        "paths the dynamic suite rarely exercises."
+    )
+    dynamic_suite = "tests/test_crash_recovery.py, tests/test_service_facade.py"

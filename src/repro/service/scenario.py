@@ -570,13 +570,15 @@ def _run_crash_scenario(scenario: CrashScenario) -> ExperimentResult:
             latency=scenario.latency,
             path=volume_path,
         )
-        session = service.login(service.new_keyring("owner"))
-        file_size = scenario.file_blocks * service.volume.data_field_bytes
-        content_prng = Sha256Prng(f"crash-content:{scenario.seed}")
-        session.create("/crash/data", content_prng.random_bytes(file_size))
-        ring_json = session.keyring.to_json()
-        service.flush()
-        service.close()
+        try:
+            session = service.login(service.new_keyring("owner"))
+            file_size = scenario.file_blocks * service.volume.data_field_bytes
+            content_prng = Sha256Prng(f"crash-content:{scenario.seed}")
+            session.create("/crash/data", content_prng.random_bytes(file_size))
+            ring_json = session.keyring.to_json()
+            service.flush()
+        finally:
+            service.close()
 
         def image(label: str) -> Snapshot:
             return Snapshot.of_bytes(
@@ -596,6 +598,9 @@ def _run_crash_scenario(scenario: CrashScenario) -> ExperimentResult:
                 injector = FaultInjectingBackend(backend)
                 return injector
 
+            op_prng = Sha256Prng(f"crash-ops:{scenario.seed}:{interval}")
+            dummy_credit = 0.0
+            crashed = False
             svc = HiddenVolumeService.open(
                 volume_path,
                 scenario.construction,
@@ -605,12 +610,9 @@ def _run_crash_scenario(scenario: CrashScenario) -> ExperimentResult:
                 session_nonce=f"crash:{interval}",
                 wrap_backend=wrap if crash_here else None,
             )
-            sess = svc.login(KeyRing.from_json(ring_json))
-            op_prng = Sha256Prng(f"crash-ops:{scenario.seed}:{interval}")
-            payload_bytes = svc.volume.data_field_bytes
-            dummy_credit = 0.0
-            crashed = False
             try:
+                sess = svc.login(KeyRing.from_json(ring_json))
+                payload_bytes = svc.volume.data_field_bytes
                 for op in range(scenario.ops_per_interval):
                     size = 1 + op_prng.randrange(payload_bytes)
                     at = op_prng.randrange(file_size - size + 1)
@@ -643,6 +645,13 @@ def _run_crash_scenario(scenario: CrashScenario) -> ExperimentResult:
                 svc.storage.close()
                 if svc.journal is not None:
                     svc.journal.close()
+            except BaseException:
+                # An unexpected error is a harness bug, not a simulated
+                # crash: release the raw handles, then let it propagate.
+                svc.storage.close()
+                if svc.journal is not None:
+                    svc.journal.close()
+                raise
             crash_flags.append(crashed)
             snapshots.append(image(f"interval:{interval}"))
 

@@ -1,0 +1,28 @@
+"""Deliberate TYP002 defects: the backend is closed on the happy path
+only, so a raising write leaks the open mmap — and a second function
+closes a non-idempotent backend twice."""
+
+
+class MmapFileBackend:
+    @classmethod
+    def open(cls, path):
+        return cls()
+
+    def write(self, index, data):
+        pass
+
+    def close(self):
+        pass
+
+
+def rewrite(path, blocks):
+    backend = MmapFileBackend.open(path)
+    for index, data in blocks:
+        backend.write(index, data)
+    backend.close()
+
+
+def reseal(path):
+    backend = MmapFileBackend.open(path)
+    backend.close()
+    backend.close()

@@ -1,0 +1,22 @@
+"""Sanitized twin: the write is unconditional and the comparison only
+feeds bookkeeping, so the observable pattern carries zero secret bits —
+plus a pragma'd audit tool documenting a reviewed exception."""
+
+
+class Device:
+    def write_block(self, index, data):
+        pass
+
+
+def refresh(device, key, probe, payload):
+    matched = key == probe
+    credit = 1 if matched else 0
+    device.write_block(0, payload)
+    return credit
+
+
+def audit_refresh(device, key, probe, marker):
+    """Bench-only audit: marks the block when the probe key matches."""
+    if key == probe:
+        # repro-lint: ignore[OBL001] -- fixture: audit tool runs on the bench rig only, never on a deniable volume
+        device.write_block(0, marker)

@@ -1,0 +1,15 @@
+"""Deliberate OBL001 defect: the device write runs only when the probe
+matches the key — no secret byte is written, but the adversary counts
+writes and learns the comparison bit."""
+
+
+class Device:
+    def write_block(self, index, data):
+        pass
+
+
+def refresh(device, key, probe, payload):
+    matched = key == probe
+    if matched:
+        device.write_block(0, payload)
+    return None

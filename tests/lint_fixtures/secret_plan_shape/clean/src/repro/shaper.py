@@ -1,0 +1,12 @@
+"""Sanitized twin: both outcomes emit the same two steps; the secret
+only selects which (uniformly distributed) block index they target."""
+
+
+class WriteStep:
+    def __init__(self, index):
+        self.index = index
+
+
+def plan_update(key, probe, index, decoy):
+    target = index if key == probe else decoy
+    return [WriteStep(target), WriteStep(target + 1)]

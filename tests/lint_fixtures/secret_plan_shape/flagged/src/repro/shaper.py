@@ -1,0 +1,15 @@
+"""Deliberate OBL002 defect: the hidden arm of the planner emits two
+extra plan steps, so the plan length itself encodes the secret bit."""
+
+
+class WriteStep:
+    def __init__(self, index):
+        self.index = index
+
+
+def plan_update(key, probe, index):
+    steps = [WriteStep(index)]
+    if key == probe:
+        steps.append(WriteStep(index + 1))
+        steps.append(WriteStep(index + 2))
+    return steps

@@ -1,0 +1,30 @@
+"""Sanitized twin: the read happens before any path can close the
+storage — plus a pragma'd probe documenting a reviewed exception."""
+
+
+class RawStorage:
+    def __init__(self, path):
+        self._path = path
+        self._closed = False
+
+    def read_block(self, index):
+        return bytes(16)
+
+    def close(self):
+        self._closed = True
+
+
+def drain(path, stale):
+    store = RawStorage(path)
+    try:
+        return store.read_block(0)
+    finally:
+        store.close()
+
+
+def drain_probe(path):
+    """Forensic probe: asserts the closed guard actually fires."""
+    store = RawStorage(path)
+    store.close()
+    # repro-lint: ignore[TYP001] -- fixture: probe deliberately reads after close to exercise the runtime guard
+    return store.read_block(0)

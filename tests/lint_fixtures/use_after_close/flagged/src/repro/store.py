@@ -1,0 +1,21 @@
+"""Deliberate TYP001 defect: the error arm closes the storage, then the
+fall-through path keeps reading from the possibly-closed value."""
+
+
+class RawStorage:
+    def __init__(self, path):
+        self._path = path
+        self._closed = False
+
+    def read_block(self, index):
+        return bytes(16)
+
+    def close(self):
+        self._closed = True
+
+
+def drain(path, stale):
+    store = RawStorage(path)
+    if stale:
+        store.close()
+    return store.read_block(0)

@@ -810,6 +810,50 @@ class TestCrashScenario:
         ).verdicts["snapshot-diff"]
         assert torn.advantage <= clean_death.advantage + 0.34
 
+    def test_unexpected_error_releases_handles(self, monkeypatch):
+        """A harness bug mid-interval is not a simulated crash: every
+        opened volume mapping must be released before the error leaves
+        the runner (regression for the exception leak TYP002 found)."""
+        from repro.service import facade
+
+        opened = []
+        real_open = facade.HiddenVolumeService.open.__func__
+
+        def recording_open(cls, *args, **kwargs):
+            svc = real_open(cls, *args, **kwargs)
+            opened.append(svc)
+            return svc
+
+        monkeypatch.setattr(
+            facade.HiddenVolumeService, "open", classmethod(recording_open)
+        )
+
+        real_write = facade.Session.write
+        calls = {"count": 0}
+
+        def failing_write(self, *args, **kwargs):
+            calls["count"] += 1
+            if calls["count"] == 2:
+                raise RuntimeError("injected harness bug")
+            return real_write(self, *args, **kwargs)
+
+        monkeypatch.setattr(facade.Session, "write", failing_write)
+
+        scenario = CrashScenario(
+            construction="nonvolatile",
+            volume_mib=1,
+            block_size=BLOCK,
+            intervals=2,
+            ops_per_interval=3,
+            file_blocks=4,
+            crash_intervals=(),
+            seed=5,
+        )
+        with pytest.raises(RuntimeError, match="injected harness bug"):
+            run_experiment(scenario)
+        assert opened, "the interval loop opened at least one service"
+        assert all(svc.storage.closed for svc in opened)
+
     def test_no_crashes_means_no_advantage(self):
         scenario = CrashScenario(
             construction="nonvolatile",

@@ -104,6 +104,115 @@ def replay(trace, ops, indices, times):
     trace.record_many(ops, indices, times)
 """
 
+TYP_USE_BAD = """\
+class RawStorage:
+    def read_block(self, index):
+        return bytes(16)
+
+    def close(self):
+        self._closed = True
+
+
+def drain(path, stale):
+    store = RawStorage(path)
+    if stale:
+        store.close()
+    return store.read_block(0)
+"""
+TYP_USE_GOOD = """\
+class RawStorage:
+    def read_block(self, index):
+        return bytes(16)
+
+    def close(self):
+        self._closed = True
+
+
+def drain(path, stale):
+    store = RawStorage(path)
+    try:
+        return store.read_block(0)
+    finally:
+        store.close()
+"""
+
+TYP_LEAK_BAD = """\
+class MmapFileBackend:
+    @classmethod
+    def open(cls, path):
+        return cls()
+
+    def write(self, index, data):
+        pass
+
+    def close(self):
+        pass
+
+
+def rewrite(path, blocks):
+    backend = MmapFileBackend.open(path)
+    for index, data in blocks:
+        backend.write(index, data)
+    backend.close()
+"""
+TYP_LEAK_GOOD = """\
+class MmapFileBackend:
+    @classmethod
+    def open(cls, path):
+        return cls()
+
+    def write(self, index, data):
+        pass
+
+    def close(self):
+        pass
+
+
+def rewrite(path, blocks):
+    backend = MmapFileBackend.open(path)
+    try:
+        for index, data in blocks:
+            backend.write(index, data)
+    finally:
+        backend.close()
+"""
+
+OBL_BAD = """\
+def refresh(device, key, probe, payload):
+    if key == probe:
+        device.write_block(0, payload)
+"""
+OBL_GOOD = """\
+def refresh(device, key, probe, payload):
+    matched = key == probe
+    credit = 1 if matched else 0
+    device.write_block(0, payload)
+    return credit
+"""
+
+OBL_SHAPE_BAD = """\
+class WriteStep:
+    def __init__(self, index):
+        self.index = index
+
+
+def plan_update(key, probe, index):
+    steps = [WriteStep(index)]
+    if key == probe:
+        steps.append(WriteStep(index + 1))
+    return steps
+"""
+OBL_SHAPE_GOOD = """\
+class WriteStep:
+    def __init__(self, index):
+        self.index = index
+
+
+def plan_update(key, probe, index, decoy):
+    target = index if key == probe else decoy
+    return [WriteStep(target), WriteStep(target + 1)]
+"""
+
 CASES = {
     "ENT001": (ENT_BAD, ENT_GOOD, 1),
     "PLN001": (PLN_BAD, PLN_GOOD, 3),
@@ -111,6 +220,10 @@ CASES = {
     "CON001": (CON_BAD, CON_GOOD, 2),
     "EXC001": (EXC_BAD, EXC_GOOD, 4),
     "TRC001": (TRC_BAD, TRC_GOOD, 3),
+    "TYP001": (TYP_USE_BAD, TYP_USE_GOOD, 13),
+    "TYP002": (TYP_LEAK_BAD, TYP_LEAK_GOOD, 16),
+    "OBL001": (OBL_BAD, OBL_GOOD, 3),
+    "OBL002": (OBL_SHAPE_BAD, OBL_SHAPE_GOOD, 8),
 }
 
 #: Paths that put the fixture inside each rule's scope.
@@ -163,8 +276,9 @@ def test_pragma_without_justification_is_a_finding(code):
 
 
 class TestFrameworkBehaviour:
-    def test_registry_has_all_six_rules(self):
+    def test_registry_has_all_fifteen_rules(self):
         assert set(registered_rules()) >= set(CASES)
+        assert len(registered_rules()) == 15
 
     def test_trailing_pragma_suppresses_same_line(self):
         source = "import random  # repro-lint: ignore[ENT001] -- fixture\n"
@@ -218,6 +332,29 @@ class TestFrameworkBehaviour:
     def test_broad_except_with_bare_reraise_is_clean(self):
         source = "try:\n    pass\nexcept BaseException:\n    raise\n"
         assert lint_source(source, "src/repro/fixture.py") == []
+
+
+class TestAnchoring:
+    """Findings on continuation lines anchor to the statement's first line."""
+
+    MULTILINE = "import numpy as np\n\nvalue = (\n    np.random.default_rng(0)\n)\n"
+
+    def test_finding_on_continuation_line_is_anchored_to_statement(self):
+        findings = lint_source(self.MULTILINE, "src/repro/fixture.py")
+        assert [(f.code, f.line) for f in findings] == [("ENT001", 3)]
+
+    def test_pragma_on_opening_line_covers_the_whole_statement(self):
+        source = self.MULTILINE.replace(
+            "value = (", "value = (  # repro-lint: ignore[ENT001] -- fixture"
+        )
+        assert lint_source(source, "src/repro/fixture.py") == []
+
+    def test_compound_body_is_not_anchored_to_the_header(self):
+        source = (
+            "def build():  # repro-lint: ignore[ENT001] -- fixture: wrong line\n"
+            "    import random\n"
+        )
+        assert "ENT001" in _codes(lint_source(source, "src/repro/fixture.py"))
 
 
 class TestRealTree:
@@ -276,6 +413,35 @@ class TestCli:
     def test_explain_unknown_code_exits_two(self, capsys):
         assert main(["--explain", "ZZZ999"]) == 2
         assert "known codes" in capsys.readouterr().out
+
+    def test_sarif_format_carries_rule_metadata(self, tmp_path, capsys):
+        root = self._violating_tree(tmp_path)
+        assert main([str(root), "--format=sarif"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+        assert set(rule_ids) >= {"ENT001", "TYP001", "OBL001", PRAGMA_CODE}
+        (result,) = run["results"]
+        assert result["ruleId"] == "ENT001"
+        assert rule_ids[result["ruleIndex"]] == "ENT001"
+        assert result["locations"][0]["physicalLocation"]["region"]["startLine"] == 1
+
+    def test_sarif_witness_chain_becomes_related_locations(self, tmp_path, capsys):
+        package = tmp_path / "src" / "repro"
+        package.mkdir(parents=True)
+        (package / "leak.py").write_text(OBL_BAD)
+        assert main([str(tmp_path / "src"), "--format=sarif"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        (result,) = document["runs"][0]["results"]
+        steps = [
+            (
+                location["physicalLocation"]["region"]["startLine"],
+                location["message"]["text"],
+            )
+            for location in result["relatedLocations"]
+        ]
+        assert steps == [(2, "witness step 1"), (3, "witness step 2")]
 
     def test_clean_tree_exits_zero(self, tmp_path, capsys):
         package = tmp_path / "src" / "repro"

@@ -1,0 +1,305 @@
+"""CFG builder oracles: hand-computed edges and post-dominators.
+
+The typestate and obliviousness rules are only as sound as the graph
+underneath them, so this suite pins the builder's output on the exact
+control-flow shapes those rules reason about: branches, loops with
+``break``/``continue``, ``try``/``except``/``finally`` (including abrupt
+exits routed through the ``finally``), ``with`` bodies, and ``match``.
+
+Each oracle test describes the expected graph with the nodes'
+:meth:`~repro.lint.cfg.CfgNode.describe` labels (``L4`` is the statement
+on source line 4 of the snippet, ``handler@L7`` the handler entry at
+line 7), so a failure prints a readable diff of the edge set.  On top of
+the fixed oracles, a hypothesis sweep over generated function shapes
+checks the structural invariants every client assumes: all reachable
+nodes can reach an exit, and normal edges never originate at the exits.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint.cfg import (
+    EDGE_BACK,
+    EDGE_EXC,
+    EDGE_FALSE,
+    EDGE_NEXT,
+    EDGE_TRUE,
+    EDGE_UNWIND,
+    EXCEPTIONAL_KINDS,
+    build_cfg,
+)
+
+
+def _cfg(source: str):
+    tree = ast.parse(textwrap.dedent(source).strip())
+    fn = tree.body[0]
+    assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(fn)
+
+
+def _edges(cfg) -> set[tuple[str, str, str]]:
+    labelled = set()
+    for node in cfg.nodes:
+        for edge in cfg.succs(node.index):
+            labelled.add(
+                (cfg.nodes[edge.src].describe(), edge.kind, cfg.nodes[edge.dst].describe())
+            )
+    return labelled
+
+
+def _node(cfg, label: str) -> int:
+    matches = [n.index for n in cfg.nodes if n.describe() == label]
+    assert len(matches) == 1, f"{label!r} matched {len(matches)} nodes"
+    return matches[0]
+
+
+class TestOracles:
+    def test_if_else_joins_at_ipostdom(self):
+        cfg = _cfg(
+            """
+            def f(a):
+                if a:
+                    x = 1
+                else:
+                    x = 2
+                return x
+            """
+        )
+        assert _edges(cfg) == {
+            ("entry", EDGE_NEXT, "L2"),
+            ("L2", EDGE_TRUE, "L3"),
+            ("L2", EDGE_FALSE, "L5"),
+            ("L3", EDGE_NEXT, "L6"),
+            ("L5", EDGE_NEXT, "L6"),
+            ("L6", EDGE_NEXT, "exit"),
+        }
+        assert cfg.ipostdom(_node(cfg, "L2")) == _node(cfg, "L6")
+
+    def test_while_with_break_and_continue(self):
+        cfg = _cfg(
+            """
+            def f(n):
+                while n:
+                    if n == 1:
+                        break
+                    n -= 1
+                    continue
+                return n
+            """
+        )
+        edges = _edges(cfg)
+        # break jumps to the loop's join node; continue takes a back edge.
+        assert ("L4", EDGE_NEXT, "join") in edges
+        assert ("L6", EDGE_BACK, "L2") in edges
+        assert ("join", EDGE_NEXT, "L7") in edges
+        assert ("L2", EDGE_FALSE, "L7") in edges
+        # The loop head's region ends at the statement after the loop.
+        assert cfg.ipostdom(_node(cfg, "L2")) == _node(cfg, "L7")
+
+    def test_try_finally_routes_return_through_finally(self):
+        cfg = _cfg(
+            """
+            def f(x):
+                try:
+                    return x.use()
+                finally:
+                    x.close()
+            """
+        )
+        edges = _edges(cfg)
+        # The return enters the finally, and the finally's body fans out
+        # to the function exit (for the return) — never straight there.
+        assert ("L3", EDGE_NEXT, "finally@L2") in edges
+        assert ("L5", EDGE_NEXT, "exit") in edges
+        assert ("L3", EDGE_NEXT, "exit") not in edges
+        # An exception in the body also runs the finally, then unwinds.
+        assert ("L3", EDGE_EXC, "finally@L2") in edges
+        assert ("L5", EDGE_UNWIND, "exc-exit") in edges
+
+    def test_except_handler_and_no_match_unwind(self):
+        cfg = _cfg(
+            """
+            def f(x):
+                try:
+                    x.use()
+                except ValueError:
+                    x.reset()
+                return x
+            """
+        )
+        edges = _edges(cfg)
+        assert ("L3", EDGE_EXC, "handler@L4") in edges
+        assert ("handler@L4", EDGE_NEXT, "L5") in edges
+        # ValueError may not match: the exception keeps unwinding.
+        assert ("handler@L4", EDGE_UNWIND, "exc-exit") in edges
+        assert ("L5", EDGE_NEXT, "L6") in edges
+
+    def test_catch_all_handler_has_no_unwind(self):
+        cfg = _cfg(
+            """
+            def f(x):
+                try:
+                    x.use()
+                except BaseException:
+                    x.release()
+                    raise
+                return x
+            """
+        )
+        edges = _edges(cfg)
+        # A catch-all cannot be bypassed; only its body re-raises.
+        assert ("handler@L4", EDGE_UNWIND, "exc-exit") not in edges
+        assert ("L6", EDGE_EXC, "exc-exit") in edges
+
+    def test_with_exit_closes_both_paths(self):
+        cfg = _cfg(
+            """
+            def f(path):
+                with open(path) as fh:
+                    fh.read()
+                return 1
+            """
+        )
+        edges = _edges(cfg)
+        # The body's exception runs __exit__ (the with-exit node), which
+        # may re-raise; normal completion continues to the return.
+        assert ("L3", EDGE_EXC, "with-exit@L2") in edges
+        assert ("L3", EDGE_NEXT, "with-exit@L2") in edges
+        assert ("with-exit@L2", EDGE_UNWIND, "exc-exit") in edges
+        assert ("with-exit@L2", EDGE_NEXT, "L4") in edges
+
+    def test_match_arms_and_conservative_fallthrough(self):
+        cfg = _cfg(
+            """
+            def f(cmd):
+                match cmd:
+                    case "a":
+                        x = 1
+                    case _:
+                        x = 2
+                return x
+            """
+        )
+        edges = _edges(cfg)
+        assert ("L2", EDGE_TRUE, "L4") in edges
+        assert ("L2", EDGE_TRUE, "L6") in edges
+        assert ("L2", EDGE_FALSE, "L7") in edges  # conservative no-match
+        assert cfg.ipostdom(_node(cfg, "L2")) == _node(cfg, "L7")
+
+    def test_postdominators_ignore_exceptional_edges(self):
+        cfg = _cfg(
+            """
+            def f(a, x):
+                if a:
+                    x.use()
+                x.done()
+            """
+        )
+        branch = _node(cfg, "L2")
+        join = _node(cfg, "L4")
+        assert cfg.ipostdom(branch) == join
+        # The exc edge from L3 must not drag exc-exit into the region.
+        region = cfg.region_between(branch, join)
+        assert cfg.exc_exit not in region
+        assert _node(cfg, "L3") in region
+
+
+# -- generated shapes: structural invariants ------------------------------------------
+
+_SIMPLE = st.sampled_from(["x = f()", "x += 1", "f(x)", "pass"])
+_ABRUPT = st.sampled_from(["return x", "break", "continue", "raise ValueError(x)"])
+
+
+@st.composite
+def _function_sources(draw) -> str:
+    """A small function built from nested compounds around simple stmts."""
+
+    def block(depth: int, in_loop: bool) -> list[str]:
+        lines = [draw(_SIMPLE)]
+        if depth < 3:
+            shape = draw(st.sampled_from(["if", "while", "for", "try", "with", "flat"]))
+            if shape == "if":
+                inner = block(depth + 1, in_loop)
+                lines += [f"if x == {draw(st.integers(0, 3))}:"]
+                lines += ["    " + line for line in inner]
+                if draw(st.booleans()):
+                    lines += ["else:"]
+                    lines += ["    " + line for line in block(depth + 1, in_loop)]
+            elif shape in ("while", "for"):
+                header = "while x:" if shape == "while" else "for i in f(x):"
+                lines += [header]
+                body = block(depth + 1, True)
+                if draw(st.booleans()):
+                    body.append(draw(st.sampled_from(["break", "continue"])))
+                lines += ["    " + line for line in body]
+            elif shape == "try":
+                lines += ["try:"]
+                lines += ["    " + line for line in block(depth + 1, in_loop)]
+                if draw(st.booleans()):
+                    lines += ["except ValueError:"]
+                    lines += ["    " + line for line in block(depth + 1, in_loop)]
+                lines += ["finally:"]
+                lines += ["    " + line for line in block(depth + 1, in_loop)]
+            elif shape == "with":
+                lines += ["with f(x) as g:"]
+                lines += ["    " + line for line in block(depth + 1, in_loop)]
+        maybe_abrupt = draw(st.one_of(st.none(), _ABRUPT))
+        if maybe_abrupt is not None and (in_loop or maybe_abrupt not in ("break", "continue")):
+            lines.append(maybe_abrupt)
+        lines.append(draw(_SIMPLE))
+        return lines
+
+    body = block(0, False)
+    return "def fn(x):\n" + "\n".join("    " + line for line in body)
+
+
+@given(_function_sources())
+@settings(max_examples=60, deadline=None)
+def test_every_reachable_node_reaches_an_exit(source: str):
+    cfg = _cfg(source)
+    exits = {cfg.exit, cfg.exc_exit}
+    # Reverse reachability from both exits over all edges.
+    can_exit = set(exits)
+    changed = True
+    while changed:
+        changed = False
+        for node in cfg.nodes:
+            if node.index in can_exit:
+                continue
+            if any(e.dst in can_exit for e in cfg.succs(node.index)):
+                can_exit.add(node.index)
+                changed = True
+    reachable = cfg.reachable()
+    stuck = [cfg.nodes[i].describe() for i in reachable - can_exit - exits]
+    assert not stuck, f"nodes with no path to an exit: {stuck}\n{source}"
+
+
+@given(_function_sources())
+@settings(max_examples=60, deadline=None)
+def test_exits_have_no_successors_and_edges_are_consistent(source: str):
+    cfg = _cfg(source)
+    assert not cfg.succs(cfg.exit)
+    assert not cfg.succs(cfg.exc_exit)
+    for node in cfg.nodes:
+        for edge in cfg.succs(node.index):
+            assert edge.src == node.index
+            assert edge in cfg.preds(edge.dst)
+            if edge.kind not in EXCEPTIONAL_KINDS:
+                assert edge.dst != cfg.exc_exit or cfg.nodes[edge.src].kind == "stmt"
+
+
+@given(_function_sources())
+@settings(max_examples=40, deadline=None)
+def test_ipostdom_is_a_postdominator_of_every_branch(source: str):
+    cfg = _cfg(source)
+    postdoms = cfg.postdominators()
+    for node in cfg.nodes:
+        ipd = cfg.ipostdom(node.index)
+        if ipd is None:
+            continue
+        assert ipd in postdoms.get(node.index, frozenset()) - {node.index}

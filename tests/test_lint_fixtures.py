@@ -26,6 +26,10 @@ CASES = {
     "exception_leak": "SEC001",
     "secret_repr": "SEC002",
     "cross_module_planner": "PLN001",
+    "use_after_close": "TYP001",
+    "exception_open_leak": "TYP002",
+    "secret_branch_write": "OBL001",
+    "secret_plan_shape": "OBL002",
 }
 
 
@@ -84,3 +88,30 @@ class TestFindingQuality:
         (finding,) = _lint("cross_module_planner", "flagged")
         assert finding.path.endswith("loader.py"), "finding lands on the I/O site"
         assert "Session.plan_write -> load_header" in finding.message
+
+    def test_use_after_close_names_state_and_close_site(self):
+        (finding,) = _lint("use_after_close", "flagged")
+        assert "RawStorage value 'store' may be closed" in finding.message
+        assert "(closed at line 20)" in finding.message
+        assert "'.read_block()'" in finding.message
+
+    def test_leak_and_double_close_are_both_reported(self):
+        leak, double = _lint("exception_open_leak", "flagged")
+        assert "still open when the exception raised at line 21" in leak.message
+        assert "close it in a finally block" in leak.message
+        assert "may already be closed (closed at line 27)" in double.message
+        assert "not annotated idempotent" in double.message
+
+    def test_secret_branch_finding_carries_full_witness_path(self):
+        (finding,) = _lint("secret_branch_write", "flagged")
+        assert finding.line == 14, "finding lands on the sink, not the branch"
+        assert "device call .write_block()" in finding.message
+        assert "secret-derived condition 'matched' (line 13)" in finding.message
+        assert "witness path: L13 -> L14" in finding.message
+
+    def test_plan_shape_reports_the_interval_per_arm(self):
+        findings = _lint("secret_plan_shape", "flagged")
+        (shape,) = [f for f in findings if f.code == "OBL002"]
+        assert "emits 2 plan steps when 'key == probe' holds but 0 otherwise" in shape.message
+        # The conditional emissions are themselves OBL001 sinks.
+        assert {f.line for f in findings if f.code == "OBL001"} == {13, 14}
